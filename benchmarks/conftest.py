@@ -1,0 +1,60 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's figures and prints the
+rows it would plot.  Benchmarks run the figure exactly once
+(``benchmark.pedantic`` with one round) because a figure is minutes of
+simulation, not a microbenchmark.
+
+Fidelity is controlled by environment variables (see
+``repro.experiments.figures``):
+
+* ``REPRO_CASES``  — cases per scenario (default: small smoke counts)
+* ``REPRO_SCALE``  — size/time scale (default 0.005 = 1.8 MB steps)
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+#: every table is also written here, so figure outputs survive pytest's
+#: stdout capture and can be cited in EXPERIMENTS.md
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def print_rows(title: str, rows: list[dict]) -> None:
+    """Render result rows as an aligned text table (stdout + file)."""
+    lines = [f"=== {title} ==="]
+    if not rows:
+        lines.append("(no rows)")
+    else:
+        columns = list(rows[0])
+        widths = {c: max(len(str(c)),
+                         *(len(_fmt(r.get(c))) for r in rows))
+                  for c in columns}
+        header = "  ".join(f"{c:>{widths[c]}}" for c in columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in rows:
+            lines.append("  ".join(f"{_fmt(row.get(c)):>{widths[c]}}"
+                                   for c in columns))
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "-",
+                  title.lower().split("—")[0].strip())[:60].strip("-")
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, list):
+        return "/".join(str(v) for v in value)
+    return str(value)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run the figure generator exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

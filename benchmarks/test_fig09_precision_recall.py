@@ -1,0 +1,31 @@
+"""Fig. 9: precision & recall vs. baselines across the four anomaly
+scenarios.
+
+Paper's expected shape: Vedrfolnir high precision/recall everywhere;
+Hawkeye-MaxR misses small-RTT flows (recall drops in contention);
+Hawkeye-MinR loses valid data to its 50 us retention dedup (precision
+drops); full polling is accurate but pays maximal overhead (Fig. 10).
+"""
+
+from benchmarks.conftest import print_rows, run_once
+from repro.experiments.figures import env_cases, fig9_precision_recall
+
+
+def test_fig9_precision_recall(benchmark):
+    rows = run_once(benchmark, fig9_precision_recall,
+                    cases_per_scenario=env_cases(3))
+    print_rows("Fig. 9 — precision & recall", rows)
+    assert rows, "matrix produced no rows"
+    by_cell = {(r["scenario"], r["system"]): r for r in rows}
+    # Vedrfolnir must be a strong diagnoser in every scenario: it never
+    # misses the anomaly outright (recall) and detections are mostly
+    # complete (precision)
+    for scenario in ("flow_contention", "incast", "pfc_storm",
+                     "pfc_backpressure"):
+        vedr = by_cell[(scenario, "vedrfolnir")]
+        assert vedr["recall"] >= 0.7, (scenario, vedr)
+        assert vedr["precision"] >= 0.6, (scenario, vedr)
+    # storms are its cleanest case: stall detection + ungrounded-pause
+    # tracing localizes the buggy port
+    assert by_cell[("pfc_storm", "vedrfolnir")]["precision"] >= 0.9
+    assert by_cell[("incast", "vedrfolnir")]["recall"] >= 0.9

@@ -1,0 +1,31 @@
+"""Fig. 10: processing (10a) and bandwidth (10b) overhead vs. baselines.
+
+Paper's expected shape: Vedrfolnir's telemetry volume stays in the
+~10 KB class, a 60-98% saving over Hawkeye; Hawkeye-MinR over-triggers;
+full polling marks the upper end of collection volume.
+"""
+
+from benchmarks.conftest import print_rows, run_once
+from repro.experiments.figures import env_cases, fig10_overhead
+
+
+def test_fig10_overhead(benchmark):
+    rows = run_once(benchmark, fig10_overhead,
+                    cases_per_scenario=env_cases(3))
+    print_rows("Fig. 10 — overhead (KB)", rows)
+    by_cell = {(r["scenario"], r["system"]): r for r in rows}
+    for scenario in ("flow_contention", "incast", "pfc_storm",
+                     "pfc_backpressure"):
+        vedr = by_cell[(scenario, "vedrfolnir")]["processing_kb"]
+        minr = by_cell[(scenario, "hawkeye-minr")]["processing_kb"]
+        full = by_cell[(scenario, "full-polling")]["processing_kb"]
+        # Vedrfolnir is always the cheapest collector
+        assert vedr < minr, scenario
+        assert vedr < full, scenario
+        # the headline claim: >=60% savings vs. the worse Hawkeye
+        assert vedr <= 0.4 * minr, scenario
+    # bandwidth overhead follows the same ordering
+    for scenario in ("flow_contention", "incast"):
+        vedr = by_cell[(scenario, "vedrfolnir")]["bandwidth_kb"]
+        minr = by_cell[(scenario, "hawkeye-minr")]["bandwidth_kb"]
+        assert vedr < minr, scenario

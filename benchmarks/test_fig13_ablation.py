@@ -1,0 +1,43 @@
+"""Fig. 13: ablations of the step-aware mechanism.
+
+13a — step-grained RTT thresholds vs. fixed thresholds (precision and
+processing overhead, flow contention, ≤3 detections/step).
+13b — detection-count allocation vs. unrestricted (Hawkeye-like)
+triggering: overhead grows with the trigger budget and explodes when
+unrestricted.
+"""
+
+from benchmarks.conftest import print_rows, run_once
+from repro.experiments.figures import (
+    env_cases,
+    fig13a_threshold_ablation,
+    fig13b_count_ablation,
+)
+
+
+def test_fig13a_threshold_ablation(benchmark):
+    rows = run_once(benchmark, fig13a_threshold_ablation,
+                    cases=env_cases(2))
+    print_rows("Fig. 13a — step-aware vs. fixed RTT thresholds", rows)
+    by_label = {r["threshold"]: r for r in rows}
+    step_aware = by_label["step-aware"]
+    assert step_aware["recall"] >= 0.5
+    # a ridiculously large fixed threshold goes blind (low recall or no
+    # collection), while step-aware keeps detecting
+    loosest = by_label["fixed-360%"]
+    assert step_aware["recall"] >= loosest["recall"]
+
+
+def test_fig13b_count_ablation(benchmark):
+    rows = run_once(benchmark, fig13b_count_ablation,
+                    cases=env_cases(2))
+    print_rows("Fig. 13b — detection-count allocation", rows)
+    by_label = {r["detections_per_step"]: r for r in rows}
+    unrestricted = by_label["unrestricted"]
+    restricted = by_label["3"]
+    # the paper's claim: budget restriction yields significant savings
+    assert restricted["processing_kb"] < unrestricted["processing_kb"]
+    assert restricted["avg_triggers"] < unrestricted["avg_triggers"]
+    # overhead grows monotonically-ish with the budget
+    assert by_label["1"]["processing_kb"] <= \
+        by_label["8"]["processing_kb"]

@@ -1,0 +1,108 @@
+"""Scalability of the analysis structures (Discussion, §V).
+
+The paper states the waiting graph costs O(N_n x S) (nodes x steps) and
+the provenance graph O(N_s x T) (switches x reports).  These are true
+microbenchmarks: we build both structures at growing sizes and check the
+growth is near-linear in the stated product.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.collective.ring import ring_allgather
+from repro.collective.runtime import StepRecord
+from repro.core.provenance import build_provenance
+from repro.core.waiting_graph import WaitingGraph
+from repro.simnet.packet import FlowKey
+from repro.simnet.pfc import PauseEvent, PortRef
+from repro.simnet.telemetry import PortTelemetryEntry, SwitchReport
+
+
+def synthetic_records(num_nodes: int):
+    nodes = [f"n{i}" for i in range(num_nodes)]
+    schedule = ring_allgather(nodes, 1000)
+    records = []
+    for idx in range(num_nodes - 1):
+        for node in nodes:
+            records.append(StepRecord(
+                node=node, step_index=idx,
+                flow_key=FlowKey(node, "x", idx, 4791),
+                size_bytes=1000,
+                start_time=idx * 100.0,
+                end_time=idx * 100.0 + 90.0,
+                recv_source=None, binding_dependency="prev_send"))
+    return schedule, records
+
+
+def synthetic_reports(num_switches: int, reports_each: int):
+    cf = FlowKey("h0", "h1", 1, 4791)
+    bf = FlowKey("h2", "h3", 2, 4791)
+    reports = []
+    for s in range(num_switches):
+        for t in range(reports_each):
+            reports.append(SwitchReport(
+                switch_id=f"s{s}", time=float(t), poll_id=f"p{t}",
+                ports=[PortTelemetryEntry(
+                    port=0, qdepth_pkts=5, qdepth_bytes=20_000,
+                    paused=False, flow_pkts={cf: 10.0, bf: 5.0},
+                    inqueue_flow_pkts={cf: 2},
+                    wait_weights={(cf, bf): 8.0})],
+                port_meters={(1, 0): 1e6},
+                pause_received=[PauseEvent(
+                    float(t), PortRef(f"s{(s + 1) % num_switches}", 1),
+                    PortRef(f"s{s}", 0), 300_000)],
+                pause_sent=[], ttl_drops={}, size_bytes=200))
+    return [cf], reports
+
+
+@pytest.mark.parametrize("num_nodes", [8, 16, 32])
+def test_waiting_graph_scales_with_nodes_times_steps(benchmark,
+                                                     num_nodes):
+    schedule, records = synthetic_records(num_nodes)
+
+    def build():
+        graph = WaitingGraph(schedule, records)
+        graph.critical_path()
+        return graph
+
+    graph = benchmark(build)
+    # structure size is exactly O(N_n x S)
+    expected_vertices = 2 * num_nodes * (num_nodes - 1)
+    assert len(graph.vertices) == expected_vertices
+
+
+@pytest.mark.parametrize("num_switches,reports_each",
+                         [(8, 8), (16, 16), (32, 32)])
+def test_provenance_scales_with_switches_times_reports(benchmark,
+                                                       num_switches,
+                                                       reports_each):
+    cf_keys, reports = synthetic_reports(num_switches, reports_each)
+    graph = benchmark(build_provenance, reports, cf_keys, 262_144)
+    assert len(graph.ports) >= num_switches
+
+
+def test_report_complexity_summary(benchmark):
+    """Print the O(N_n S) scaling table the Discussion promises."""
+    import time
+
+    def sweep():
+        rows = []
+        for num_nodes in (8, 16, 32, 64):
+            schedule, records = synthetic_records(num_nodes)
+            start = time.perf_counter()
+            WaitingGraph(schedule, records).critical_path()
+            elapsed = time.perf_counter() - start
+            rows.append({
+                "nodes": num_nodes,
+                "steps": num_nodes - 1,
+                "vertices": 2 * num_nodes * (num_nodes - 1),
+                "build_ms": round(elapsed * 1000, 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_rows("Waiting-graph scaling (O(N_n x S), §V)", rows)
+    # superlinear blowup would violate the paper's complexity claim:
+    # allow generous constant-factor noise but not quadratic-in-size
+    per_vertex = [r["build_ms"] / r["vertices"] for r in rows]
+    assert per_vertex[-1] < 20 * per_vertex[0] + 0.05

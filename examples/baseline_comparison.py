@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Head-to-head: Vedrfolnir vs. Hawkeye vs. full polling on one case.
+
+Runs the same flow-contention scenario under all four diagnosis systems
+and prints the outcome plus the overheads — a one-case preview of
+Figs. 9 and 10.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.anomalies.scenarios import ScenarioConfig, make_contention_cases
+from repro.experiments.harness import SYSTEM_FACTORIES, run_case
+
+
+def main() -> None:
+    case = make_contention_cases(1, ScenarioConfig(scale=0.005))[0]
+    print(f"scenario: {case.scenario} (case {case.case_id}, "
+          f"chunk {case.config.chunk_bytes / 1e6:.1f} MB)\n")
+
+    header = (f"{'system':<14} {'outcome':<8} {'detected':<9} "
+              f"{'triggers':>8} {'telemetry':>12} {'bandwidth':>12}")
+    print(header)
+    print("-" * len(header))
+    for name in SYSTEM_FACTORIES:
+        result = run_case(case, name)
+        print(f"{result.system:<14} {result.outcome:<8} "
+              f"{result.detected_flow_count}/{result.injected_flow_count:<7} "
+              f"{result.triggers:>8} "
+              f"{result.processing_bytes / 1000:>10.1f}KB "
+              f"{result.bandwidth_bytes / 1000:>10.1f}KB")
+
+    print("\nexpected shape (paper Figs. 9-10): every system detects the "
+          "contention here,\nbut Vedrfolnir collects an order of magnitude "
+          "less telemetry than Hawkeye-MinR\nand full polling.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The paper's §IV-D case study (Fig. 14), reproduced end to end.
+
+An 8-node Ring collective runs while two background flows interfere:
+BF1 (~90 MB) and BF2 (~450 MB), both scaled.  The script prints
+
+* the pruned waiting graph (nodes with in-degree zero removed), which
+  exposes the dependency chain — Fig. 14a;
+* the flow-contention findings from the provenance graphs — Fig. 14b;
+* the contributor scores, where BF2 dominates BF1 as in the paper
+  (104,095 vs. 698 in the authors' instance).
+
+Run:  python examples/case_study.py
+"""
+
+from repro.experiments.figures import fig14_case_study
+
+
+def main() -> None:
+    out = fig14_case_study()
+
+    print(f"collective completed: {out['collective_completed']} "
+          f"in {out['collective_ms']:.2f} ms\n")
+
+    diagnosis = out["diagnosis"]
+    print("pruned waiting graph "
+          f"({out['waiting_graph_vertices']} vertices kept):")
+    for vertex in sorted(diagnosis.waiting_graph.vertices,
+                         key=lambda v: (v.step_index, v.node, v.point)):
+        print(f"  {vertex.label}")
+
+    print("\ncritical path (the F17-like chain of Fig. 14a):")
+    print("  " + " -> ".join(out["critical_path"]))
+    print(f"bottleneck steps: {out['bottleneck_steps']}")
+
+    print("\nfindings:")
+    for finding in diagnosis.result.findings:
+        print(f"  - {finding.type.value}: {finding.detail}")
+
+    print("\ncontributor scores for the whole collective (Eq. 3):")
+    for name in ("BF1", "BF2"):
+        print(f"  {name} ({out['bf_keys'][name]}): "
+              f"{out['bf_scores'][name]:,.0f}")
+    assert out["bf_scores"]["BF2"] > out["bf_scores"]["BF1"], \
+        "the paper's qualitative result: BF2 dominates"
+    print("\n=> BF2 is the main contributor, matching the paper.")
+
+
+if __name__ == "__main__":
+    main()

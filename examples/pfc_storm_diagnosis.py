@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Trace a PFC storm back to the buggy port (§II-B, Fig. 2b).
+
+A hardware bug makes one switch port inject PAUSE frames continuously,
+halting a collective flow across multiple switches.  Vedrfolnir's stall
+detection notices the frozen flow (no ACKs arrive, so RTT-based
+triggers alone would be blind — the Hawkeye failure mode), polls along
+the flow and the PFC spreading path, and the provenance analysis
+pinpoints the *ungrounded* pause source: frames emitted while the
+sender's ingress buffer was far below the XOFF threshold.
+
+Run:  python examples/pfc_storm_diagnosis.py
+"""
+
+from repro import (
+    AnomalyType,
+    CollectiveRuntime,
+    Network,
+    VedrfolnirSystem,
+    build_fat_tree,
+    ring_allgather,
+)
+from repro.anomalies.injectors import ingress_port_on_path, inject_pfc_storm
+from repro.simnet.units import MB, ms, us
+
+
+def main() -> None:
+    network = Network(build_fat_tree(4))
+    nodes = [f"h{2 * i}" for i in range(8)]
+    runtime = CollectiveRuntime(network, ring_allgather(nodes, int(2 * MB)))
+    system = VedrfolnirSystem(network, runtime)
+    runtime.start()
+
+    # pick a switch on the first flow's path and inject the storm at the
+    # ingress port the flow arrives through
+    victim_key = runtime.flow_keys[(nodes[0], 0)]
+    path = network.routing.path(victim_key)
+    switch_id = next(n for n in path if n in network.switches)
+    storm_port = ingress_port_on_path(network, victim_key, switch_id)
+    injector = inject_pfc_storm(network, storm_port.node, storm_port.port,
+                                start_ns=us(100), duration_ns=ms(0.5),
+                                refresh_ns=us(150))
+    print(f"injected PFC storm at {storm_port} "
+          f"(flow {victim_key.short()} passes through)")
+
+    network.run_until_quiet(max_time=ms(100))
+    print(f"collective finished in {runtime.total_time_ns / 1e6:.2f} ms; "
+          f"storm sent {injector.frames_sent} PAUSE frames\n")
+
+    diagnosis = system.analyze()
+    storms = diagnosis.result.of_type(AnomalyType.PFC_STORM)
+    if not storms:
+        raise SystemExit("storm was not diagnosed — unexpected")
+    for finding in storms:
+        print(f"diagnosed: {finding.detail}")
+        print(f"  root port(s): {[str(p) for p in finding.root_ports]}")
+        print(f"  victim flows: "
+              f"{sorted(f.short() for f in finding.victim_flows)}")
+    traced = {str(p) for f in storms for p in f.root_ports}
+    assert str(injector.source_ref) in traced, "root localization failed"
+    print(f"\n=> traced to the injected port {injector.source_ref} "
+          "(true positive under the paper's criteria)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Common interface every diagnosis system under test implements.
+
+The experiment harness treats Vedrfolnir and the baselines uniformly:
+``attach`` before the run, ``finalize`` after it, overheads read from
+the network's counters.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.collective.runtime import CollectiveRuntime
+from repro.core.diagnosis import DiagnosisResult
+from repro.simnet.network import Network
+
+
+@dataclass
+class SystemOutput:
+    """What a diagnosis system produces for scoring."""
+
+    result: DiagnosisResult
+    #: polls the system issued (triggers + chases)
+    triggers: int = 0
+    #: reports actually used for diagnosis (≤ collected, for Hawkeye)
+    reports_used: int = 0
+    reports_collected: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+class DiagnosisSystemAdapter(abc.ABC):
+    """Lifecycle shared by every system under test."""
+
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.network: Optional[Network] = None
+        self.runtime: Optional[CollectiveRuntime] = None
+
+    @abc.abstractmethod
+    def attach(self, network: Network, runtime: CollectiveRuntime) -> None:
+        """Install monitors/sinks.  Called before ``runtime.start()``."""
+
+    @abc.abstractmethod
+    def finalize(self) -> SystemOutput:
+        """Produce the diagnosis after the simulation finished."""
+
+    # overheads are read off the network counters ------------------------
+    @property
+    def processing_overhead_bytes(self) -> int:
+        return self.network.processing_overhead_bytes if self.network else 0
+
+    @property
+    def bandwidth_overhead_bytes(self) -> int:
+        return self.network.bandwidth_overhead_bytes if self.network else 0

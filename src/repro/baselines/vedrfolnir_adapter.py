@@ -1,0 +1,36 @@
+"""Vedrfolnir wrapped in the harness adapter interface."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.adapter import DiagnosisSystemAdapter, SystemOutput
+from repro.collective.runtime import CollectiveRuntime
+from repro.core.system import VedrfolnirConfig, VedrfolnirSystem
+from repro.simnet.network import Network
+
+
+class VedrfolnirAdapter(DiagnosisSystemAdapter):
+    """The system under evaluation, harness-shaped."""
+
+    name = "vedrfolnir"
+
+    def __init__(self, config: Optional[VedrfolnirConfig] = None) -> None:
+        super().__init__()
+        self.config = config or VedrfolnirConfig()
+        self.system: Optional[VedrfolnirSystem] = None
+
+    def attach(self, network: Network, runtime: CollectiveRuntime) -> None:
+        self.network = network
+        self.runtime = runtime
+        self.system = VedrfolnirSystem(network, runtime, config=self.config)
+
+    def finalize(self) -> SystemOutput:
+        diagnosis = self.system.analyze()
+        return SystemOutput(
+            result=diagnosis.result,
+            triggers=self.system.total_triggers,
+            reports_used=len(self.system.analyzer.reports),
+            reports_collected=len(self.system.analyzer.reports),
+            extras={"diagnosis": diagnosis},
+        )

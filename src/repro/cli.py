@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+::
+
+    python -m repro scenarios
+    python -m repro topology --k 4
+    python -m repro run-scenario --scenario flow_contention --system vedrfolnir \
+        --case 3 --scale 0.005 --trace run.jsonl
+    python -m repro diagnose --trace run.jsonl
+    python -m repro figure --id 13b --cases 2
+
+Every subcommand prints human-readable text and exits 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.005,
+                        help="size/time scale vs. the paper (default "
+                             "0.005 = 1.8 MB steps)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="base seed for case generation")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vedrfolnir reproduction: RDMA NPA diagnosis in "
+                    "collective communications")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list evaluation scenarios")
+
+    topo = sub.add_parser("topology", help="describe a fat-tree")
+    topo.add_argument("--k", type=int, default=4, help="fat-tree arity")
+
+    run = sub.add_parser("run-scenario",
+                         help="run one case under one diagnosis system")
+    run.add_argument("--scenario", required=True,
+                     help="flow_contention | incast | pfc_storm | "
+                          "pfc_backpressure")
+    run.add_argument("--system", default="vedrfolnir",
+                     help="vedrfolnir | hawkeye-maxr | hawkeye-minr | "
+                          "full-polling")
+    run.add_argument("--case", type=int, default=0, help="case id")
+    run.add_argument("--trace", help="write a JSONL trace here")
+    _add_scenario_args(run)
+
+    diag = sub.add_parser("diagnose",
+                          help="offline analysis of a recorded trace")
+    diag.add_argument("--trace", required=True, help="JSONL trace file")
+    diag.add_argument("--top", type=int, default=5,
+                      help="contributors to print")
+    diag.add_argument("--json", action="store_true",
+                      help="emit the machine-readable report")
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure")
+    fig.add_argument("--id", required=True,
+                     choices=["9", "10", "11", "12", "13a", "13b", "14"])
+    fig.add_argument("--cases", type=int, default=3,
+                     help="cases per scenario/setting")
+    fig.add_argument("--scale", type=float, default=None)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_scenarios(_args) -> int:
+    from repro.anomalies.scenarios import PAPER_CASE_COUNTS
+
+    print(f"{'scenario':<20} {'paper cases':>12}  ground truth")
+    print("-" * 60)
+    truths = {
+        "flow_contention": "all injected flows detected",
+        "incast": "all injected flows detected",
+        "pfc_storm": "root port localized",
+        "pfc_backpressure": "root port localized",
+        "load_imbalance": "overloaded port localized (extension)",
+    }
+    for name, count in PAPER_CASE_COUNTS.items():
+        print(f"{name:<20} {count:>12}  "
+              f"{truths.get(name, 'extension scenario')}")
+    return 0
+
+
+def cmd_topology(args) -> int:
+    from repro.simnet.topology import build_fat_tree
+
+    topo = build_fat_tree(args.k)
+    cores = sum(1 for s in topo.switches if s.startswith("c"))
+    aggs = sum(1 for s in topo.switches if s.startswith("a"))
+    edges = sum(1 for s in topo.switches if s.startswith("e"))
+    print(f"{topo.name}: {len(topo.hosts)} hosts, "
+          f"{len(topo.switches)} switches "
+          f"({cores} core / {aggs} agg / {edges} edge), "
+          f"{len(topo.links)} links")
+    sample = topo.links[0]
+    print(f"links: {sample.bandwidth_bps / 1e9:.0f} Gbps, "
+          f"{sample.delay_ns / 1e3:.0f} us delay")
+    return 0
+
+
+def cmd_run_scenario(args) -> int:
+    from repro.anomalies.scenarios import ScenarioConfig, make_cases
+    from repro.experiments.harness import make_system, score_case
+    from repro.traces import TraceRecorder
+
+    config = ScenarioConfig(scale=args.scale, base_seed=args.seed)
+    try:
+        cases = make_cases(args.scenario, args.case + 1, config)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    case = cases[args.case]
+    try:
+        system = make_system(args.system)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    network, runtime = case.build_network()
+    system.attach(network, runtime)
+    recorder = TraceRecorder.attach(network, runtime) if args.trace \
+        else None
+    runtime.start()
+    truth = case.inject(network, runtime)
+    network.run_until_quiet(max_time=config.run_deadline_ns())
+    output = system.finalize()
+    outcome = score_case(truth, output.result)
+
+    print(f"scenario={case.scenario} case={case.case_id} "
+          f"system={system.name}")
+    print(f"collective completed: {runtime.completed} "
+          f"({(runtime.total_time_ns or 0) / 1e6:.2f} ms)")
+    print(f"outcome: {outcome.upper()}  "
+          f"(detected {len(output.result.detected_flows)} flows, "
+          f"{len(truth.injected_flows)} injected)")
+    if truth.root_port is not None:
+        print(f"ground-truth root: {truth.root_port}; "
+              f"diagnosed roots: "
+              f"{[str(p) for p in output.result.root_ports]}")
+    print(f"overheads: telemetry "
+          f"{network.processing_overhead_bytes / 1000:.1f} KB, "
+          f"bandwidth {network.bandwidth_overhead_bytes / 1000:.1f} KB, "
+          f"triggers {output.triggers}")
+    for finding in output.result.findings:
+        print(f"  - {finding.type.value}: {finding.detail}")
+    if recorder is not None:
+        path = recorder.write(args.trace)
+        print(f"trace written to {path}")
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    from repro.core.reports import render_json, render_text
+    from repro.traces import analyze_trace, load_trace
+
+    try:
+        trace = load_trace(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    diagnosis = analyze_trace(trace)
+    if args.json:
+        print(render_json(diagnosis, top_contributors=args.top,
+                          indent=2))
+        return 0
+    print(f"trace: {args.trace} "
+          f"({len(trace.step_records)} step records, "
+          f"{len(trace.reports)} switch reports)\n")
+    print(render_text(diagnosis, top_contributors=args.top))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments import figures
+
+    def show(rows) -> None:
+        if not rows:
+            print("(no rows)")
+            return
+        columns = list(rows[0])
+        print(" | ".join(columns))
+        for row in rows:
+            print(" | ".join(str(row.get(c)) for c in columns))
+
+    fig_id = args.id
+    if fig_id == "9":
+        show(figures.fig9_precision_recall(args.cases, args.scale))
+    elif fig_id == "10":
+        show(figures.fig10_overhead(args.cases, args.scale))
+    elif fig_id == "11":
+        show(figures.fig11_host_overhead(scale=args.scale))
+    elif fig_id == "12":
+        show(figures.fig12_param_sweep(args.cases, args.scale))
+    elif fig_id == "13a":
+        show(figures.fig13a_threshold_ablation(args.cases, args.scale))
+    elif fig_id == "13b":
+        show(figures.fig13b_count_ablation(args.cases, args.scale))
+    elif fig_id == "14":
+        out = figures.fig14_case_study(scale=args.scale)
+        for key in ("collective_ms", "critical_path", "findings",
+                    "bf_scores"):
+            print(f"{key}: {out[key]}")
+    return 0
+
+
+COMMANDS = {
+    "scenarios": cmd_scenarios,
+    "topology": cmd_topology,
+    "run-scenario": cmd_run_scenario,
+    "diagnose": cmd_diagnose,
+    "figure": cmd_figure,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""Halving-and-Doubling collective schedules (Fig. 1b, Thakur et al.).
+
+Nodes pair up at power-of-two distances.  For reduce-scatter the
+distance *halves* each step and so does the data volume; for allgather
+the distance *doubles* and the volume doubles.  The destination of a
+node's flow therefore changes every step — the paper's canonical example
+of why fixed, flow-agnostic RTT thresholds (Hawkeye) break down.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.collective.primitives import (
+    CollectiveOp,
+    SendStep,
+    StepSchedule,
+    validate_schedule,
+)
+
+
+def _require_power_of_two(nodes: Sequence[str]) -> int:
+    n = len(nodes)
+    if n < 2 or n & (n - 1):
+        raise ValueError(
+            f"halving-and-doubling needs a power-of-two node count, got {n}")
+    if len(set(nodes)) != n:
+        raise ValueError("nodes must be distinct")
+    return n
+
+
+def _hd_steps(nodes: Sequence[str], distances: list[int],
+              sizes: list[int], algorithm: str,
+              op: CollectiveOp) -> StepSchedule:
+    schedule = StepSchedule(algorithm=algorithm, op=op, nodes=list(nodes))
+    for i, node in enumerate(nodes):
+        steps = []
+        for j, (dist, size) in enumerate(zip(distances, sizes)):
+            partner = nodes[i ^ dist]
+            depends = None
+            if j >= 1:
+                prev_partner = nodes[i ^ distances[j - 1]]
+                depends = (prev_partner, j - 1)
+            steps.append(SendStep(
+                node=node,
+                step_index=j,
+                peer=partner,
+                chunk_id=(i ^ dist) ^ (dist - 1 if dist > 1 else 0),
+                size_bytes=size,
+                depends_on=depends,
+            ))
+        schedule.steps[node] = steps
+    validate_schedule(schedule)
+    return schedule
+
+
+def halving_doubling_reduce_scatter(nodes: Sequence[str],
+                                    message_bytes: int) -> StepSchedule:
+    """log2(N) steps; step j exchanges message_bytes / 2^(j+1) with the
+    partner at distance N / 2^(j+1)."""
+    n = _require_power_of_two(nodes)
+    distances, sizes = [], []
+    dist, size = n // 2, message_bytes // 2
+    while dist >= 1:
+        distances.append(dist)
+        sizes.append(max(1, size))
+        dist //= 2
+        size //= 2
+    return _hd_steps(nodes, distances, sizes, "halving-doubling",
+                     CollectiveOp.REDUCE_SCATTER)
+
+
+def halving_doubling_allgather(nodes: Sequence[str],
+                               message_bytes: int) -> StepSchedule:
+    """log2(N) steps; distances double and so do the exchanged sizes."""
+    n = _require_power_of_two(nodes)
+    distances, sizes = [], []
+    dist, size = 1, max(1, message_bytes // n)
+    while dist < n:
+        distances.append(dist)
+        sizes.append(max(1, size))
+        dist *= 2
+        size *= 2
+    return _hd_steps(nodes, distances, sizes, "halving-doubling",
+                     CollectiveOp.ALLGATHER)
+
+
+def halving_doubling_allreduce(nodes: Sequence[str],
+                               message_bytes: int) -> StepSchedule:
+    """Reduce-scatter phase then allgather phase, 2*log2(N) steps."""
+    n = _require_power_of_two(nodes)
+    rs_dist, rs_size = [], []
+    dist, size = n // 2, message_bytes // 2
+    while dist >= 1:
+        rs_dist.append(dist)
+        rs_size.append(max(1, size))
+        dist //= 2
+        size //= 2
+    ag_dist, ag_size = [], []
+    dist, size = 1, max(1, message_bytes // n)
+    while dist < n:
+        ag_dist.append(dist)
+        ag_size.append(max(1, size))
+        dist *= 2
+        size *= 2
+    return _hd_steps(nodes, rs_dist + ag_dist, rs_size + ag_size,
+                     "halving-doubling", CollectiveOp.ALLREDUCE)

@@ -1,0 +1,76 @@
+"""Ring collective schedules (Fig. 1a).
+
+In a ring over nodes ``n_0 .. n_{N-1}``, node ``i`` always sends to node
+``(i+1) mod N``.  At step ``j`` it forwards chunk ``(i - j) mod N``; for
+``j >= 1`` that chunk arrived from node ``(i-1) mod N`` during step
+``j-1`` — the data dependency that becomes a blue edge in the waiting
+graph (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.collective.primitives import (
+    CollectiveOp,
+    SendStep,
+    StepSchedule,
+    validate_schedule,
+)
+
+
+def _ring_schedule(nodes: Sequence[str], chunk_bytes: int, num_steps: int,
+                   algorithm: str, op: CollectiveOp) -> StepSchedule:
+    if len(nodes) < 2:
+        raise ValueError("ring needs at least two nodes")
+    if len(set(nodes)) != len(nodes):
+        raise ValueError("ring nodes must be distinct")
+    n = len(nodes)
+    schedule = StepSchedule(algorithm=algorithm, op=op, nodes=list(nodes))
+    for i, node in enumerate(nodes):
+        successor = nodes[(i + 1) % n]
+        predecessor = nodes[(i - 1) % n]
+        steps = []
+        for j in range(num_steps):
+            depends: Optional[tuple[str, int]] = None
+            if j >= 1:
+                depends = (predecessor, j - 1)
+            steps.append(SendStep(
+                node=node,
+                step_index=j,
+                peer=successor,
+                chunk_id=(i - j) % n,
+                size_bytes=chunk_bytes,
+                depends_on=depends,
+            ))
+        schedule.steps[node] = steps
+    validate_schedule(schedule)
+    return schedule
+
+
+def ring_allgather(nodes: Sequence[str], chunk_bytes: int) -> StepSchedule:
+    """AllGather: N-1 steps, every node ends with all N chunks.
+
+    ``chunk_bytes`` is the per-step flow size (the paper's workload uses
+    360 MB per flow, §IV-A).
+    """
+    return _ring_schedule(nodes, chunk_bytes, len(nodes) - 1,
+                          "ring", CollectiveOp.ALLGATHER)
+
+
+def ring_reduce_scatter(nodes: Sequence[str],
+                        chunk_bytes: int) -> StepSchedule:
+    """ReduceScatter: N-1 steps, node ``i`` ends with the full reduction
+    of chunk ``(i+1) mod N``."""
+    return _ring_schedule(nodes, chunk_bytes, len(nodes) - 1,
+                          "ring", CollectiveOp.REDUCE_SCATTER)
+
+
+def ring_allreduce(nodes: Sequence[str], chunk_bytes: int) -> StepSchedule:
+    """AllReduce as reduce-scatter followed by allgather: 2(N-1) steps
+    with one unbroken dependency chain."""
+    n = len(nodes)
+    schedule = _ring_schedule(nodes, chunk_bytes, 2 * (n - 1),
+                              "ring", CollectiveOp.ALLREDUCE)
+    validate_schedule(schedule)
+    return schedule

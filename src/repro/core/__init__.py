@@ -1,0 +1,66 @@
+"""Vedrfolnir core: the paper's primary contribution.
+
+* :mod:`repro.core.waiting_graph` — the per-step waiting graph (§III-B),
+  its pruning and critical-path analysis.
+* :mod:`repro.core.monitor` — host-side performance monitoring with
+  SSQ/RSQ waiting-state awareness (§III-C1, Table I).
+* :mod:`repro.core.detection` — step-aware adaptive anomaly detection:
+  per-step RTT thresholds, budgeted triggers, notification packets that
+  transfer detection opportunities (§III-C2, Figs. 5-8).
+* :mod:`repro.core.provenance` — network provenance graphs with
+  flow→port, port→flow and port→port (PFC causality) edges (§III-D1).
+* :mod:`repro.core.diagnosis` — anomaly signatures and breakdown
+  (§III-D2).
+* :mod:`repro.core.rating` — contributor rating, Eqs. 1-3 (§III-D3).
+* :mod:`repro.core.analyzer` — the centralized analyzer tying it all
+  together into structured diagnostic results.
+* :mod:`repro.core.system` — :class:`VedrfolnirSystem`, the deployable
+  bundle (monitors + agents + analyzer) applications attach to a run.
+"""
+
+from repro.core.waiting_graph import WaitingGraph, WaitingVertex, EdgeKind
+from repro.core.monitor import HostMonitor, WaitingState
+from repro.core.detection import DetectionAgent, DetectionConfig
+from repro.core.provenance import ProvenanceGraph, build_provenance
+from repro.core.diagnosis import (
+    AnomalyType,
+    AnomalyFinding,
+    DiagnosisResult,
+    diagnose,
+)
+from repro.core.rating import (
+    contribution_to_port,
+    contribution_to_flow,
+    contribution_to_collective,
+)
+from repro.core.analyzer import VedrfolnirAnalyzer
+from repro.core.system import VedrfolnirSystem, VedrfolnirConfig
+from repro.core.incremental import IncrementalWaitingGraph
+from repro.core.replay import replay_pairwise_weights
+from repro.core.reports import render_json, render_text
+
+__all__ = [
+    "WaitingGraph",
+    "WaitingVertex",
+    "EdgeKind",
+    "HostMonitor",
+    "WaitingState",
+    "DetectionAgent",
+    "DetectionConfig",
+    "ProvenanceGraph",
+    "build_provenance",
+    "AnomalyType",
+    "AnomalyFinding",
+    "DiagnosisResult",
+    "diagnose",
+    "contribution_to_port",
+    "contribution_to_flow",
+    "contribution_to_collective",
+    "VedrfolnirAnalyzer",
+    "VedrfolnirSystem",
+    "VedrfolnirConfig",
+    "IncrementalWaitingGraph",
+    "replay_pairwise_weights",
+    "render_text",
+    "render_json",
+]

@@ -1,0 +1,155 @@
+"""The centralized analyzer (§III-A, §III-D).
+
+Consumes the host monitors' step records and the switches' telemetry
+reports, then produces a structured diagnosis:
+
+1. build the waiting graph, compute the critical path and the
+   performance-bottleneck steps;
+2. build per-step and overall network provenance graphs from the
+   collected reports;
+3. run the signature detectors for the anomaly breakdown;
+4. rate contributor flows (Eqs. 1-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.collective.runtime import CollectiveRuntime, StepRecord
+from repro.core.diagnosis import DiagnosisResult, diagnose
+from repro.core.provenance import ProvenanceGraph, build_provenance
+from repro.core.rating import (
+    contribution_to_collective,
+    contribution_to_flow,
+)
+from repro.core.waiting_graph import CriticalPathEntry, WaitingGraph
+from repro.simnet.packet import FlowKey
+from repro.simnet.telemetry import SwitchReport
+
+
+@dataclass
+class VedrfolnirDiagnosis:
+    """The analyzer's structured output."""
+
+    waiting_graph: WaitingGraph
+    critical_path: list[CriticalPathEntry]
+    #: steps whose critical flow ran slower than slowdown_factor x ideal
+    bottleneck_steps: list[int]
+    provenance: ProvenanceGraph
+    step_provenance: dict[int, ProvenanceGraph]
+    result: DiagnosisResult
+    #: Eq. 3 score per non-collective flow
+    collective_scores: dict[FlowKey, float] = field(default_factory=dict)
+    #: Eq. 2 score of each background flow against each critical flow
+    per_flow_scores: dict[tuple[FlowKey, FlowKey], float] = field(
+        default_factory=dict)
+
+    @property
+    def detected_flows(self) -> set[FlowKey]:
+        return self.result.detected_flows
+
+    def top_contributors(self, n: int = 5) -> list[tuple[FlowKey, float]]:
+        ranked = sorted(self.collective_scores.items(),
+                        key=lambda kv: -kv[1])
+        return ranked[:n]
+
+    def summary(self) -> str:
+        """Operator-facing text summary."""
+        lines = [
+            f"collective steps analysed: {len(self.waiting_graph.records)}",
+            f"critical path length: {len(self.critical_path)} steps",
+            f"bottleneck steps: {self.bottleneck_steps}",
+            f"findings: {len(self.result.findings)}",
+        ]
+        for finding in self.result.findings:
+            lines.append(f"  - {finding.type.value}: {finding.detail}")
+        for flow, score in self.top_contributors():
+            lines.append(f"  contributor {flow.short()}: {score:,.0f}")
+        return "\n".join(lines)
+
+
+class VedrfolnirAnalyzer:
+    """Collects monitoring data and produces diagnoses."""
+
+    def __init__(self, pfc_xoff_bytes: int,
+                 slowdown_factor: float = 1.5) -> None:
+        self.pfc_xoff_bytes = pfc_xoff_bytes
+        self.slowdown_factor = slowdown_factor
+        self.step_records: list[StepRecord] = []
+        self.reports: list[SwitchReport] = []
+
+    # data ingestion -----------------------------------------------------
+    def add_step_record(self, record: StepRecord) -> None:
+        self.step_records.append(record)
+
+    def add_report(self, report: SwitchReport) -> None:
+        self.reports.append(report)
+
+    # analysis -----------------------------------------------------------
+    def analyze(self, runtime: CollectiveRuntime) -> VedrfolnirDiagnosis:
+        waiting = WaitingGraph(runtime.schedule, self.step_records,
+                               mode="binding")
+        critical_path = waiting.critical_path()
+
+        exec_times = waiting.step_execution_times()
+        expect_times: dict[int, float] = {}
+        critical_nodes = waiting.critical_flows_by_step()
+        critical_flow_keys: dict[int, FlowKey] = {}
+        for idx, node in critical_nodes.items():
+            step = runtime.schedule.step(node, idx)
+            expect_times[idx] = runtime.expected_step_time_ns(step)
+            key = runtime.flow_keys.get((node, idx))
+            if key is not None:
+                critical_flow_keys[idx] = key
+        bottlenecks = [idx for idx, t in exec_times.items()
+                       if t > self.slowdown_factor
+                       * expect_times.get(idx, float("inf"))]
+        bottlenecks.sort()
+
+        cf_keys = runtime.collective_flow_keys
+        overall = build_provenance(self.reports, cf_keys,
+                                   self.pfc_xoff_bytes)
+        step_graphs = self._per_step_graphs(runtime, cf_keys)
+        result = diagnose(overall)
+
+        per_flow_scores: dict[tuple[FlowKey, FlowKey], float] = {}
+        collective_scores: dict[FlowKey, float] = {}
+        for flow in sorted(overall.background_flows(),
+                           key=lambda f: f.short()):
+            for idx, cf in critical_flow_keys.items():
+                graph = step_graphs.get(idx, overall)
+                per_flow_scores[(flow, cf)] = contribution_to_flow(
+                    graph, flow, cf)
+            collective_scores[flow] = contribution_to_collective(
+                flow, step_graphs or {0: overall}, critical_flow_keys,
+                exec_times, expect_times)
+
+        return VedrfolnirDiagnosis(
+            waiting_graph=waiting,
+            critical_path=critical_path,
+            bottleneck_steps=bottlenecks,
+            provenance=overall,
+            step_provenance=step_graphs,
+            result=result,
+            collective_scores=collective_scores,
+            per_flow_scores=per_flow_scores,
+        )
+
+    def _per_step_graphs(self, runtime: CollectiveRuntime,
+                         cf_keys: set[FlowKey]
+                         ) -> dict[int, ProvenanceGraph]:
+        """Slice reports into per-step provenance graphs by timestamp."""
+        windows: dict[int, list[float]] = {}
+        for record in self.step_records:
+            window = windows.setdefault(record.step_index,
+                                        [record.start_time,
+                                         record.end_time])
+            window[0] = min(window[0], record.start_time)
+            window[1] = max(window[1], record.end_time)
+        graphs: dict[int, ProvenanceGraph] = {}
+        for idx, (start, end) in windows.items():
+            step_reports = [r for r in self.reports
+                            if start <= r.time <= end]
+            if step_reports:
+                graphs[idx] = build_provenance(
+                    step_reports, cf_keys, self.pfc_xoff_bytes)
+        return graphs

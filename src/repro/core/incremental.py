@@ -1,0 +1,130 @@
+"""Incremental waiting-graph construction (§III-D1).
+
+The paper's analyzer does not wait for the collective to finish: it
+"queues the collected data entries in order of their completion time and
+constructs the waiting graph sequentially according to the queue order",
+and "upon determining that a node is not being waited for (i.e., has an
+in-degree of zero), the analyzer can recursively prune nodes with an
+in-degree of zero" to bound memory.
+
+:class:`IncrementalWaitingGraph` implements exactly that: records are
+ingested one at a time (out-of-order submission is buffered and replayed
+in completion-time order), the binding-mode edges are added on the fly,
+and periodic pruning discards vertices that can no longer appear on the
+critical path.  At any moment :meth:`snapshot` yields a regular
+:class:`~repro.core.waiting_graph.WaitingGraph` over the retained
+records, and the final critical path equals the batch-built one (tested
+property).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional
+
+from repro.collective.primitives import StepSchedule
+from repro.collective.runtime import StepRecord
+from repro.core.waiting_graph import CriticalPathEntry, WaitingGraph
+
+
+class IncrementalWaitingGraph:
+    """Streaming construction of the waiting graph.
+
+    ``prune_interval`` controls how often (in ingested records) the
+    in-degree-zero prune runs; pruning never removes a record that is
+    still waited on by a not-yet-complete step, nor the current latest
+    end (the live critical-path anchor).
+    """
+
+    def __init__(self, schedule: StepSchedule,
+                 prune_interval: int = 16) -> None:
+        self.schedule = schedule
+        self.prune_interval = prune_interval
+        self.records: dict[tuple[str, int], StepRecord] = {}
+        self._buffer: list[tuple[float, int, StepRecord]] = []
+        self._tie = itertools.count()
+        self._ingested = 0
+        self.pruned_total = 0
+        #: steps whose records a future step still needs (reverse deps)
+        self._expected = {(s.node, s.step_index)
+                          for s in schedule.all_steps()}
+
+    # ------------------------------------------------------------------
+    def submit(self, record: StepRecord) -> None:
+        """Queue a record; ingestion happens in completion-time order."""
+        heapq.heappush(self._buffer,
+                       (record.end_time, next(self._tie), record))
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._buffer:
+            _, _, record = heapq.heappop(self._buffer)
+            self._ingest(record)
+
+    def _ingest(self, record: StepRecord) -> None:
+        key = (record.node, record.step_index)
+        self.records[key] = record
+        self._expected.discard(key)
+        self._ingested += 1
+        if self.prune_interval > 0 \
+                and self._ingested % self.prune_interval == 0:
+            self.prune()
+
+    # ------------------------------------------------------------------
+    def _still_needed(self) -> set[tuple[str, int]]:
+        """Records that a not-yet-ingested step may still wait on."""
+        needed: set[tuple[str, int]] = set()
+        for pending in self._expected:
+            node, idx = pending
+            if idx > 0:
+                needed.add((node, idx - 1))
+            step = self.schedule.step(node, idx)
+            if step.depends_on is not None:
+                needed.add(step.depends_on)
+        return needed
+
+    def prune(self) -> int:
+        """Drop records whose vertices are not waited for by anything
+        retained or pending.  Returns the number of records dropped."""
+        if not self.records:
+            return 0
+        keep_keys = self._still_needed()
+        anchor = max(self.records,
+                     key=lambda k: self.records[k].end_time)
+        # records referenced by retained records' binding predecessors
+        # form the live critical chain; walk it from the anchor
+        chain: set[tuple[str, int]] = set()
+        graph = WaitingGraph(self.schedule, self.records.values())
+        key: Optional[tuple[str, int]] = anchor
+        while key is not None and key not in chain:
+            chain.add(key)
+            key = graph._predecessor_of(self.records[key])
+        # waited-on by a retained in-degree sense: any record that a
+        # retained record's structural edges point at
+        waited: set[tuple[str, int]] = set()
+        for (node, idx) in self.records:
+            if idx > 0:
+                waited.add((node, idx - 1))
+            step = self.schedule.step(node, idx)
+            if step.depends_on is not None:
+                waited.add(step.depends_on)
+        retain = (keep_keys | chain | waited) & set(self.records)
+        retain.add(anchor)
+        doomed = set(self.records) - retain
+        for key in doomed:
+            del self.records[key]
+        self.pruned_total += len(doomed)
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    @property
+    def retained(self) -> int:
+        return len(self.records)
+
+    def snapshot(self) -> WaitingGraph:
+        """A regular waiting graph over the retained records."""
+        return WaitingGraph(self.schedule, self.records.values())
+
+    def critical_path(self) -> list[CriticalPathEntry]:
+        return self.snapshot().critical_path()

@@ -1,0 +1,254 @@
+"""Network provenance graphs (§III-D1).
+
+Built from the switch telemetry reports a detection burst collected.
+Vertices are flows and ports; edges carry the paper's three weight
+definitions:
+
+* ``e(f, p)`` — flow waits at port; weight
+  ``w(f_i, p) = Σ_{j≠i} w(f_i, f_j)`` where ``w(f_i, f_j)`` is the
+  packets-ahead count telemetry accumulated at enqueue time;
+* ``e(p, f)`` — flow's contribution to port congestion; weight
+  ``w(p, f_i) = pkt_num(f_i) / pkt_num(p) × qdepth(p)``;
+* ``e(p_i, p_j)`` — PFC causality (upstream egress ``p_i`` halted by
+  downstream egress ``p_j``); weight = the share of ``p_j``'s window
+  traffic that arrived over the paused link,
+  ``meter(p_i, p_j) / Σ_k meter(p_k, p_j)``.
+
+The graph also carries *ungrounded pause* evidence: PAUSE frames whose
+sender-side ingress occupancy was below the XOFF threshold at emission —
+the storm signature (a buggy port pausing without congestion pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.simnet.packet import FlowKey
+from repro.simnet.pfc import PauseEvent, PortRef
+from repro.simnet.telemetry import SwitchReport
+
+
+@dataclass
+class ProvenanceGraph:
+    """Flow/port provenance over one collection of reports."""
+
+    collective_flows: set[FlowKey] = field(default_factory=set)
+    flows: set[FlowKey] = field(default_factory=set)
+    ports: set[PortRef] = field(default_factory=set)
+    #: e(f, p) weights
+    flow_port: dict[tuple[FlowKey, PortRef], float] = field(
+        default_factory=dict)
+    #: e(p, f) weights
+    port_flow: dict[tuple[PortRef, FlowKey], float] = field(
+        default_factory=dict)
+    #: e(p_i, p_j) weights
+    port_port: dict[tuple[PortRef, PortRef], float] = field(
+        default_factory=dict)
+    #: per-port pairwise waiting weights w_p(f_i, f_j)
+    pairwise: dict[tuple[PortRef, FlowKey, FlowKey], float] = field(
+        default_factory=dict)
+    qdepth: dict[PortRef, int] = field(default_factory=dict)
+    paused_ports: set[PortRef] = field(default_factory=set)
+    #: ports that emitted PAUSE without buffer justification (storms)
+    ungrounded_pause_sources: set[PortRef] = field(default_factory=set)
+    #: every pause event observed, newest last
+    pause_events: list[PauseEvent] = field(default_factory=list)
+    #: flows with TTL-expiry drops (forwarding-loop evidence)
+    ttl_drop_flows: set[FlowKey] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # queries used by diagnosis and rating
+    # ------------------------------------------------------------------
+    def ports_of_flow(self, flow: FlowKey) -> list[PortRef]:
+        """Ports the flow waits at (its e(f,p) neighbors)."""
+        return [p for (f, p) in self.flow_port if f == flow]
+
+    def flows_at_port(self, port: PortRef) -> list[FlowKey]:
+        """Flows contributing to the port's congestion (e(p,f))."""
+        return [f for (p, f) in self.port_flow if p == port]
+
+    def waiting_flows_at_port(self, port: PortRef) -> list[FlowKey]:
+        """Flows that wait at the port (e(f,p))."""
+        return [f for (f, p) in self.flow_port if p == port]
+
+    def downstream_ports(self, port: PortRef) -> list[PortRef]:
+        """PFC causes: ports this port waits on (e(p_i, p_j) targets)."""
+        return [pj for (pi, pj) in self.port_port if pi == port]
+
+    def pairwise_weight(self, port: PortRef, fi: FlowKey,
+                        fj: FlowKey) -> float:
+        return self.pairwise.get((port, fi, fj), 0.0)
+
+    def flow_pair_weight(self, fi: FlowKey, fj: FlowKey) -> float:
+        """w(f_i, f_j) summed over all ports (the replay-derived
+        quantity of Eq. 2)."""
+        return sum(w for (p, a, b), w in self.pairwise.items()
+                   if a == fi and b == fj)
+
+    def background_flows(self) -> set[FlowKey]:
+        return self.flows - self.collective_flows
+
+    def port_port_cycles(self) -> list[list[PortRef]]:
+        """Cycles in the PFC-causality edges — the deadlock signature."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_edges_from(self.port_port.keys())
+        return [list(cycle) for cycle in nx.simple_cycles(graph)]
+
+    def connected_component_from_cf(self) -> set:
+        """Vertices reachable (undirected) from the collective flows —
+        §III-D3's 'largest connected subgraph' evaluation scope."""
+        adjacency: dict = {}
+
+        def link(a, b):
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+
+        for (f, p) in self.flow_port:
+            link(("flow", f), ("port", p))
+        for (p, f) in self.port_flow:
+            link(("port", p), ("flow", f))
+        for (pi, pj) in self.port_port:
+            link(("port", pi), ("port", pj))
+        seen: set = set()
+        stack = [("flow", cf) for cf in self.collective_flows
+                 if ("flow", cf) in adjacency]
+        while stack:
+            vertex = stack.pop()
+            if vertex in seen:
+                continue
+            seen.add(vertex)
+            stack.extend(adjacency.get(vertex, ()))
+        return seen
+
+
+def build_provenance(reports: Iterable[SwitchReport],
+                     collective_flows: Iterable[FlowKey],
+                     pfc_xoff_bytes: int,
+                     window_start: Optional[float] = None
+                     ) -> ProvenanceGraph:
+    """Assemble the provenance graph from a set of switch reports.
+
+    Duplicate telemetry (the same port reported by several polls in one
+    burst) is merged by taking the maximum weight per edge, so repeated
+    polling never double-counts congestion.
+
+    ``window_start`` optionally discards telemetry older than the
+    anomaly window.
+    """
+    graph = ProvenanceGraph(collective_flows=set(collective_flows))
+    #: (switch, ingress, egress) -> bytes, for port-port weights
+    meters: dict[tuple[str, int, int], float] = {}
+    seen_pauses: set[tuple] = set()
+    #: flows observed transiting each reported port within the window
+    port_window_flows: dict[PortRef, set[FlowKey]] = {}
+
+    for report in reports:
+        if window_start is not None and report.time < window_start:
+            continue
+        switch = report.switch_id
+        for entry in report.ports:
+            port = PortRef(switch, entry.port)
+            graph.ports.add(port)
+            graph.qdepth[port] = max(graph.qdepth.get(port, 0),
+                                     entry.qdepth_pkts)
+            if entry.paused:
+                graph.paused_ports.add(port)
+            for (fi, fj), weight in entry.wait_weights.items():
+                key = (port, fi, fj)
+                graph.pairwise[key] = max(graph.pairwise.get(key, 0.0),
+                                          weight)
+                graph.flows.update((fi, fj))
+            total_pkts = entry.total_window_pkts()
+            for flow, count in entry.flow_pkts.items():
+                graph.flows.add(flow)
+                if total_pkts > 0 and entry.qdepth_pkts > 0:
+                    weight = count / total_pkts * entry.qdepth_pkts
+                    key = (port, flow)
+                    graph.port_flow[key] = max(
+                        graph.port_flow.get(key, 0.0), weight)
+            # e(f, p): a flow waits at the port if other traffic queued
+            # ahead of it, if its packets sit in the queue, or if the
+            # port is paused while the flow transits it
+            port_window_flows.setdefault(port, set()).update(
+                entry.flow_pkts)
+            waiting_candidates = set(entry.inqueue_flow_pkts)
+            waiting_candidates.update(
+                fi for (fi, _fj) in entry.wait_weights)
+            if entry.paused:
+                waiting_candidates.update(entry.flow_pkts)
+            for flow in waiting_candidates:
+                graph.flows.add(flow)
+                weight = sum(w for (fi, _fj), w
+                             in entry.wait_weights.items() if fi == flow)
+                key = (flow, port)
+                graph.flow_port[key] = max(
+                    graph.flow_port.get(key, 0.0), weight)
+        for (inp, out), value in report.port_meters.items():
+            key = (switch, inp, out)
+            meters[key] = max(meters.get(key, 0.0), value)
+        for pause in report.pause_received + report.pause_sent:
+            dedup = (pause.time, str(pause.sender), str(pause.victim))
+            if dedup in seen_pauses:
+                continue
+            seen_pauses.add(dedup)
+            if window_start is not None and pause.time < window_start:
+                continue
+            graph.pause_events.append(pause)
+            if pause.buffer_bytes_at_send < pfc_xoff_bytes:
+                graph.ungrounded_pause_sources.add(pause.sender)
+        for flow in report.ttl_drops:
+            graph.ttl_drop_flows.add(flow)
+            graph.flows.add(flow)
+
+    graph.pause_events.sort(key=lambda e: e.time)
+    _attach_pause_victims(graph, port_window_flows)
+    _build_port_port_edges(graph, meters)
+    return graph
+
+
+def _attach_pause_victims(graph: ProvenanceGraph,
+                          port_window_flows: dict[PortRef, set[FlowKey]]
+                          ) -> None:
+    """Give flows halted by PFC an e(f, p) edge at the victim port.
+
+    A pause's victim may be a port whose queue had drained by report
+    time (no live in-queue entries), or a host NIC (hosts report no
+    telemetry at all).  Both still block the flows transiting them:
+    flows observed at the port within the telemetry window, and — for a
+    host-side victim — every flow originating at that host.
+    """
+    all_flows = graph.flows | graph.collective_flows
+    for pause in graph.pause_events:
+        victim = pause.victim
+        graph.ports.add(victim)
+        blocked = set(port_window_flows.get(victim, ()))
+        blocked.update(f for f in all_flows if f.src == victim.node)
+        for flow in blocked:
+            graph.flows.add(flow)
+            graph.flow_port.setdefault((flow, victim), 0.0)
+
+
+def _build_port_port_edges(graph: ProvenanceGraph,
+                           meters: dict[tuple[str, int, int], float]) -> None:
+    """Turn pause causality + traffic meters into weighted e(p_i, p_j)."""
+    for pause in graph.pause_events:
+        upstream = pause.victim           # halted egress on switch A
+        sender_switch = pause.sender.node  # switch B that sent the PAUSE
+        ingress = pause.sender.port        # B's ingress from A
+        graph.ports.add(upstream)
+        fed = [(out, value) for (sw, inp, out), value in meters.items()
+               if sw == sender_switch and inp == ingress and value > 0]
+        for out, value in fed:
+            downstream = PortRef(sender_switch, out)
+            denominator = sum(v for (sw, _inp, o), v in meters.items()
+                              if sw == sender_switch and o == out)
+            if denominator <= 0:
+                continue
+            weight = value / denominator
+            key = (upstream, downstream)
+            graph.port_port[key] = max(graph.port_port.get(key, 0.0),
+                                       weight)
+            graph.ports.add(downstream)

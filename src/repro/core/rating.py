@@ -1,0 +1,105 @@
+"""Contributor rating (§III-D3, Eqs. 1-3).
+
+Quantifies how much each non-collective flow contributed to the slowdown
+of a collective flow (Eq. 2) and of the whole collective (Eq. 3), so an
+operator knows which background traffic to act on first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.provenance import ProvenanceGraph
+from repro.simnet.packet import FlowKey
+from repro.simnet.pfc import PortRef
+
+
+def contribution_to_port(graph: ProvenanceGraph, flow: FlowKey,
+                         port: PortRef,
+                         _memo: Optional[dict] = None,
+                         _visiting: Optional[set] = None) -> float:
+    """Eq. 1: R(f_i, p_j) = w(p_j, f_i) + Σ R(f_i, p_k) * w(p_j, p_k)
+    over PFC-causality edges e(p_j, p_k).
+
+    Computed by memoized traversal along the direction of being waited
+    for; cycles (PFC deadlock) contribute only their local term.
+    """
+    memo = _memo if _memo is not None else {}
+    visiting = _visiting if _visiting is not None else set()
+    key = (flow, port)
+    if key in memo:
+        return memo[key]
+    local = graph.port_flow.get((port, flow), 0.0)
+    if port in visiting:       # cycle guard
+        return local
+    visiting.add(port)
+    total = local
+    for downstream in graph.downstream_ports(port):
+        weight = graph.port_port[(port, downstream)]
+        total += weight * contribution_to_port(
+            graph, flow, downstream, memo, visiting)
+    visiting.discard(port)
+    memo[key] = total
+    return total
+
+
+def contribution_to_flow(graph: ProvenanceGraph, flow: FlowKey,
+                         cf: FlowKey) -> float:
+    """Eq. 2: contribution of ``flow`` to collective flow ``cf``.
+
+    Over cf's neighboring ports P_cf: when ``flow`` and ``cf`` directly
+    contend at p_k (indicator), the direct impact is the pairwise
+    queueing-ahead weight w(cf, f_i) instead of the port-level
+    w(p_k, f_i); the transitive impact R(f_i, p_k) is always added.
+    """
+    if flow == cf:
+        return 0.0
+    memo: dict = {}
+    total = 0.0
+    for port in graph.ports_of_flow(cf):
+        transitive = contribution_to_port(graph, flow, port, memo)
+        total += transitive
+        if (flow, port) in graph.flow_port:   # I(e(f_i, p_k) ∈ E)
+            w_cf_fi = graph.pairwise_weight(port, cf, flow)
+            w_pk_fi = graph.port_flow.get((port, flow), 0.0)
+            total += w_cf_fi - w_pk_fi
+    return total
+
+
+def contribution_to_collective(
+        flow: FlowKey,
+        step_graphs: dict[int, ProvenanceGraph],
+        critical_flow_keys: dict[int, FlowKey],
+        exec_times: dict[int, float],
+        expect_times: dict[int, float]) -> float:
+    """Eq. 3: weight per-step contributions by each step's share of the
+    total excess execution time.
+
+    ``critical_flow_keys[i]`` is cf_i, the critical flow of step ``i``;
+    steps that ran no slower than expected get zero weight.
+    """
+    excess = {i: max(0.0, exec_times.get(i, 0.0) - expect_times.get(i, 0.0))
+              for i in step_graphs}
+    denominator = sum(excess.values())
+    if denominator <= 0:
+        return 0.0
+    total = 0.0
+    for i, graph in step_graphs.items():
+        cf_i = critical_flow_keys.get(i)
+        if cf_i is None or excess[i] <= 0:
+            continue
+        score = contribution_to_flow(graph, flow, cf_i)
+        total += score * excess[i] / denominator
+    return total
+
+
+def rate_contributors(graph: ProvenanceGraph,
+                      cf: FlowKey) -> dict[FlowKey, float]:
+    """Eq. 2 for every non-collective flow in the CF-connected component,
+    sorted descending — the operator-facing ranking."""
+    component = graph.connected_component_from_cf()
+    candidates = {f for kind, f in component
+                  if kind == "flow" and f not in graph.collective_flows}
+    scores = {flow: contribution_to_flow(graph, flow, cf)
+              for flow in candidates}
+    return dict(sorted(scores.items(), key=lambda kv: -kv[1]))

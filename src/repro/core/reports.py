@@ -1,0 +1,143 @@
+"""Operator-facing diagnostic reports.
+
+:class:`VedrfolnirDiagnosis` is a programmatic result; operators want a
+document.  :func:`render_text` produces a sectioned plain-text report
+(summary, bottleneck analysis, anomaly breakdown, contributor ranking,
+recommended actions), and :func:`render_json` a stable JSON structure
+for dashboards/ticketing integrations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.core.analyzer import VedrfolnirDiagnosis
+from repro.core.diagnosis import AnomalyType
+from repro.viz import format_critical_path
+
+#: per anomaly type: what a NOC runbook would say
+RECOMMENDED_ACTIONS = {
+    AnomalyType.FLOW_CONTENTION:
+        "rate-limit or reschedule the top contributing background flows",
+    AnomalyType.INCAST:
+        "stagger the senders targeting the hot destination or enable "
+        "deeper ECN marking at its ToR",
+    AnomalyType.PFC_BACKPRESSURE:
+        "relieve the congestion root port; consider ECN thresholds "
+        "below PFC XOFF on that path",
+    AnomalyType.PFC_STORM:
+        "isolate the storm port immediately (disable PFC on it or take "
+        "the link down); suspect NIC/switch firmware",
+    AnomalyType.FORWARDING_LOOP:
+        "audit recent routing reconfigurations; the loop self-heals "
+        "only when routes converge",
+    AnomalyType.PFC_DEADLOCK:
+        "break the cycle by resetting one port's pause state; audit "
+        "up-down routing compliance",
+    AnomalyType.LOAD_IMBALANCE:
+        "rehash/repath the converged flows (ECMP seed or explicit "
+        "path control)",
+}
+
+
+def render_text(diagnosis: VedrfolnirDiagnosis,
+                title: str = "Vedrfolnir diagnostic report",
+                top_contributors: int = 5) -> str:
+    """A complete plain-text report."""
+    lines = [title, "=" * len(title), ""]
+
+    graph = diagnosis.waiting_graph
+    total_ms = graph.total_time_ns() / 1e6
+    lines.append(f"collective: {graph.schedule.algorithm} "
+                 f"{graph.schedule.op.value}, "
+                 f"{len(graph.schedule.nodes)} nodes, "
+                 f"{len(graph.records)} steps recorded, "
+                 f"{total_ms:.3f} ms total")
+    lines.append("")
+
+    lines.append("performance bottleneck")
+    lines.append("-" * 22)
+    if diagnosis.bottleneck_steps:
+        lines.append(f"slow steps: {diagnosis.bottleneck_steps}")
+    else:
+        lines.append("no step ran significantly over its ideal time")
+    lines.append("critical path:")
+    lines.append(format_critical_path(diagnosis.critical_path))
+    lines.append("")
+
+    lines.append("anomaly breakdown")
+    lines.append("-" * 17)
+    if not diagnosis.result.findings:
+        lines.append("no network anomalies diagnosed")
+    seen_actions = []
+    for finding in diagnosis.result.findings:
+        lines.append(f"* {finding.type.value}: {finding.detail}")
+        if finding.root_ports:
+            lines.append("    root port(s): "
+                         + ", ".join(map(str, finding.root_ports)))
+        if finding.culprit_flows:
+            culprits = sorted(f.short() for f in finding.culprit_flows)
+            lines.append(f"    culprit flows: {', '.join(culprits)}")
+        action = RECOMMENDED_ACTIONS.get(finding.type)
+        if action and action not in seen_actions:
+            seen_actions.append(action)
+    lines.append("")
+
+    ranked = diagnosis.top_contributors(top_contributors)
+    if ranked:
+        lines.append("contributor ranking (Eq. 3)")
+        lines.append("-" * 27)
+        for flow, score in ranked:
+            lines.append(f"  {flow.short():<32} {score:14,.0f}")
+        lines.append("")
+
+    if seen_actions:
+        lines.append("recommended actions")
+        lines.append("-" * 19)
+        for i, action in enumerate(seen_actions, 1):
+            lines.append(f"{i}. {action}")
+    return "\n".join(lines)
+
+
+def render_json(diagnosis: VedrfolnirDiagnosis,
+                top_contributors: int = 10,
+                indent: Optional[int] = None) -> str:
+    """A machine-readable report."""
+    graph = diagnosis.waiting_graph
+    payload = {
+        "collective": {
+            "algorithm": graph.schedule.algorithm,
+            "op": graph.schedule.op.value,
+            "nodes": graph.schedule.nodes,
+            "steps_recorded": len(graph.records),
+            "total_time_ns": graph.total_time_ns(),
+        },
+        "bottleneck_steps": diagnosis.bottleneck_steps,
+        "critical_path": [
+            {
+                "node": entry.node,
+                "step": entry.step_index,
+                "start_ns": entry.start_time,
+                "end_ns": entry.end_time,
+                "entered_via": entry.entered_via,
+            } for entry in diagnosis.critical_path],
+        "findings": [
+            {
+                "type": finding.type.value,
+                "detail": finding.detail,
+                "root_ports": [str(p) for p in finding.root_ports],
+                "victim_ports": [str(p) for p in finding.victim_ports],
+                "culprit_flows": sorted(
+                    f.short() for f in finding.culprit_flows),
+                "victim_flows": sorted(
+                    f.short() for f in finding.victim_flows),
+                "recommended_action":
+                    RECOMMENDED_ACTIONS.get(finding.type, ""),
+            } for finding in diagnosis.result.findings],
+        "contributors": [
+            {"flow": flow.short(), "score": score}
+            for flow, score in diagnosis.top_contributors(
+                top_contributors)],
+    }
+    return json.dumps(payload, indent=indent)

@@ -1,0 +1,55 @@
+"""Discrete-event, packet-level RDMA network simulator.
+
+``repro.simnet`` is the substrate on which the Vedrfolnir diagnosis system
+runs.  It models a RoCEv2-style lossless Ethernet fabric:
+
+* a deterministic discrete-event engine (:mod:`repro.simnet.engine`),
+* fat-tree and custom topologies (:mod:`repro.simnet.topology`),
+* ECMP routing with static overrides (:mod:`repro.simnet.routing`),
+* switches with per-priority egress queues, ingress PFC accounting and
+  ECN marking (:mod:`repro.simnet.switch`),
+* PFC pause/resume causality tracking (:mod:`repro.simnet.pfc`),
+* DCQCN congestion control with line-rate start
+  (:mod:`repro.simnet.dcqcn`),
+* RDMA-like message flows with pacing, windowing and per-packet ACKs
+  (:mod:`repro.simnet.flow`),
+* switch telemetry and polling-packet propagation
+  (:mod:`repro.simnet.telemetry`).
+"""
+
+from repro.simnet.engine import Simulator, Event
+from repro.simnet.packet import Packet, PacketKind, FlowKey, Priority
+from repro.simnet.topology import (
+    Topology,
+    NodeKind,
+    build_fat_tree,
+    build_dumbbell,
+    build_linear,
+)
+from repro.simnet.routing import EcmpRouting
+from repro.simnet.network import Network, NetworkConfig
+from repro.simnet.flow import RdmaFlow, FlowStats
+from repro.simnet.dcqcn import DcqcnConfig
+from repro.simnet.telemetry import TelemetryConfig, SwitchReport
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Packet",
+    "PacketKind",
+    "FlowKey",
+    "Priority",
+    "Topology",
+    "NodeKind",
+    "build_fat_tree",
+    "build_dumbbell",
+    "build_linear",
+    "EcmpRouting",
+    "Network",
+    "NetworkConfig",
+    "RdmaFlow",
+    "FlowStats",
+    "DcqcnConfig",
+    "TelemetryConfig",
+    "SwitchReport",
+]

@@ -1,0 +1,122 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic calendar-queue-on-a-binary-heap design: callers
+schedule callbacks at absolute or relative times, and :meth:`Simulator.run`
+pops them in timestamp order.  Ties are broken by insertion order, which
+makes every run bit-for-bit deterministic for a given seed and input.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    Events support cancellation; a cancelled event stays in the heap but is
+    skipped when popped (lazy deletion), which keeps cancel O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will never fire."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.1f}ns, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Event loop with a monotonically advancing clock in nanoseconds."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._stopped = False
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for perf accounting)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self.now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation time."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self.now}")
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def stop(self) -> None:
+        """Stop the run loop after the current callback returns."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` callbacks have executed.
+
+        Returns the simulation clock when the loop exits.  When ``until``
+        is given, the clock is advanced to ``until`` even if the heap
+        drained earlier, so back-to-back ``run(until=...)`` calls behave
+        like a continuous timeline.
+        """
+        self._stopped = False
+        heap = self._heap
+        while heap and not self._stopped:
+            event = heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            if max_events is not None and self._events_processed >= max_events:
+                break
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+        return self.now
+
+    def peek_next_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None if drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

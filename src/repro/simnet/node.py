@@ -1,0 +1,63 @@
+"""Base class shared by hosts and switches."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.simnet.packet import Packet
+from repro.simnet.pfc import PortRef
+from repro.simnet.port import EgressPort
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.network import Network
+
+
+class Node:
+    """A device with one egress port per attached link.
+
+    Port indices are assigned in wiring order by the network; the
+    ``neighbor_port`` map translates a neighbor's node id into the local
+    port index facing it (used for routing and PFC bookkeeping).
+    """
+
+    def __init__(self, network: "Network", node_id: str) -> None:
+        self.network = network
+        self.node_id = node_id
+        self.ports: dict[int, EgressPort] = {}
+        self.neighbor_port: dict[str, int] = {}
+        self.port_neighbor: dict[int, str] = {}
+
+    def attach_port(self, port: EgressPort, neighbor: str) -> None:
+        self.ports[port.port_id] = port
+        self.neighbor_port[neighbor] = port.port_id
+        self.port_neighbor[port.port_id] = neighbor
+
+    def port_toward(self, neighbor: str) -> EgressPort:
+        try:
+            return self.ports[self.neighbor_port[neighbor]]
+        except KeyError:
+            raise KeyError(
+                f"{self.node_id} has no port toward {neighbor}") from None
+
+    def port_ref(self, port_id: int) -> PortRef:
+        return PortRef(self.node_id, port_id)
+
+    # -- interface implemented by subclasses ---------------------------
+    def receive(self, packet: Packet, ingress_port: int) -> None:
+        raise NotImplementedError
+
+    def on_pause_frame(self, port_id: int, event) -> None:
+        """Default: pause the local egress port named by the frame."""
+        port = self.ports.get(port_id)
+        if port is not None:
+            port.pause(self.network.config.pause_quanta_ns)
+
+    def on_resume_frame(self, port_id: int, event) -> None:
+        port = self.ports.get(port_id)
+        if port is not None:
+            port.resume()
+
+    def pseudo_flow(self, dst: str) -> "object":
+        """A throwaway flow key for routing flowless control packets."""
+        from repro.simnet.packet import FlowKey
+        return FlowKey(self.node_id, dst, 0, 0, "CTRL")

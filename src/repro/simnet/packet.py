@@ -1,0 +1,140 @@
+"""Packet and flow-identifier types shared across the simulator.
+
+A :class:`FlowKey` is the classic 5-tuple.  Hosts are addressed by their
+topology node id; "ports" in the 5-tuple sense are transport ports (queue
+pair numbers in RDMA terms), distinct from the physical switch ports
+modelled in :mod:`repro.simnet.switch`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import NamedTuple, Optional
+
+
+class Priority(enum.IntEnum):
+    """Traffic classes.  Lower value = served first.
+
+    CONTROL carries ACK/CNP/PFC/notification/polling traffic; it bypasses
+    data queues and is never paused by PFC (as in real RoCE deployments,
+    where control traffic rides a separate, unpaused class).
+    DATA is the lossless class subject to PFC.
+    """
+
+    CONTROL = 0
+    DATA = 1
+
+
+class PacketKind(enum.Enum):
+    """What a packet is, which determines how nodes treat it."""
+
+    DATA = "data"
+    ACK = "ack"
+    CNP = "cnp"          # DCQCN congestion notification packet
+    PAUSE = "pause"      # PFC pause frame (link-local)
+    RESUME = "resume"    # PFC resume frame (link-local)
+    POLL = "poll"        # telemetry polling query (Vedrfolnir/Hawkeye)
+    NOTIFY = "notify"    # detection-opportunity notification (Fig. 6)
+    REPORT = "report"    # switch telemetry report to the analyzer
+
+
+class FlowKey(NamedTuple):
+    """RoCEv2 5-tuple identifying a flow."""
+
+    src: str
+    dst: str
+    src_port: int
+    dst_port: int
+    protocol: str = "UDP"
+
+    def reversed(self) -> "FlowKey":
+        """The key of reverse-direction traffic (ACKs, CNPs)."""
+        return FlowKey(self.dst, self.src, self.dst_port, self.src_port,
+                       self.protocol)
+
+    def short(self) -> str:
+        """Compact human-readable form used in diagnostics."""
+        return f"{self.src}:{self.src_port}->{self.dst}:{self.dst_port}"
+
+
+_packet_ids = itertools.count()
+
+#: Fixed header overhead applied to every packet (Ethernet+IP+UDP+BTH).
+HEADER_BYTES = 66
+
+#: Size of small control packets (ACK/CNP/PFC/poll/notify) on the wire.
+CONTROL_PACKET_BYTES = 64
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    ``size`` is the on-wire size in bytes including headers.  ``payload``
+    carries kind-specific metadata (e.g. polling scope, notification
+    budget) and never affects the wire size accounting beyond ``size``.
+    """
+
+    kind: PacketKind
+    flow: Optional[FlowKey]
+    src: str
+    dst: str
+    size: int
+    priority: Priority = Priority.DATA
+    seq: int = 0
+    ecn_capable: bool = True
+    ecn_marked: bool = False
+    ttl: int = 64
+    create_time: float = 0.0
+    payload: dict = field(default_factory=dict)
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    hops: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+    def record_hop(self, node_id: str) -> None:
+        """Append a node to the packet's hop trace (loop detection uses
+        this; it is also handy in tests)."""
+        self.hops.append(node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        fk = self.flow.short() if self.flow else "-"
+        return (f"Packet({self.kind.value}, {fk}, seq={self.seq}, "
+                f"size={self.size}, prio={self.priority.name})")
+
+
+def make_data_packet(flow: FlowKey, seq: int, payload_bytes: int,
+                     now: float, ttl: int = 64) -> Packet:
+    """Build a DATA packet of ``payload_bytes`` plus header overhead."""
+    return Packet(
+        kind=PacketKind.DATA,
+        flow=flow,
+        src=flow.src,
+        dst=flow.dst,
+        size=payload_bytes + HEADER_BYTES,
+        priority=Priority.DATA,
+        seq=seq,
+        create_time=now,
+        ttl=ttl,
+    )
+
+
+def make_control_packet(kind: PacketKind, flow: Optional[FlowKey], src: str,
+                        dst: str, now: float, payload: Optional[dict] = None,
+                        size: int = CONTROL_PACKET_BYTES) -> Packet:
+    """Build a small control-class packet (ACK, CNP, POLL, NOTIFY...)."""
+    return Packet(
+        kind=kind,
+        flow=flow,
+        src=src,
+        dst=dst,
+        size=size,
+        priority=Priority.CONTROL,
+        create_time=now,
+        payload=payload or {},
+        ecn_capable=False,
+    )

@@ -1,0 +1,188 @@
+"""Egress ports: per-priority queues, serialization, PFC pause state.
+
+Every unidirectional channel in the network is driven by one
+:class:`EgressPort`.  The port serves its CONTROL queue strictly before
+its DATA queue; PFC pause only ever gates the DATA class (control traffic
+rides an unpaused priority, mirroring production RoCE deployments and the
+paper's "notification packets are assigned the highest priority").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.simnet.packet import Packet, Priority
+from repro.simnet.units import serialization_delay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.engine import Simulator
+
+
+class EgressPort:
+    """One transmit side of a link.
+
+    The owner node enqueues packets; the port serializes them at link
+    rate and delivers each to ``deliver_fn`` (installed by the network
+    when wiring the topology) after the propagation delay.
+
+    Callbacks:
+
+    * ``on_departure(packet)`` — fires when a packet finishes
+      serialization and leaves the node (switches use it for PFC ingress
+      accounting and port-to-port meters).
+    * ``on_space(port)`` — fires after any dequeue (hosts use it to
+      unblock flows waiting for queue space).
+    """
+
+    __slots__ = (
+        "sim", "node_id", "port_id", "bandwidth_bps", "delay_ns",
+        "peer_node_id", "peer_port_id", "deliver_fn",
+        "_control_queue", "_data_queue", "data_queue_bytes",
+        "control_queue_bytes", "busy", "paused", "_pause_timeout_event",
+        "on_departure", "on_space", "tx_bytes", "tx_packets",
+        "paused_ns_total", "_paused_since", "data_queue_cap_bytes",
+        "dropped_packets",
+    )
+
+    def __init__(self, sim: "Simulator", node_id: str, port_id: int,
+                 bandwidth_bps: float, delay_ns: float,
+                 data_queue_cap_bytes: Optional[int] = None) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.port_id = port_id
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_ns = delay_ns
+        self.peer_node_id: Optional[str] = None
+        self.peer_port_id: Optional[int] = None
+        self.deliver_fn: Optional[Callable[[Packet, int], None]] = None
+        self._control_queue: deque[Packet] = deque()
+        self._data_queue: deque[Packet] = deque()
+        self.data_queue_bytes = 0
+        self.control_queue_bytes = 0
+        self.busy = False
+        self.paused = False
+        self._pause_timeout_event = None
+        self.on_departure: Optional[Callable[[Packet], None]] = None
+        self.on_space: Optional[Callable[["EgressPort"], None]] = None
+        self.tx_bytes = 0
+        self.tx_packets = 0
+        self.paused_ns_total = 0.0
+        self._paused_since = 0.0
+        self.data_queue_cap_bytes = data_queue_cap_bytes
+        self.dropped_packets = 0
+
+    # ------------------------------------------------------------------
+    # queue state
+    # ------------------------------------------------------------------
+    @property
+    def data_queue_depth(self) -> int:
+        """DATA packets currently queued (the provenance qdepth)."""
+        return len(self._data_queue)
+
+    @property
+    def queued_data_packets(self) -> tuple[Packet, ...]:
+        return tuple(self._data_queue)
+
+    def data_queue_has_room(self, size: int) -> bool:
+        if self.data_queue_cap_bytes is None:
+            return True
+        return self.data_queue_bytes + size <= self.data_queue_cap_bytes
+
+    # ------------------------------------------------------------------
+    # enqueue / service
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        """Queue a packet for transmission.
+
+        Returns False (and drops) only when a DATA cap is configured and
+        exceeded — with PFC enabled upstream this should not happen; the
+        drop counter makes violations visible in tests.
+        """
+        if packet.priority is Priority.CONTROL:
+            self._control_queue.append(packet)
+            self.control_queue_bytes += packet.size
+        else:
+            if not self.data_queue_has_room(packet.size):
+                self.dropped_packets += 1
+                return False
+            self._data_queue.append(packet)
+            self.data_queue_bytes += packet.size
+        self._try_transmit()
+        return True
+
+    def _try_transmit(self) -> None:
+        if self.busy:
+            return
+        packet = self._pop_next()
+        if packet is None:
+            return
+        self.busy = True
+        tx_time = serialization_delay(packet.size, self.bandwidth_bps)
+        self.sim.schedule(tx_time, self._finish_transmit, packet)
+
+    def _pop_next(self) -> Optional[Packet]:
+        if self._control_queue:
+            packet = self._control_queue.popleft()
+            self.control_queue_bytes -= packet.size
+            return packet
+        if self._data_queue and not self.paused:
+            packet = self._data_queue.popleft()
+            self.data_queue_bytes -= packet.size
+            return packet
+        return None
+
+    def _finish_transmit(self, packet: Packet) -> None:
+        self.busy = False
+        self.tx_bytes += packet.size
+        self.tx_packets += 1
+        if self.on_departure is not None:
+            self.on_departure(packet)
+        if self.deliver_fn is not None:
+            self.sim.schedule(self.delay_ns, self.deliver_fn, packet,
+                              self.peer_port_id)
+        if self.on_space is not None:
+            self.on_space(self)
+        self._try_transmit()
+
+    # ------------------------------------------------------------------
+    # PFC pause state (DATA class only)
+    # ------------------------------------------------------------------
+    def pause(self, duration_ns: float) -> None:
+        """Halt DATA transmission for ``duration_ns`` (refreshable)."""
+        if not self.paused:
+            self.paused = True
+            self._paused_since = self.sim.now
+        if self._pause_timeout_event is not None:
+            self._pause_timeout_event.cancel()
+        self._pause_timeout_event = self.sim.schedule(
+            duration_ns, self._pause_timeout)
+
+    def resume(self) -> None:
+        """Lift the pause immediately (RESUME frame received)."""
+        if self._pause_timeout_event is not None:
+            self._pause_timeout_event.cancel()
+            self._pause_timeout_event = None
+        self._unpause()
+
+    def _pause_timeout(self) -> None:
+        self._pause_timeout_event = None
+        self._unpause()
+
+    def _unpause(self) -> None:
+        if self.paused:
+            self.paused = False
+            self.paused_ns_total += self.sim.now - self._paused_since
+            self._try_transmit()
+
+    def current_paused_ns(self) -> float:
+        """Total paused time including any in-progress pause interval."""
+        total = self.paused_ns_total
+        if self.paused:
+            total += self.sim.now - self._paused_since
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"EgressPort({self.node_id}.p{self.port_id}->"
+                f"{self.peer_node_id}, qd={self.data_queue_depth}, "
+                f"paused={self.paused})")

@@ -1,0 +1,116 @@
+"""Time-series sampling of flows and ports.
+
+Diagnosis consumes event-driven telemetry; humans debugging the
+simulator (or writing tests about transient behaviour) want uniform
+time series.  Samplers piggyback on the event loop: they schedule
+themselves at a fixed period and record the deltas/depths they see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.simnet.units import us
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.flow import RdmaFlow
+    from repro.simnet.network import Network
+    from repro.simnet.port import EgressPort
+
+
+@dataclass
+class Series:
+    """A sampled time series."""
+
+    times_ns: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, time_ns: float, value: float) -> None:
+        self.times_ns.append(time_ns)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def above(self, threshold: float) -> float:
+        """Fraction of samples above the threshold."""
+        if not self.values:
+            return 0.0
+        return sum(1 for v in self.values if v > threshold) / len(self.values)
+
+    def sparkline(self, width: int = 60) -> str:
+        """Terminal-friendly rendering (8-level block characters)."""
+        if not self.values:
+            return ""
+        blocks = " ▁▂▃▄▅▆▇█"
+        stride = max(1, len(self.values) // width)
+        sampled = self.values[::stride][:width]
+        top = max(sampled) or 1.0
+        return "".join(
+            blocks[min(8, int(value / top * 8))] for value in sampled)
+
+
+class FlowThroughputSampler:
+    """Samples a flow's goodput (acked bytes per interval) as Gbps."""
+
+    def __init__(self, network: "Network", flow: "RdmaFlow",
+                 period_ns: float = us(10)) -> None:
+        self.network = network
+        self.flow = flow
+        self.period_ns = period_ns
+        self.series = Series()
+        self._last_bytes = 0
+        self._event = network.sim.schedule(period_ns, self._sample)
+
+    def _sample(self) -> None:
+        now = self.network.sim.now
+        delta = self.flow.stats.bytes_acked - self._last_bytes
+        self._last_bytes = self.flow.stats.bytes_acked
+        gbps = delta * 8.0 / self.period_ns  # bytes/ns*8 = Gbps exactly
+        self.series.append(now, gbps)
+        if not self.flow.completed:
+            self._event = self.network.sim.schedule(
+                self.period_ns, self._sample)
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+
+class PortQueueSampler:
+    """Samples an egress port's DATA queue depth in bytes."""
+
+    def __init__(self, network: "Network", port: "EgressPort",
+                 period_ns: float = us(10),
+                 duration_ns: Optional[float] = None) -> None:
+        self.network = network
+        self.port = port
+        self.period_ns = period_ns
+        self.series = Series()
+        self.pause_series = Series()
+        self._deadline = None if duration_ns is None \
+            else network.sim.now + duration_ns
+        self._event = network.sim.schedule(period_ns, self._sample)
+
+    def _sample(self) -> None:
+        now = self.network.sim.now
+        self.series.append(now, float(self.port.data_queue_bytes))
+        self.pause_series.append(now, 1.0 if self.port.paused else 0.0)
+        if self._deadline is None or now < self._deadline:
+            self._event = self.network.sim.schedule(
+                self.period_ns, self._sample)
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None

@@ -1,0 +1,246 @@
+"""Switch data plane: forwarding, ECN, ingress PFC, telemetry, polling.
+
+The PFC model follows production RoCE switches: each *ingress* port
+accounts for the bytes it has buffered anywhere in the switch.  When that
+occupancy crosses XOFF the switch emits a PAUSE frame upstream; when it
+drains below XON it emits RESUME.  A paused egress port stops serving the
+DATA class (control traffic is never paused).
+
+Polling packets (§III-C3) are processed in the data plane: a flow-scoped
+poll makes the switch report telemetry for the flow's egress port and —
+when that port was recently paused — *chase* the PFC spreading path by
+forwarding a chase poll to the pausing downstream switch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.simnet.packet import (
+    FlowKey,
+    Packet,
+    PacketKind,
+    Priority,
+    make_control_packet,
+)
+from repro.simnet.pfc import PauseEvent, PortRef, ResumeEvent
+from repro.simnet.node import Node
+from repro.simnet.routing import RoutingError
+from repro.simnet.telemetry import SwitchTelemetry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.network import Network
+
+
+class SwitchNode(Node):
+    """A PFC/ECN-capable switch."""
+
+    def __init__(self, network: "Network", node_id: str) -> None:
+        super().__init__(network, node_id)
+        self.telemetry = SwitchTelemetry(node_id, network.telemetry_config)
+        #: bytes buffered in this switch per ingress port (PFC accounting)
+        self.ingress_usage: dict[int, int] = {}
+        #: ingress ports whose upstream we have paused
+        self.upstream_paused: dict[int, bool] = {}
+        #: last PAUSE emission per ingress (for quanta refresh)
+        self._last_pause_sent: dict[int, float] = {}
+        #: pkt_id -> ingress port, for departure-time accounting
+        self._pkt_ingress: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # receive / forward
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, ingress_port: int) -> None:
+        packet.record_hop(self.node_id)
+        if packet.kind is PacketKind.POLL:
+            self._handle_poll(packet, ingress_port)
+            return
+        self._forward(packet, ingress_port)
+
+    def _forward(self, packet: Packet, ingress_port: int) -> None:
+        if packet.dst == self.node_id:
+            return  # consumed (e.g. chase polls addressed to us)
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            if packet.flow is not None:
+                self.telemetry.on_ttl_drop(packet.flow)
+            self.network.count_ttl_drop(self.node_id, packet)
+            return
+        flow = packet.flow or self.pseudo_flow(packet.dst)
+        try:
+            next_hop = self.network.routing.next_hop(
+                self.node_id, flow, dst=packet.dst)
+        except RoutingError:
+            self.network.count_routing_drop(self.node_id, packet)
+            return
+        egress = self.port_toward(next_hop)
+        if packet.priority is Priority.DATA:
+            self._maybe_mark_ecn(packet, egress)
+            self._account_ingress(packet, ingress_port)
+            self.telemetry.on_data_enqueue(
+                self.network.sim.now, egress.port_id, packet.flow)
+        egress.enqueue(packet)
+
+    def _maybe_mark_ecn(self, packet: Packet, egress) -> None:
+        cfg = self.network.config
+        if not packet.ecn_capable or cfg.ecn_kmax_bytes <= 0:
+            return
+        qbytes = egress.data_queue_bytes
+        if qbytes <= cfg.ecn_kmin_bytes:
+            return
+        if qbytes >= cfg.ecn_kmax_bytes:
+            packet.ecn_marked = True
+            return
+        span = cfg.ecn_kmax_bytes - cfg.ecn_kmin_bytes
+        probability = cfg.ecn_pmax * (qbytes - cfg.ecn_kmin_bytes) / span
+        if self.network.rng.random() < probability:
+            packet.ecn_marked = True
+
+    # ------------------------------------------------------------------
+    # PFC ingress accounting
+    # ------------------------------------------------------------------
+    def _account_ingress(self, packet: Packet, ingress_port: int) -> None:
+        usage = self.ingress_usage.get(ingress_port, 0) + packet.size
+        self.ingress_usage[ingress_port] = usage
+        self._pkt_ingress[packet.pkt_id] = ingress_port
+        cfg = self.network.config
+        if usage >= cfg.pfc_xoff_bytes:
+            now = self.network.sim.now
+            if not self.upstream_paused.get(ingress_port):
+                self.upstream_paused[ingress_port] = True
+                self._last_pause_sent[ingress_port] = now
+                self._send_pause(ingress_port, usage, genuine=True)
+            elif now - self._last_pause_sent.get(ingress_port, -1e18) \
+                    >= cfg.pause_quanta_ns / 2:
+                # still above XOFF: refresh before the victim's pause
+                # quanta lapse (sustained congestion = sustained pause)
+                self._last_pause_sent[ingress_port] = now
+                self._send_pause(ingress_port, usage, genuine=True)
+
+    def on_packet_departed(self, egress_port_id: int,
+                           packet: Packet) -> None:
+        """Egress-port departure hook (installed at wiring time)."""
+        if packet.priority is not Priority.DATA:
+            return
+        ingress_port = self._pkt_ingress.pop(packet.pkt_id, None)
+        if ingress_port is None:
+            return
+        usage = self.ingress_usage.get(ingress_port, 0) - packet.size
+        self.ingress_usage[ingress_port] = max(0, usage)
+        self.telemetry.on_data_departure(
+            self.network.sim.now, ingress_port, egress_port_id,
+            packet.flow, packet.size)
+        cfg = self.network.config
+        if self.upstream_paused.get(ingress_port) \
+                and usage <= cfg.pfc_xon_bytes:
+            self.upstream_paused[ingress_port] = False
+            self._send_resume(ingress_port)
+
+    # ------------------------------------------------------------------
+    # PFC frame emission / reception
+    # ------------------------------------------------------------------
+    def _send_pause(self, ingress_port: int, usage: int,
+                    genuine: bool) -> None:
+        port = self.ports[ingress_port]
+        if port.peer_node_id is None:
+            return
+        event = PauseEvent(
+            time=self.network.sim.now,
+            sender=PortRef(self.node_id, ingress_port),
+            victim=PortRef(port.peer_node_id, port.peer_port_id),
+            buffer_bytes_at_send=usage,
+            genuine=genuine,
+        )
+        self.telemetry.pause_log.sent.append(event)
+        self.network.deliver_pause(event, port.delay_ns)
+
+    def _send_resume(self, ingress_port: int) -> None:
+        port = self.ports[ingress_port]
+        if port.peer_node_id is None:
+            return
+        event = ResumeEvent(
+            time=self.network.sim.now,
+            sender=PortRef(self.node_id, ingress_port),
+            victim=PortRef(port.peer_node_id, port.peer_port_id),
+        )
+        self.telemetry.pause_log.resumes_sent.append(event)
+        self.network.deliver_resume(event, port.delay_ns)
+
+    def inject_pause(self, ingress_port: int) -> None:
+        """Emit a PAUSE with no buffer justification (PFC storm bug)."""
+        usage = self.ingress_usage.get(ingress_port, 0)
+        self._send_pause(ingress_port, usage, genuine=False)
+
+    def on_pause_frame(self, port_id: int, event: PauseEvent) -> None:
+        self.telemetry.pause_log.received.append(event)
+        super().on_pause_frame(port_id, event)
+
+    def on_resume_frame(self, port_id: int, event: ResumeEvent) -> None:
+        self.telemetry.pause_log.resumes_received.append(event)
+        super().on_resume_frame(port_id, event)
+
+    # ------------------------------------------------------------------
+    # polling (telemetry collection, §III-C3)
+    # ------------------------------------------------------------------
+    def _handle_poll(self, packet: Packet, ingress_port: int) -> None:
+        payload = packet.payload
+        if payload.get("chase") and packet.dst == self.node_id:
+            self._handle_chase_poll(packet, ingress_port)
+            return
+        # flow-scoped transit poll: report the polled flow's egress port
+        flow: FlowKey = payload["flow"]
+        poll_id: str = payload["poll_id"]
+        try:
+            next_hop = self.network.routing.next_hop(self.node_id, flow)
+        except RoutingError:
+            next_hop = None
+        scope: set[int] = set()
+        if next_hop is not None:
+            scope.add(self.neighbor_port[next_hop])
+        self._report_and_chase(scope, poll_id,
+                               visited=set(payload.get("visited", ())),
+                               depth=int(payload.get("depth", 0)))
+        self._forward(packet, ingress_port)
+
+    def _handle_chase_poll(self, packet: Packet, ingress_port: int) -> None:
+        payload = packet.payload
+        poll_id: str = payload["poll_id"]
+        visited = set(payload.get("visited", ()))
+        depth = int(payload.get("depth", 0))
+        now = self.network.sim.now
+        # the chase arrived over the link whose congestion we must explain:
+        # scope = egress ports this ingress has been feeding
+        scope = set(self.telemetry.egress_ports_fed_by(now, ingress_port))
+        self._report_and_chase(scope, poll_id, visited, depth)
+
+    def _report_and_chase(self, scope: set[int], poll_id: str,
+                          visited: set[str], depth: int) -> None:
+        now = self.network.sim.now
+        report = self.telemetry.make_report(
+            now, self.ports, scope_ports=scope or None, poll_id=poll_id)
+        self.network.submit_report(report)
+        cfg = self.network.telemetry_config
+        if depth >= cfg.max_chase_depth:
+            return
+        visited = visited | {self.node_id}
+        downstreams: set[str] = set()
+        for port_idx in scope:
+            for pause in self.telemetry.recent_pauses_on_port(now, port_idx):
+                downstreams.add(pause.sender.node)
+        for downstream in sorted(downstreams - visited):
+            self._send_chase_poll(downstream, poll_id, visited, depth + 1)
+
+    def _send_chase_poll(self, downstream: str, poll_id: str,
+                         visited: set[str], depth: int) -> None:
+        poll = make_control_packet(
+            PacketKind.POLL, None, self.node_id, downstream,
+            self.network.sim.now,
+            payload={
+                "chase": True,
+                "poll_id": poll_id,
+                "visited": tuple(sorted(visited)),
+                "depth": depth,
+            })
+        self.network.count_poll(poll)
+        egress = self.port_toward(downstream)
+        egress.enqueue(poll)

@@ -1,0 +1,266 @@
+"""Switch-side telemetry: what Vedrfolnir/Hawkeye polling collects.
+
+Per §III-C3, switches record flow-level telemetry (5-tuple, per-flow
+packet counts, queue depth) and port-level telemetry (port-to-port
+traffic meters, PFC pause counts/states).  On receiving a polling packet
+the switch assembles a :class:`SwitchReport` scoped to the relevant ports
+and sends it to the analyzer.
+
+Counters are *windowed*: the store keeps a current and a previous epoch
+and rotates lazily, so a report reflects roughly the last
+``2 * window_ns`` of activity — enough to cover the anomaly that
+triggered the poll without dragging in the whole run's history.
+
+The queue-composition weights implement §III-D1's
+``w(f_i, f_j) = Σ_{pkt ∈ f_i} x_j(pkt)`` — for every DATA packet of
+``f_i`` enqueued at a port, the number of ``f_j`` packets already in that
+queue — maintained incrementally in O(flows-in-queue) per enqueue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.simnet.packet import FlowKey
+from repro.simnet.pfc import PauseEvent, PauseLog
+from repro.simnet.units import ms, us
+
+
+@dataclass
+class TelemetryConfig:
+    """Sizing and timing knobs for the telemetry substrate."""
+
+    window_ns: float = ms(1)
+    #: how recent a pause must be for a poll to chase its sender
+    pause_recency_ns: float = us(600)
+    #: management-plane latency from switch controller to analyzer
+    report_delay_ns: float = us(10)
+    #: per-record wire sizes used for overhead accounting (bytes)
+    report_header_bytes: int = 64
+    port_entry_bytes: int = 16
+    flow_entry_bytes: int = 32
+    pair_entry_bytes: int = 24
+    meter_entry_bytes: int = 12
+    pause_entry_bytes: int = 16
+    #: safety bound on PFC chase recursion
+    max_chase_depth: int = 16
+
+
+class WindowedCounter:
+    """A dict of counters that lazily rotates every ``window_ns``.
+
+    ``snapshot`` returns the union of the current and previous epochs, so
+    readers always see between one and two windows of history.
+    """
+
+    __slots__ = ("window_ns", "_cur", "_prev", "_epoch_start")
+
+    def __init__(self, window_ns: float) -> None:
+        self.window_ns = window_ns
+        self._cur: dict[Hashable, float] = {}
+        self._prev: dict[Hashable, float] = {}
+        self._epoch_start = 0.0
+
+    def _rotate(self, now: float) -> None:
+        elapsed = now - self._epoch_start
+        if elapsed < self.window_ns:
+            return
+        if elapsed >= 2 * self.window_ns:
+            self._prev = {}
+            self._cur = {}
+        else:
+            self._prev = self._cur
+            self._cur = {}
+        self._epoch_start = now - (elapsed % self.window_ns)
+
+    def add(self, now: float, key: Hashable, delta: float = 1.0) -> None:
+        self._rotate(now)
+        self._cur[key] = self._cur.get(key, 0.0) + delta
+
+    def snapshot(self, now: float) -> dict[Hashable, float]:
+        self._rotate(now)
+        if not self._prev:
+            return dict(self._cur)
+        merged = dict(self._prev)
+        for key, value in self._cur.items():
+            merged[key] = merged.get(key, 0.0) + value
+        return merged
+
+
+@dataclass
+class PortTelemetryEntry:
+    """Telemetry for one egress port in a report."""
+
+    port: int
+    qdepth_pkts: int
+    qdepth_bytes: int
+    paused: bool
+    #: per-flow packets transmitted through this port in the window
+    flow_pkts: dict[FlowKey, float]
+    #: per-flow packets sitting in the queue right now
+    inqueue_flow_pkts: dict[FlowKey, int]
+    #: w(f_i, f_j): queueing-ahead weights accumulated in the window
+    wait_weights: dict[tuple[FlowKey, FlowKey], float]
+
+    def total_window_pkts(self) -> float:
+        return sum(self.flow_pkts.values())
+
+
+@dataclass
+class SwitchReport:
+    """One telemetry report from one switch to the analyzer."""
+
+    switch_id: str
+    time: float
+    poll_id: Optional[str]
+    ports: list[PortTelemetryEntry]
+    #: (ingress_port, egress_port) -> bytes forwarded in the window
+    port_meters: dict[tuple[int, int], float]
+    pause_received: list[PauseEvent]
+    pause_sent: list[PauseEvent]
+    ttl_drops: dict[FlowKey, int]
+    size_bytes: int = 0
+
+    def port_entry(self, port: int) -> Optional[PortTelemetryEntry]:
+        for entry in self.ports:
+            if entry.port == port:
+                return entry
+        return None
+
+
+class SwitchTelemetry:
+    """Telemetry store attached to one switch."""
+
+    def __init__(self, switch_id: str, config: TelemetryConfig) -> None:
+        self.switch_id = switch_id
+        self.config = config
+        self._flow_pkts = WindowedCounter(config.window_ns)        # (port, flow)
+        self._wait_weights = WindowedCounter(config.window_ns)     # (port, fi, fj)
+        self._port_meters = WindowedCounter(config.window_ns)      # (in, out)
+        self._ttl_drops: dict[FlowKey, int] = {}
+        self.pause_log = PauseLog()
+        #: live per-port, per-flow in-queue packet counts
+        self._inqueue: dict[int, dict[FlowKey, int]] = {}
+
+    # ------------------------------------------------------------------
+    # data-plane hooks (called by the switch)
+    # ------------------------------------------------------------------
+    def on_data_enqueue(self, now: float, egress_port: int,
+                        flow: FlowKey) -> None:
+        """Record a DATA packet entering an egress queue; accumulate the
+        packets-ahead weights against every other flow in the queue."""
+        queue = self._inqueue.setdefault(egress_port, {})
+        for other_flow, count in queue.items():
+            if other_flow != flow and count > 0:
+                self._wait_weights.add(
+                    now, (egress_port, flow, other_flow), count)
+        queue[flow] = queue.get(flow, 0) + 1
+
+    def on_data_departure(self, now: float, ingress_port: int,
+                          egress_port: int, flow: FlowKey,
+                          size: int) -> None:
+        """Record a DATA packet leaving the switch."""
+        self._flow_pkts.add(now, (egress_port, flow), 1)
+        self._port_meters.add(now, (ingress_port, egress_port), size)
+        queue = self._inqueue.get(egress_port)
+        if queue is not None:
+            remaining = queue.get(flow, 0) - 1
+            if remaining > 0:
+                queue[flow] = remaining
+            else:
+                queue.pop(flow, None)
+
+    def on_ttl_drop(self, flow: FlowKey) -> None:
+        self._ttl_drops[flow] = self._ttl_drops.get(flow, 0) + 1
+
+    # ------------------------------------------------------------------
+    # report generation
+    # ------------------------------------------------------------------
+    def make_report(self, now: float, ports: dict[int, "object"],
+                    scope_ports: Optional[set[int]] = None,
+                    poll_id: Optional[str] = None,
+                    pause_since: Optional[float] = None) -> SwitchReport:
+        """Assemble a report for ``scope_ports`` (None = all ports).
+
+        ``ports`` maps local port index to the live
+        :class:`~repro.simnet.port.EgressPort` objects (for queue depth
+        and pause state).
+        """
+        if pause_since is None:
+            pause_since = now - self.config.pause_recency_ns
+        flow_pkts = self._flow_pkts.snapshot(now)
+        wait_weights = self._wait_weights.snapshot(now)
+        meters = self._port_meters.snapshot(now)
+
+        selected = sorted(scope_ports) if scope_ports is not None \
+            else sorted(ports)
+        entries: list[PortTelemetryEntry] = []
+        for port_idx in selected:
+            port = ports.get(port_idx)
+            if port is None:
+                continue
+            per_flow = {key[1]: count for key, count in flow_pkts.items()
+                        if key[0] == port_idx}
+            weights = {(key[1], key[2]): weight
+                       for key, weight in wait_weights.items()
+                       if key[0] == port_idx}
+            entries.append(PortTelemetryEntry(
+                port=port_idx,
+                qdepth_pkts=port.data_queue_depth,
+                qdepth_bytes=port.data_queue_bytes,
+                paused=port.paused,
+                flow_pkts=per_flow,
+                inqueue_flow_pkts=dict(self._inqueue.get(port_idx, {})),
+                wait_weights=weights,
+            ))
+
+        scope = set(selected)
+        port_meters = {key: value for key, value in meters.items()
+                       if scope_ports is None or key[1] in scope
+                       or key[0] in scope}
+        pause_received = [e for e in self.pause_log.received
+                          if e.time >= pause_since
+                          and (scope_ports is None or e.victim.port in scope)]
+        pause_sent = [e for e in self.pause_log.sent if e.time >= pause_since]
+
+        report = SwitchReport(
+            switch_id=self.switch_id,
+            time=now,
+            poll_id=poll_id,
+            ports=entries,
+            port_meters=port_meters,
+            pause_received=pause_received,
+            pause_sent=pause_sent,
+            ttl_drops=dict(self._ttl_drops),
+        )
+        report.size_bytes = self._report_size(report)
+        return report
+
+    def _report_size(self, report: SwitchReport) -> int:
+        cfg = self.config
+        size = cfg.report_header_bytes
+        for entry in report.ports:
+            size += cfg.port_entry_bytes
+            size += cfg.flow_entry_bytes * (len(entry.flow_pkts)
+                                            + len(entry.inqueue_flow_pkts))
+            size += cfg.pair_entry_bytes * len(entry.wait_weights)
+        size += cfg.meter_entry_bytes * len(report.port_meters)
+        size += cfg.pause_entry_bytes * (len(report.pause_received)
+                                         + len(report.pause_sent))
+        size += cfg.flow_entry_bytes * len(report.ttl_drops)
+        return size
+
+    def recent_pauses_on_port(self, now: float,
+                              port: int) -> list[PauseEvent]:
+        """Pause frames that halted local egress ``port`` recently —
+        the trigger for chasing the PFC spreading path."""
+        since = now - self.config.pause_recency_ns
+        return self.pause_log.pauses_received_since(port, since)
+
+    def egress_ports_fed_by(self, now: float, ingress_port: int) -> list[int]:
+        """Egress ports that ingress ``ingress_port`` forwarded traffic to
+        within the meter window (the continuation of a PFC chase)."""
+        meters = self._port_meters.snapshot(now)
+        return sorted({out for (inp, out), value in meters.items()
+                       if inp == ingress_port and value > 0})

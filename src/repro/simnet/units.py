@@ -1,0 +1,51 @@
+"""Unit helpers for the simulator.
+
+Internally the simulator measures time in nanoseconds (floats), rates in
+bits per second, and sizes in bytes.  These helpers keep call sites
+readable (``us(2)`` instead of ``2_000.0``).
+"""
+
+from __future__ import annotations
+
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+SEC = 1_000_000_000.0
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+GBPS = 1_000_000_000.0
+
+
+def ns(value: float) -> float:
+    """Nanoseconds (identity; for symmetry with the other helpers)."""
+    return value * NS
+
+
+def us(value: float) -> float:
+    """Microseconds to nanoseconds."""
+    return value * US
+
+
+def ms(value: float) -> float:
+    """Milliseconds to nanoseconds."""
+    return value * MS
+
+
+def sec(value: float) -> float:
+    """Seconds to nanoseconds."""
+    return value * SEC
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second to bits per second."""
+    return value * GBPS
+
+
+def serialization_delay(size_bytes: float, rate_bps: float) -> float:
+    """Time in nanoseconds to serialize ``size_bytes`` at ``rate_bps``."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return size_bytes * 8.0 / rate_bps * SEC

@@ -1,0 +1,47 @@
+"""Trace capture and offline analysis.
+
+In deployment, Vedrfolnir's analyzer is decoupled from the hosts and
+switches that produce monitoring data.  This package provides that
+decoupling for the reproduction: a :class:`TraceRecorder` captures
+everything a live run reports (the decomposition, per-step records,
+switch telemetry reports, expected step times, PFC thresholds) into a
+JSONL file, and :func:`analyze_trace` replays the full §III-D analysis
+over the file later — no simulator required.
+
+    recorder = TraceRecorder.attach(network, runtime)
+    runtime.start(); network.run_until_quiet(...)
+    recorder.write("run.jsonl", runtime)
+
+    trace = load_trace("run.jsonl")
+    diagnosis = analyze_trace(trace)
+"""
+
+from repro.traces.serialize import (
+    decode_flow_key,
+    decode_step_record,
+    decode_switch_report,
+    encode_flow_key,
+    encode_step_record,
+    encode_switch_report,
+)
+from repro.traces.store import (
+    Trace,
+    TraceRecorder,
+    TraceRuntime,
+    analyze_trace,
+    load_trace,
+)
+
+__all__ = [
+    "encode_flow_key",
+    "decode_flow_key",
+    "encode_step_record",
+    "decode_step_record",
+    "encode_switch_report",
+    "decode_switch_report",
+    "Trace",
+    "TraceRecorder",
+    "TraceRuntime",
+    "load_trace",
+    "analyze_trace",
+]

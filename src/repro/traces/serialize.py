@@ -1,0 +1,192 @@
+"""JSON encoding/decoding for monitoring data types.
+
+Everything is plain dicts/lists so the on-disk format is stable,
+greppable JSONL; flow keys and port refs round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+from repro.collective.primitives import (
+    CollectiveOp,
+    SendStep,
+    StepSchedule,
+)
+from repro.collective.runtime import StepRecord
+from repro.simnet.packet import FlowKey
+from repro.simnet.pfc import PauseEvent, PortRef
+from repro.simnet.telemetry import PortTelemetryEntry, SwitchReport
+
+
+# ----------------------------------------------------------------------
+# primitives
+# ----------------------------------------------------------------------
+def encode_flow_key(key: FlowKey) -> list:
+    return [key.src, key.dst, key.src_port, key.dst_port, key.protocol]
+
+
+def decode_flow_key(data: list) -> FlowKey:
+    return FlowKey(data[0], data[1], int(data[2]), int(data[3]), data[4])
+
+
+def encode_port_ref(ref: PortRef) -> list:
+    return [ref.node, ref.port]
+
+
+def decode_port_ref(data: list) -> PortRef:
+    return PortRef(data[0], int(data[1]))
+
+
+def encode_pause_event(event: PauseEvent) -> dict:
+    return {
+        "time": event.time,
+        "sender": encode_port_ref(event.sender),
+        "victim": encode_port_ref(event.victim),
+        "buffer": event.buffer_bytes_at_send,
+        "genuine": event.genuine,
+    }
+
+
+def decode_pause_event(data: dict) -> PauseEvent:
+    return PauseEvent(
+        time=float(data["time"]),
+        sender=decode_port_ref(data["sender"]),
+        victim=decode_port_ref(data["victim"]),
+        buffer_bytes_at_send=int(data["buffer"]),
+        genuine=bool(data["genuine"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# step records
+# ----------------------------------------------------------------------
+def encode_step_record(record: StepRecord) -> dict:
+    return {
+        "node": record.node,
+        "step": record.step_index,
+        "flow": encode_flow_key(record.flow_key),
+        "bytes": record.size_bytes,
+        "start": record.start_time,
+        "end": record.end_time,
+        "recv_source": record.recv_source,
+        "binding": record.binding_dependency,
+    }
+
+
+def decode_step_record(data: dict) -> StepRecord:
+    return StepRecord(
+        node=data["node"],
+        step_index=int(data["step"]),
+        flow_key=decode_flow_key(data["flow"]),
+        size_bytes=int(data["bytes"]),
+        start_time=float(data["start"]),
+        end_time=float(data["end"]),
+        recv_source=data.get("recv_source"),
+        binding_dependency=data.get("binding"),
+    )
+
+
+# ----------------------------------------------------------------------
+# switch reports
+# ----------------------------------------------------------------------
+def _encode_port_entry(entry: PortTelemetryEntry) -> dict:
+    return {
+        "port": entry.port,
+        "qdepth_pkts": entry.qdepth_pkts,
+        "qdepth_bytes": entry.qdepth_bytes,
+        "paused": entry.paused,
+        "flow_pkts": [[encode_flow_key(f), c]
+                      for f, c in entry.flow_pkts.items()],
+        "inqueue": [[encode_flow_key(f), c]
+                    for f, c in entry.inqueue_flow_pkts.items()],
+        "wait_weights": [[encode_flow_key(fi), encode_flow_key(fj), w]
+                         for (fi, fj), w in entry.wait_weights.items()],
+    }
+
+
+def _decode_port_entry(data: dict) -> PortTelemetryEntry:
+    return PortTelemetryEntry(
+        port=int(data["port"]),
+        qdepth_pkts=int(data["qdepth_pkts"]),
+        qdepth_bytes=int(data["qdepth_bytes"]),
+        paused=bool(data["paused"]),
+        flow_pkts={decode_flow_key(f): float(c)
+                   for f, c in data["flow_pkts"]},
+        inqueue_flow_pkts={decode_flow_key(f): int(c)
+                           for f, c in data["inqueue"]},
+        wait_weights={(decode_flow_key(fi), decode_flow_key(fj)): float(w)
+                      for fi, fj, w in data["wait_weights"]},
+    )
+
+
+def encode_switch_report(report: SwitchReport) -> dict:
+    return {
+        "switch": report.switch_id,
+        "time": report.time,
+        "poll_id": report.poll_id,
+        "ports": [_encode_port_entry(e) for e in report.ports],
+        "meters": [[inp, out, v]
+                   for (inp, out), v in report.port_meters.items()],
+        "pause_received": [encode_pause_event(e)
+                           for e in report.pause_received],
+        "pause_sent": [encode_pause_event(e) for e in report.pause_sent],
+        "ttl_drops": [[encode_flow_key(f), c]
+                      for f, c in report.ttl_drops.items()],
+        "size_bytes": report.size_bytes,
+    }
+
+
+def decode_switch_report(data: dict) -> SwitchReport:
+    return SwitchReport(
+        switch_id=data["switch"],
+        time=float(data["time"]),
+        poll_id=data.get("poll_id"),
+        ports=[_decode_port_entry(e) for e in data["ports"]],
+        port_meters={(int(inp), int(out)): float(v)
+                     for inp, out, v in data["meters"]},
+        pause_received=[decode_pause_event(e)
+                        for e in data["pause_received"]],
+        pause_sent=[decode_pause_event(e) for e in data["pause_sent"]],
+        ttl_drops={decode_flow_key(f): int(c)
+                   for f, c in data["ttl_drops"]},
+        size_bytes=int(data["size_bytes"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# schedules
+# ----------------------------------------------------------------------
+def encode_schedule(schedule: StepSchedule) -> dict:
+    return {
+        "algorithm": schedule.algorithm,
+        "op": schedule.op.value,
+        "nodes": schedule.nodes,
+        "steps": {
+            node: [{
+                "peer": s.peer,
+                "chunk": s.chunk_id,
+                "bytes": s.size_bytes,
+                "depends_on": list(s.depends_on) if s.depends_on else None,
+            } for s in steps]
+            for node, steps in schedule.steps.items()
+        },
+    }
+
+
+def decode_schedule(data: dict) -> StepSchedule:
+    schedule = StepSchedule(
+        algorithm=data["algorithm"],
+        op=CollectiveOp(data["op"]),
+        nodes=list(data["nodes"]),
+    )
+    for node, steps in data["steps"].items():
+        schedule.steps[node] = [
+            SendStep(
+                node=node,
+                step_index=i,
+                peer=s["peer"],
+                chunk_id=int(s["chunk"]),
+                size_bytes=int(s["bytes"]),
+                depends_on=tuple(s["depends_on"]) if s["depends_on"]
+                else None,
+            ) for i, s in enumerate(steps)]
+    return schedule

@@ -1,0 +1,181 @@
+"""Trace files: capture a live run, reload it, re-run the analysis.
+
+The format is JSONL — one JSON object per line, each tagged with a
+``kind``: ``meta`` (versioning + network parameters), ``schedule`` (the
+decomposition), ``flow_key`` (the (node, step) → 5-tuple map),
+``expected`` (per-step ideal execution times), ``step_record`` and
+``switch_report`` (the monitoring stream, in arrival order).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.collective.primitives import SendStep, StepSchedule
+from repro.collective.runtime import CollectiveRuntime, StepRecord
+from repro.core.analyzer import VedrfolnirAnalyzer, VedrfolnirDiagnosis
+from repro.simnet.packet import FlowKey
+from repro.simnet.telemetry import SwitchReport
+from repro.traces import serialize
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.network import Network
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Trace:
+    """A fully-loaded trace."""
+
+    schedule: StepSchedule
+    flow_keys: dict[tuple[str, int], FlowKey]
+    expected_step_times: dict[tuple[str, int], float]
+    step_records: list[StepRecord]
+    reports: list[SwitchReport]
+    pfc_xoff_bytes: int
+    meta: dict = field(default_factory=dict)
+
+
+class TraceRuntime:
+    """Duck-typed stand-in for :class:`CollectiveRuntime` that the
+    analyzer can consume offline."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.schedule = trace.schedule
+        self.flow_keys = trace.flow_keys
+        self._expected = trace.expected_step_times
+
+    @property
+    def collective_flow_keys(self) -> set[FlowKey]:
+        return set(self.flow_keys.values())
+
+    def expected_step_time_ns(self, step: SendStep) -> float:
+        return self._expected.get((step.node, step.step_index), 0.0)
+
+
+class TraceRecorder:
+    """Captures a live run's monitoring stream.
+
+    Install before starting the collective — it chains onto the
+    network's report sink and the runtime's step-end listeners without
+    disturbing whatever diagnosis system is also attached.
+    """
+
+    def __init__(self, network: "Network",
+                 runtime: CollectiveRuntime) -> None:
+        self.network = network
+        self.runtime = runtime
+        self.step_records: list[StepRecord] = []
+        self.reports: list[SwitchReport] = []
+
+    @classmethod
+    def attach(cls, network: "Network",
+               runtime: CollectiveRuntime) -> "TraceRecorder":
+        recorder = cls(network, runtime)
+        runtime.step_end_listeners.append(recorder.step_records.append)
+        previous_sink = network.report_sink
+
+        def tee(report: SwitchReport) -> None:
+            recorder.reports.append(report)
+            previous_sink(report)
+
+        network.set_report_sink(tee)
+        return recorder
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Serialize everything captured so far."""
+        path = Path(path)
+        runtime = self.runtime
+        with path.open("w") as handle:
+            def emit(kind: str, payload: dict) -> None:
+                handle.write(json.dumps({"kind": kind, **payload}) + "\n")
+
+            emit("meta", {
+                "version": FORMAT_VERSION,
+                "pfc_xoff_bytes": self.network.config.pfc_xoff_bytes,
+                "topology": self.network.topology.name,
+                "sim_time_ns": self.network.sim.now,
+            })
+            emit("schedule",
+                 {"schedule": serialize.encode_schedule(runtime.schedule)})
+            for (node, idx), key in sorted(runtime.flow_keys.items()):
+                emit("flow_key", {
+                    "node": node, "step": idx,
+                    "flow": serialize.encode_flow_key(key)})
+            for step in runtime.schedule.all_steps():
+                emit("expected", {
+                    "node": step.node, "step": step.step_index,
+                    "time_ns": runtime.expected_step_time_ns(step)})
+            for record in self.step_records:
+                emit("step_record", serialize.encode_step_record(record))
+            for report in self.reports:
+                emit("switch_report",
+                     serialize.encode_switch_report(report))
+        return path
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Parse a trace file back into typed objects."""
+    path = Path(path)
+    schedule: Optional[StepSchedule] = None
+    flow_keys: dict[tuple[str, int], FlowKey] = {}
+    expected: dict[tuple[str, int], float] = {}
+    step_records: list[StepRecord] = []
+    reports: list[SwitchReport] = []
+    meta: dict = {}
+    with path.open() as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            kind = entry.get("kind")
+            if kind == "meta":
+                meta = entry
+                if entry.get("version") != FORMAT_VERSION:
+                    raise ValueError(
+                        f"unsupported trace version "
+                        f"{entry.get('version')!r} at line {line_no}")
+            elif kind == "schedule":
+                schedule = serialize.decode_schedule(entry["schedule"])
+            elif kind == "flow_key":
+                flow_keys[(entry["node"], int(entry["step"]))] = \
+                    serialize.decode_flow_key(entry["flow"])
+            elif kind == "expected":
+                expected[(entry["node"], int(entry["step"]))] = \
+                    float(entry["time_ns"])
+            elif kind == "step_record":
+                step_records.append(serialize.decode_step_record(entry))
+            elif kind == "switch_report":
+                reports.append(serialize.decode_switch_report(entry))
+            else:
+                raise ValueError(
+                    f"unknown record kind {kind!r} at line {line_no}")
+    if schedule is None:
+        raise ValueError(f"{path} contains no schedule record")
+    return Trace(
+        schedule=schedule,
+        flow_keys=flow_keys,
+        expected_step_times=expected,
+        step_records=step_records,
+        reports=reports,
+        pfc_xoff_bytes=int(meta.get("pfc_xoff_bytes", 0)),
+        meta=meta,
+    )
+
+
+def analyze_trace(trace: Trace,
+                  slowdown_factor: float = 1.5) -> VedrfolnirDiagnosis:
+    """Run the full §III-D analysis over a loaded trace."""
+    analyzer = VedrfolnirAnalyzer(
+        pfc_xoff_bytes=trace.pfc_xoff_bytes,
+        slowdown_factor=slowdown_factor)
+    for record in trace.step_records:
+        analyzer.add_step_record(record)
+    for report in trace.reports:
+        analyzer.add_report(report)
+    return analyzer.analyze(TraceRuntime(trace))

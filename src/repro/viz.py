@@ -1,0 +1,133 @@
+"""Graph export for human consumption.
+
+The paper presents its results as rendered graphs (Fig. 4 and Fig. 14).
+This module emits Graphviz DOT text for both graph types — no graphviz
+dependency, just strings you can pipe into ``dot -Tpng`` — plus a small
+ASCII rendering of critical paths for terminals.
+
+Edge colors follow Fig. 4's legend: execution edges are dark, intra-flow
+ordering is orange, data dependencies are blue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.provenance import ProvenanceGraph
+from repro.core.waiting_graph import CriticalPathEntry, EdgeKind, WaitingGraph
+
+_EDGE_COLORS = {
+    EdgeKind.EXECUTION: "black",
+    EdgeKind.INTRA_FLOW: "orange",
+    EdgeKind.DATA_DEP: "blue",
+}
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def waiting_graph_to_dot(graph: WaitingGraph,
+                         highlight_critical: bool = True,
+                         title: Optional[str] = None) -> str:
+    """Render a waiting graph as DOT (Fig. 4 / Fig. 14a style)."""
+    critical: set[tuple[str, int]] = set()
+    if highlight_critical:
+        critical = {(e.node, e.step_index)
+                    for e in graph.critical_path()}
+    lines = ["digraph waiting_graph {"]
+    if title:
+        lines.append(f"  label={_quote(title)};")
+    lines.append("  rankdir=LR;")
+    lines.append('  node [shape=circle, fontsize=10];')
+    for vertex in sorted(graph.vertices,
+                         key=lambda v: (v.node, v.step_index, v.point)):
+        attrs = [f"label={_quote(vertex.label)}"]
+        if (vertex.node, vertex.step_index) in critical:
+            attrs.append('style=filled')
+            attrs.append('fillcolor="#ffd5d5"')
+        lines.append(f"  {_quote(vertex.label)} [{', '.join(attrs)}];")
+    for edge in graph.edges:
+        color = _EDGE_COLORS[edge.kind]
+        label = ""
+        if edge.kind is EdgeKind.EXECUTION and edge.weight_ns > 0:
+            label = f', label="{edge.weight_ns / 1000:.1f}us"'
+        lines.append(
+            f"  {_quote(edge.src.label)} -> {_quote(edge.dst.label)} "
+            f'[color={color}{label}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def provenance_to_dot(graph: ProvenanceGraph,
+                      max_weight_digits: int = 1,
+                      title: Optional[str] = None) -> str:
+    """Render a provenance graph as DOT (Fig. 14b style).
+
+    Flows are ellipses (collective flows shaded), ports are boxes
+    (storm sources shaded red); the three edge families carry their
+    weights as labels.
+    """
+    lines = ["digraph provenance {"]
+    if title:
+        lines.append(f"  label={_quote(title)};")
+    for flow in sorted(graph.flows, key=lambda f: f.short()):
+        attrs = ['shape=ellipse', f"label={_quote(flow.short())}"]
+        if flow in graph.collective_flows:
+            attrs += ['style=filled', 'fillcolor="#d5e8ff"']
+        lines.append(f"  {_quote('F:' + flow.short())} "
+                     f"[{', '.join(attrs)}];")
+    for port in sorted(graph.ports, key=str):
+        attrs = ['shape=box', f"label={_quote(str(port))}"]
+        if port in graph.ungrounded_pause_sources:
+            attrs += ['style=filled', 'fillcolor="#ffb0b0"']
+        elif port in graph.paused_ports:
+            attrs += ['style=filled', 'fillcolor="#fff2b0"']
+        lines.append(f"  {_quote('P:' + str(port))} "
+                     f"[{', '.join(attrs)}];")
+
+    def weight_label(value: float) -> str:
+        return f"{value:.{max_weight_digits}f}"
+
+    for (flow, port), weight in sorted(graph.flow_port.items(),
+                                       key=lambda kv: str(kv[0])):
+        lines.append(
+            f"  {_quote('F:' + flow.short())} -> "
+            f"{_quote('P:' + str(port))} "
+            f'[label="{weight_label(weight)}"];')
+    for (port, flow), weight in sorted(graph.port_flow.items(),
+                                       key=lambda kv: str(kv[0])):
+        lines.append(
+            f"  {_quote('P:' + str(port))} -> "
+            f"{_quote('F:' + flow.short())} "
+            f'[label="{weight_label(weight)}", style=dashed];')
+    for (src, dst), weight in sorted(graph.port_port.items(),
+                                     key=lambda kv: str(kv[0])):
+        lines.append(
+            f"  {_quote('P:' + str(src))} -> {_quote('P:' + str(dst))} "
+            f'[label="{weight_label(weight)}", color=red, penwidth=2];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_critical_path(path: Iterable[CriticalPathEntry],
+                         total_width: int = 60) -> str:
+    """ASCII timeline of the critical path: one bar per step, scaled to
+    the chain's total duration."""
+    entries = list(path)
+    if not entries:
+        return "(empty critical path)"
+    start = min(e.start_time for e in entries)
+    end = max(e.end_time for e in entries)
+    span = max(end - start, 1e-9)
+    lines = []
+    for entry in entries:
+        offset = int((entry.start_time - start) / span * total_width)
+        width = max(1, int(entry.duration_ns / span * total_width))
+        bar = " " * offset + "#" * width
+        label = f"F[{entry.node}]S{entry.step_index}"
+        via = f" (via {entry.entered_via})" if entry.entered_via else ""
+        lines.append(f"{label:<12} |{bar:<{total_width}}| "
+                     f"{entry.duration_ns / 1000:.1f}us{via}")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Load-imbalance extension scenario (§II-B)."""
+
+import pytest
+
+from repro.anomalies.scenarios import (
+    IMBALANCE_RING,
+    ScenarioConfig,
+    make_cases,
+)
+from repro.core.diagnosis import AnomalyType
+from repro.experiments.harness import run_case, score_case
+from repro.simnet.pfc import PortRef
+
+
+@pytest.fixture(scope="module")
+def config() -> ScenarioConfig:
+    return ScenarioConfig(scale=0.003)
+
+
+def test_cases_use_interleaved_ring(config):
+    case = make_cases("load_imbalance", 1, config)[0]
+    assert case.nodes_override == IMBALANCE_RING
+    _net, runtime = case.build_network()
+    assert runtime.schedule.nodes == IMBALANCE_RING
+
+
+def test_injection_pins_concurrent_pod_pair(config):
+    case = make_cases("load_imbalance", 1, config)[0]
+    net, runtime = case.build_network()
+    runtime.start()
+    truth = case.inject(net, runtime)
+    assert truth.root_port is not None
+    assert truth.root_port.node.startswith("c")
+    assert len(truth.injected_flows) >= 2
+    # all pinned flows now route through the root core switch
+    for key in truth.injected_flows:
+        assert truth.root_port.node in net.routing.path(key)
+
+
+def test_pinned_flows_share_core_downlink(config):
+    case = make_cases("load_imbalance", 1, config)[0]
+    net, runtime = case.build_network()
+    runtime.start()
+    truth = case.inject(net, runtime)
+    core = net.switches[truth.root_port.node]
+    downstream = core.port_neighbor[truth.root_port.port]
+    for key in truth.injected_flows:
+        path = net.routing.path(key)
+        idx = path.index(truth.root_port.node)
+        assert path[idx + 1] == downstream
+
+
+@pytest.mark.slow
+def test_vedrfolnir_localizes_imbalance(config):
+    case = make_cases("load_imbalance", 1, config)[0]
+    result = run_case(case, "vedrfolnir")
+    assert result.outcome == "tp"
+
+
+def test_score_case_branches():
+    from repro.anomalies.scenarios import GroundTruth
+    from repro.core.diagnosis import AnomalyFinding, DiagnosisResult
+
+    truth = GroundTruth("load_imbalance", root_port=PortRef("c0", 1))
+    hit = DiagnosisResult()
+    hit.findings = [AnomalyFinding(type=AnomalyType.LOAD_IMBALANCE,
+                                   root_ports=[PortRef("c0", 1)])]
+    miss = DiagnosisResult()
+    miss.findings = [AnomalyFinding(type=AnomalyType.LOAD_IMBALANCE,
+                                    root_ports=[PortRef("c3", 0)])]
+    assert score_case(truth, hit) == "tp"
+    assert score_case(truth, miss) == "fp"
+    assert score_case(truth, DiagnosisResult()) == "fn"

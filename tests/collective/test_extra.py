@@ -1,0 +1,136 @@
+"""Additional collective algorithms (all-to-all, broadcasts)."""
+
+import pytest
+
+from repro.collective.extra import (
+    all_to_all,
+    binomial_broadcast,
+    pipeline_broadcast,
+)
+from repro.collective.primitives import validate_schedule
+from repro.collective.runtime import CollectiveRuntime
+from repro.simnet.network import Network
+from repro.simnet.topology import build_fat_tree
+from repro.simnet.units import ms
+
+NODES = ["h0", "h4", "h8", "h12"]
+
+
+def execute(schedule, max_ms=100.0):
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, schedule)
+    runtime.start()
+    net.run_until_quiet(max_time=ms(max_ms))
+    return net, runtime
+
+
+# ----------------------------------------------------------------------
+# all-to-all
+# ----------------------------------------------------------------------
+def test_all_to_all_covers_every_pair():
+    schedule = all_to_all(NODES, 10_000)
+    for node in NODES:
+        peers = {s.peer for s in schedule.steps[node]}
+        assert peers == set(NODES) - {node}
+
+
+def test_all_to_all_has_no_data_dependencies():
+    schedule = all_to_all(NODES, 10_000)
+    assert all(s.depends_on is None for s in schedule.all_steps())
+
+
+def test_all_to_all_executes():
+    _, runtime = execute(all_to_all(NODES, 100_000))
+    assert runtime.completed
+    assert len(runtime.records) == 4 * 3
+
+
+def test_all_to_all_rejects_single_node():
+    with pytest.raises(ValueError):
+        all_to_all(["h0"], 100)
+
+
+# ----------------------------------------------------------------------
+# binomial broadcast
+# ----------------------------------------------------------------------
+def test_binomial_broadcast_reaches_everyone():
+    schedule = binomial_broadcast(NODES, 10_000)
+    receivers = {s.peer for s in schedule.all_steps()}
+    assert receivers == set(NODES) - {NODES[0]}
+
+
+def test_binomial_broadcast_root_sends_log_rounds():
+    schedule = binomial_broadcast(NODES, 10_000)
+    assert len(schedule.steps[NODES[0]]) == 2  # log2(4)
+
+
+def test_binomial_broadcast_children_depend_on_parent():
+    schedule = binomial_broadcast(NODES, 10_000)
+    # rank 3 = 0b11: parent rank 1, which received in round 0
+    rank3_first = schedule.steps[NODES[3]]
+    if rank3_first:  # rank 3 sends only if it has targets
+        assert rank3_first[0].depends_on is not None
+    # rank 1's first (and only) send depends on the root's round-0 send
+    rank1 = schedule.steps[NODES[1]][0]
+    assert rank1.depends_on == (NODES[0], 0)
+
+
+def test_binomial_broadcast_non_power_of_two():
+    nodes = [f"h{i}" for i in (0, 2, 4, 6, 8)]  # N=5
+    schedule = binomial_broadcast(nodes, 10_000)
+    validate_schedule(schedule)
+    receivers = {s.peer for s in schedule.all_steps()}
+    assert receivers == set(nodes) - {nodes[0]}
+
+
+def test_binomial_broadcast_executes():
+    _, runtime = execute(binomial_broadcast(NODES, 200_000))
+    assert runtime.completed
+
+
+def test_binomial_broadcast_ordering_holds_at_runtime():
+    _, runtime = execute(binomial_broadcast(NODES, 200_000))
+    for step in runtime.schedule.all_steps():
+        if step.depends_on:
+            assert runtime.step_start[(step.node, step.step_index)] >= \
+                runtime.step_end[step.depends_on]
+
+
+# ----------------------------------------------------------------------
+# pipeline broadcast
+# ----------------------------------------------------------------------
+def test_pipeline_segments_and_sizes():
+    schedule = pipeline_broadcast(NODES, 100_000, segments=4)
+    head = schedule.steps[NODES[0]]
+    assert len(head) == 4
+    assert all(s.size_bytes == 25_000 for s in head)
+    assert schedule.steps[NODES[-1]] == []  # tail only receives
+
+
+def test_pipeline_dependency_chain():
+    schedule = pipeline_broadcast(NODES, 100_000, segments=3)
+    for i, node in enumerate(NODES[:-1]):
+        for s in schedule.steps[node]:
+            if i == 0:
+                assert s.depends_on is None
+            else:
+                assert s.depends_on == (NODES[i - 1], s.step_index)
+
+
+def test_pipeline_executes_and_overlaps():
+    """Pipelining means the head's later segments overlap the middle
+    nodes' forwarding — total time is far below segments x hops x
+    per-segment time serialized."""
+    net, runtime = execute(pipeline_broadcast(NODES, 400_000, segments=8))
+    assert runtime.completed
+    head_step = runtime.schedule.steps[NODES[0]][0]
+    per_segment = runtime.expected_step_time_ns(head_step)
+    serialized_bound = per_segment * 8 * 3
+    assert runtime.total_time_ns < 0.75 * serialized_bound
+
+
+def test_pipeline_validations():
+    with pytest.raises(ValueError):
+        pipeline_broadcast(["h0"], 1000)
+    with pytest.raises(ValueError):
+        pipeline_broadcast(NODES, 1000, segments=0)

@@ -1,0 +1,159 @@
+"""Collective runtime: dependency enforcement and records."""
+
+import pytest
+
+from repro.collective.halving_doubling import halving_doubling_allreduce
+from repro.collective.ring import ring_allgather
+from repro.collective.runtime import CollectiveRuntime
+from repro.simnet.network import Network
+from repro.simnet.topology import build_fat_tree
+from repro.simnet.units import ms
+
+NODES = ["h0", "h4", "h8", "h12"]
+
+
+def run_collective(schedule_factory=ring_allgather, chunk=150_000,
+                   nodes=NODES):
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, schedule_factory(nodes, chunk))
+    runtime.start()
+    net.run_until_quiet(max_time=ms(100))
+    return net, runtime
+
+
+def test_completes_and_counts_steps():
+    _, runtime = run_collective()
+    assert runtime.completed
+    assert len(runtime.records) == 4 * 3  # N flows x (N-1) steps
+
+
+def test_total_time_positive():
+    _, runtime = run_collective()
+    assert runtime.total_time_ns > 0
+    assert runtime.complete_time == max(r.end_time
+                                        for r in runtime.records)
+
+
+def test_step_start_respects_data_dependency():
+    _, runtime = run_collective()
+    for step in runtime.schedule.all_steps():
+        if step.depends_on is None:
+            continue
+        start = runtime.step_start[(step.node, step.step_index)]
+        dep_end = runtime.step_end[step.depends_on]
+        assert start >= dep_end, \
+            f"{step.label} started before its data arrived"
+
+
+def test_step_start_respects_send_order():
+    _, runtime = run_collective()
+    for node in runtime.schedule.nodes:
+        steps = runtime.schedule.steps[node]
+        for later, earlier in zip(steps[1:], steps):
+            later_start = runtime.step_start[(node, later.step_index)]
+            earlier_start = runtime.step_start[(node, earlier.step_index)]
+            assert later_start >= earlier_start
+
+
+def test_records_have_consistent_times():
+    _, runtime = run_collective()
+    for record in runtime.records:
+        assert record.end_time > record.start_time
+        assert record.duration_ns == \
+            record.end_time - record.start_time
+
+
+def test_records_carry_recv_source():
+    _, runtime = run_collective()
+    by_key = {(r.node, r.step_index): r for r in runtime.records}
+    assert by_key[("h0", 0)].recv_source is None
+    assert by_key[("h4", 1)].recv_source == "h0"
+
+
+def test_flow_keys_unique_per_step():
+    _, runtime = run_collective()
+    keys = list(runtime.flow_keys.values())
+    assert len(keys) == len(set(keys))
+    assert runtime.collective_flow_keys == set(keys)
+
+
+def test_listeners_fire_in_order():
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, ring_allgather(NODES, 100_000))
+    events = []
+    runtime.step_start_listeners.append(
+        lambda step, flow, src, now: events.append(("start", step.label)))
+    runtime.step_end_listeners.append(
+        lambda record: events.append(("end", record.label)))
+    runtime.start()
+    net.run_until_quiet(max_time=ms(100))
+    starts = [label for kind, label in events if kind == "start"]
+    ends = [label for kind, label in events if kind == "end"]
+    assert len(starts) == len(ends) == 12
+    # a step's end never precedes its start
+    for label in starts:
+        assert events.index(("start", label)) < events.index(("end", label))
+
+
+def test_on_complete_callback():
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, ring_allgather(NODES, 100_000))
+    done = []
+    runtime.on_complete = lambda rt: done.append(net.sim.now)
+    runtime.start()
+    net.run_until_quiet(max_time=ms(100))
+    assert done == [runtime.complete_time]
+
+
+def test_double_start_rejected():
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, ring_allgather(NODES, 100_000))
+    runtime.start()
+    with pytest.raises(RuntimeError):
+        runtime.start()
+
+
+def test_start_time_offset():
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, ring_allgather(NODES, 100_000),
+                                start_time=ms(1))
+    runtime.start()
+    net.run_until_quiet(max_time=ms(100))
+    assert min(r.start_time for r in runtime.records) >= ms(1)
+
+
+def test_expected_step_time_close_to_observed_unloaded():
+    _, runtime = run_collective(chunk=200_000)
+    for record in runtime.records:
+        step = runtime.schedule.step(record.node, record.step_index)
+        expected = runtime.expected_step_time_ns(step)
+        assert record.duration_ns == pytest.approx(expected, rel=0.5)
+
+
+def test_halving_doubling_executes():
+    _, runtime = run_collective(halving_doubling_allreduce, 160_000)
+    assert runtime.completed
+    assert len(runtime.records) == 4 * 4  # 2*log2(4) steps x 4 flows
+
+
+def test_binding_unloaded_ring_is_send_ordered():
+    """In a symmetric, unloaded ring the sender-side ACK always lags the
+    peer's data arrival, so no step binds on 'recv'."""
+    _, runtime = run_collective()
+    bindings = {r.binding_dependency for r in runtime.records}
+    assert bindings <= {"prev_send", None}
+
+
+def test_binding_recv_appears_when_a_flow_is_slowed():
+    """Slow one flow with heavy contention: its dependents now wait on
+    the data ('recv' binding) — the blue edges of the waiting graph."""
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, ring_allgather(NODES, 150_000))
+    runtime.start()
+    # hammer h4's inbound path so the h0->h4 collective flow crawls
+    for src in ("h1", "h5", "h9", "h13"):
+        net.create_flow(src, "h4", 1_200_000).start()
+    net.run_until_quiet(max_time=ms(100))
+    assert runtime.completed
+    bindings = [r.binding_dependency for r in runtime.records]
+    assert "recv" in bindings

@@ -1,0 +1,118 @@
+"""Analyzer and VedrfolnirSystem end-to-end on small scenarios."""
+
+import pytest
+
+from repro.collective.ring import ring_allgather
+from repro.collective.runtime import CollectiveRuntime
+from repro.core.system import VedrfolnirConfig, VedrfolnirSystem
+from repro.simnet.network import Network
+from repro.simnet.topology import build_fat_tree
+from repro.simnet.units import ms
+
+NODES = ["h0", "h4", "h8", "h12"]
+
+
+def run_system(background=(), chunk=200_000, config=None):
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, ring_allgather(NODES, chunk))
+    system = VedrfolnirSystem(net, runtime, config=config)
+    runtime.start()
+    flows = []
+    for src, dst, size in background:
+        flow = net.create_flow(src, dst, size, tag="background")
+        flow.start()
+        flows.append(flow)
+    net.run_until_quiet(max_time=ms(200))
+    assert runtime.completed
+    return net, runtime, system, flows
+
+
+def test_quiet_run_produces_clean_diagnosis():
+    _, _, system, _ = run_system()
+    diagnosis = system.analyze()
+    assert diagnosis.result.findings == []
+    assert diagnosis.bottleneck_steps == []
+    assert diagnosis.collective_scores == {}
+    assert len(diagnosis.waiting_graph.records) == 12
+
+
+def test_contended_run_detects_background_flow():
+    _, _, system, flows = run_system(
+        background=[("h1", "h4", 2_000_000), ("h5", "h4", 2_000_000)])
+    diagnosis = system.analyze()
+    assert diagnosis.result.findings
+    detected = diagnosis.detected_flows
+    assert any(f.key in detected for f in flows)
+
+
+def test_contributor_scores_positive_for_culprits():
+    _, _, system, flows = run_system(
+        background=[("h1", "h4", 3_000_000)])
+    diagnosis = system.analyze()
+    key = flows[0].key
+    assert diagnosis.collective_scores.get(key, 0.0) > 0.0
+    top = diagnosis.top_contributors(1)
+    assert top and top[0][0] == key
+
+
+def test_bottleneck_steps_identified_under_load():
+    _, _, system, _ = run_system(
+        background=[("h1", "h4", 4_000_000), ("h5", "h4", 4_000_000)])
+    diagnosis = system.analyze()
+    assert diagnosis.bottleneck_steps
+
+
+def test_step_provenance_sliced_by_window():
+    _, runtime, system, _ = run_system(
+        background=[("h1", "h4", 2_000_000)])
+    diagnosis = system.analyze()
+    for idx, graph in diagnosis.step_provenance.items():
+        assert 0 <= idx < runtime.schedule.num_steps
+
+
+def test_summary_is_readable():
+    _, _, system, _ = run_system(
+        background=[("h1", "h4", 2_000_000)])
+    text = system.analyze().summary()
+    assert "critical path" in text
+    assert "findings" in text
+
+
+def test_monitoring_disabled_collects_nothing():
+    net, runtime, system, _ = run_system(
+        config=VedrfolnirConfig(monitoring_enabled=False))
+    assert not system.monitors
+    assert not system.agents
+    assert net.poll_packets == 0
+    assert net.notify_packets == 0
+
+
+def test_monitors_deployed_per_node():
+    _, _, system, _ = run_system()
+    assert set(system.monitors) == set(NODES)
+    assert set(system.agents) == set(NODES)
+
+
+def test_total_triggers_aggregates():
+    _, _, system, _ = run_system(
+        background=[("h1", "h4", 3_000_000), ("h5", "h4", 3_000_000)])
+    assert system.total_triggers == sum(
+        len(agent.triggers) for agent in system.agents.values())
+
+
+def test_critical_path_nonempty():
+    _, _, system, _ = run_system()
+    diagnosis = system.analyze()
+    assert diagnosis.critical_path
+    ends = [e.end_time for e in diagnosis.critical_path]
+    assert ends == sorted(ends)
+
+
+def test_per_flow_scores_cover_critical_flows():
+    _, _, system, flows = run_system(
+        background=[("h1", "h4", 3_000_000)])
+    diagnosis = system.analyze()
+    key = flows[0].key
+    related = [score for (flow, _cf), score
+               in diagnosis.per_flow_scores.items() if flow == key]
+    assert related, "background flow should be scored against cf_i"

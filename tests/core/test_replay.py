@@ -1,0 +1,83 @@
+"""Replay estimation of pairwise waiting weights vs. exact telemetry."""
+
+import pytest
+
+from repro.core.replay import (
+    entry_with_replayed_weights,
+    replay_pairwise_weights,
+)
+from repro.simnet.network import Network
+from repro.simnet.packet import FlowKey
+from repro.simnet.telemetry import PortTelemetryEntry
+from repro.simnet.topology import build_dumbbell
+from repro.simnet.units import ms, us
+
+F1 = FlowKey("h0", "h2", 1, 4791)
+F2 = FlowKey("h1", "h3", 2, 4791)
+
+
+def entry(qdepth=10, flow_pkts=None, weights=None):
+    flow_pkts = flow_pkts if flow_pkts is not None \
+        else {F1: 50.0, F2: 50.0}
+    return PortTelemetryEntry(
+        port=0, qdepth_pkts=qdepth, qdepth_bytes=qdepth * 4096,
+        paused=False, flow_pkts=flow_pkts, inqueue_flow_pkts={},
+        wait_weights=weights or {})
+
+
+def test_replay_formula():
+    weights = replay_pairwise_weights(entry(qdepth=8,
+                                            flow_pkts={F1: 30.0,
+                                                       F2: 10.0}))
+    # w(F1,F2) = 30 * (10/40) * 8
+    assert weights[(F1, F2)] == pytest.approx(60.0)
+    assert weights[(F2, F1)] == pytest.approx(10 * 0.75 * 8)
+
+
+def test_replay_symmetric_flows():
+    weights = replay_pairwise_weights(entry())
+    assert weights[(F1, F2)] == pytest.approx(weights[(F2, F1)])
+
+
+def test_replay_empty_on_idle_port():
+    assert replay_pairwise_weights(entry(qdepth=0)) == {}
+
+
+def test_replay_empty_on_single_flow():
+    assert replay_pairwise_weights(
+        entry(flow_pkts={F1: 100.0})) == {}
+
+
+def test_entry_passthrough_when_measured():
+    measured = entry(weights={(F1, F2): 123.0})
+    assert entry_with_replayed_weights(measured) is measured
+
+
+def test_entry_filled_when_missing():
+    filled = entry_with_replayed_weights(entry())
+    assert filled.wait_weights
+    assert filled.port == 0
+
+
+def test_replay_tracks_exact_weights_on_live_contention():
+    """Against the simulator's exact queue-composition telemetry, the
+    replay estimate should land within an order of magnitude and
+    preserve the dominance ordering."""
+    net = Network(build_dumbbell(2))
+    f1 = net.create_flow("h0", "h2", 1_500_000, key=F1)
+    f2 = net.create_flow("h1", "h3", 1_500_000, key=F2)
+    f1.start()
+    f2.start()
+    net.run(until=us(60))  # mid-contention
+    s0 = net.switches["s0"]
+    report = s0.telemetry.make_report(net.sim.now, s0.ports)
+    bottleneck = report.port_entry(s0.neighbor_port["s1"])
+    assert bottleneck is not None and bottleneck.wait_weights
+    exact = bottleneck.wait_weights
+    estimate = replay_pairwise_weights(bottleneck)
+    for pair, exact_weight in exact.items():
+        if exact_weight <= 0:
+            continue
+        assert estimate[pair] > 0
+        ratio = estimate[pair] / exact_weight
+        assert 0.1 < ratio < 10.0, (pair, ratio)

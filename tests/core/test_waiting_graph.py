@@ -1,0 +1,203 @@
+"""Waiting graph construction, pruning, critical path (§III-B, Fig. 4)."""
+
+import pytest
+
+from repro.collective.primitives import CollectiveOp, SendStep, StepSchedule
+from repro.collective.ring import ring_reduce_scatter
+from repro.collective.runtime import StepRecord
+from repro.core.waiting_graph import EdgeKind, WaitingGraph, WaitingVertex
+from repro.simnet.packet import FlowKey
+
+
+def make_record(node, idx, start, end, recv_source=None, binding=None):
+    return StepRecord(
+        node=node, step_index=idx,
+        flow_key=FlowKey(node, "x", 1000 + idx, 4791),
+        size_bytes=1000, start_time=start, end_time=end,
+        recv_source=recv_source, binding_dependency=binding)
+
+
+def ring4_schedule() -> StepSchedule:
+    return ring_reduce_scatter(["n1", "n2", "n3", "n4"], 1000)
+
+
+def synthetic_ring_records():
+    """Two steps of a 4-node ring; n3's step 0 is slow, so everyone
+    downstream binds on recv."""
+    records = []
+    schedule = ring4_schedule()
+    ends0 = {"n1": 10.0, "n2": 10.0, "n3": 50.0, "n4": 10.0}
+    for node in schedule.nodes:
+        records.append(make_record(node, 0, 0.0, ends0[node]))
+    # step 1: n4 waits for n3's slow data (recv binding); others send on
+    starts1 = {"n1": 11.0, "n2": 11.0, "n3": 51.0, "n4": 50.0}
+    bindings = {"n1": "prev_send", "n2": "prev_send",
+                "n3": "prev_send", "n4": "recv"}
+    for node in schedule.nodes:
+        records.append(make_record(node, 1, starts1[node],
+                                   starts1[node] + 10.0,
+                                   binding=bindings[node]))
+    return schedule, records
+
+
+def test_vertices_per_step():
+    schedule, records = synthetic_ring_records()
+    graph = WaitingGraph(schedule, records, mode="full")
+    assert len(graph.vertices) == 2 * len(records)
+
+
+def test_full_mode_edge_kinds():
+    schedule, records = synthetic_ring_records()
+    graph = WaitingGraph(schedule, records, mode="full")
+    kinds = {e.kind for e in graph.edges}
+    assert kinds == {EdgeKind.EXECUTION, EdgeKind.INTRA_FLOW,
+                     EdgeKind.DATA_DEP}
+
+
+def test_execution_edge_weight_is_duration():
+    schedule, records = synthetic_ring_records()
+    graph = WaitingGraph(schedule, records, mode="full")
+    for edge in graph.edges:
+        if edge.kind is EdgeKind.EXECUTION:
+            record = graph.records[(edge.src.node, edge.src.step_index)]
+            assert edge.weight_ns == record.duration_ns
+        else:
+            assert edge.weight_ns == 0.0
+
+
+def test_edges_point_in_waits_on_direction():
+    """start(FiSj) -> end(FiS(j-1)): the waiter points at the waited."""
+    schedule, records = synthetic_ring_records()
+    graph = WaitingGraph(schedule, records, mode="full")
+    orange = [e for e in graph.edges if e.kind is EdgeKind.INTRA_FLOW]
+    for edge in orange:
+        assert edge.src.point == "start"
+        assert edge.dst.point == "end"
+        assert edge.src.node == edge.dst.node
+        assert edge.src.step_index == edge.dst.step_index + 1
+
+
+def test_binding_mode_drops_non_binding_edge():
+    schedule, records = synthetic_ring_records()
+    graph = WaitingGraph(schedule, records, mode="binding")
+    n4_start = WaitingVertex("n4", 1, "start")
+    outgoing = [e for e in graph.edges if e.src == n4_start]
+    kinds = {e.kind for e in outgoing}
+    assert kinds == {EdgeKind.DATA_DEP}  # binding was 'recv'
+    n1_start = WaitingVertex("n1", 1, "start")
+    kinds1 = {e.kind for e in graph.edges if e.src == n1_start}
+    assert kinds1 == {EdgeKind.INTRA_FLOW}
+
+
+def test_invalid_mode_rejected():
+    schedule, records = synthetic_ring_records()
+    with pytest.raises(ValueError):
+        WaitingGraph(schedule, records, mode="bogus")
+
+
+def test_critical_path_walks_through_slow_flow():
+    schedule, records = synthetic_ring_records()
+    graph = WaitingGraph(schedule, records, mode="binding")
+    path = graph.critical_path()
+    labels = [(e.node, e.step_index) for e in path]
+    # last end: n3 step 1 (ends at 61); its binding is prev_send -> n3
+    # step 0 (the slow one)
+    assert labels == [("n3", 0), ("n3", 1)]
+
+
+def test_critical_path_crosses_flows_via_recv():
+    schedule, records = synthetic_ring_records()
+    # make n4's step 1 the global latest so the walk starts there
+    records = [r for r in records if not (r.node == "n4"
+                                          and r.step_index == 1)]
+    records.append(make_record("n4", 1, 50.0, 100.0, binding="recv"))
+    graph = WaitingGraph(schedule, records, mode="binding")
+    path = graph.critical_path()
+    labels = [(e.node, e.step_index) for e in path]
+    assert labels == [("n3", 0), ("n4", 1)]
+
+
+def test_prune_removes_unwaited_vertices():
+    schedule, records = synthetic_ring_records()
+    graph = WaitingGraph(schedule, records, mode="binding")
+    before = len(graph.vertices)
+    removed = graph.prune_unwaited()
+    assert removed > 0
+    assert len(graph.vertices) == before - removed
+    # the globally-latest end (n3 S1) must survive
+    assert WaitingVertex("n3", 1, "end") in graph.vertices
+
+
+def test_prune_preserves_critical_chain():
+    schedule, records = synthetic_ring_records()
+    graph = WaitingGraph(schedule, records, mode="binding")
+    graph.prune_unwaited()
+    assert WaitingVertex("n3", 0, "end") in graph.vertices
+    assert WaitingVertex("n3", 0, "start") in graph.vertices
+
+
+def test_step_execution_times_follow_critical_flows():
+    schedule, records = synthetic_ring_records()
+    graph = WaitingGraph(schedule, records, mode="binding")
+    times = graph.step_execution_times()
+    assert times[0] == 50.0  # n3's slow step
+    assert times[1] == 10.0
+
+
+def test_critical_flows_by_step():
+    schedule, records = synthetic_ring_records()
+    graph = WaitingGraph(schedule, records, mode="binding")
+    critical = graph.critical_flows_by_step()
+    assert critical[0] == "n3"
+
+
+def test_total_time():
+    schedule, records = synthetic_ring_records()
+    graph = WaitingGraph(schedule, records, mode="binding")
+    assert graph.total_time_ns() == 61.0
+
+
+def test_empty_graph():
+    schedule = ring4_schedule()
+    graph = WaitingGraph(schedule, [], mode="binding")
+    assert graph.critical_path() == []
+    assert graph.total_time_ns() == 0.0
+    assert graph.prune_unwaited() == 0
+
+
+def test_partial_records_tolerated():
+    """Records missing for some steps (collective still running) must
+    not break construction."""
+    schedule, records = synthetic_ring_records()
+    partial = records[:5]
+    graph = WaitingGraph(schedule, partial, mode="binding")
+    assert graph.critical_path()
+
+
+def test_networkx_export():
+    schedule, records = synthetic_ring_records()
+    graph = WaitingGraph(schedule, records, mode="full")
+    nx_graph = graph.to_networkx()
+    assert nx_graph.number_of_nodes() == len(graph.vertices)
+    assert nx_graph.number_of_edges() == len(graph.edges)
+    import networkx as nx
+    assert nx.is_directed_acyclic_graph(nx_graph)
+
+
+def test_fig4_shape_ring_reduce_scatter():
+    """Fig. 4: a full waiting graph of a 4-node ring reduce-scatter has
+    per step: 1 dark edge per flow, plus orange+blue into every non-
+    first step."""
+    schedule = ring4_schedule()
+    records = []
+    for node in schedule.nodes:
+        for idx in range(3):
+            records.append(make_record(node, idx, idx * 10.0,
+                                       idx * 10.0 + 9.0))
+    graph = WaitingGraph(schedule, records, mode="full")
+    dark = sum(1 for e in graph.edges if e.kind is EdgeKind.EXECUTION)
+    orange = sum(1 for e in graph.edges if e.kind is EdgeKind.INTRA_FLOW)
+    blue = sum(1 for e in graph.edges if e.kind is EdgeKind.DATA_DEP)
+    assert dark == 12          # every step
+    assert orange == 8         # steps 1..2 of each of 4 flows
+    assert blue == 8           # same: each non-first step has a data dep

@@ -1,0 +1,121 @@
+"""Harness scoring rules and the per-case runner."""
+
+import pytest
+
+from repro.anomalies.scenarios import GroundTruth, ScenarioConfig, make_cases
+from repro.core.diagnosis import (
+    AnomalyFinding,
+    AnomalyType,
+    DiagnosisResult,
+)
+from repro.experiments.harness import (
+    SYSTEM_FACTORIES,
+    make_system,
+    run_case,
+    score_case,
+)
+from repro.simnet.packet import FlowKey
+from repro.simnet.pfc import PortRef
+
+F1 = FlowKey("h8", "h1", 1, 4791)
+F2 = FlowKey("h9", "h1", 2, 4791)
+ROOT = PortRef("e4", 2)
+
+
+def result_with(findings):
+    result = DiagnosisResult()
+    result.findings = findings
+    return result
+
+
+def contention_truth():
+    return GroundTruth("flow_contention", injected_flows={F1, F2})
+
+
+def pfc_truth():
+    return GroundTruth("pfc_storm", root_port=ROOT)
+
+
+def contention_finding(flows):
+    return AnomalyFinding(type=AnomalyType.FLOW_CONTENTION,
+                          culprit_flows=set(flows))
+
+
+def pfc_finding(roots, kind=AnomalyType.PFC_STORM):
+    return AnomalyFinding(type=kind, root_ports=list(roots))
+
+
+# ----------------------------------------------------------------------
+# the paper's TP/FP/FN rules
+# ----------------------------------------------------------------------
+def test_contention_all_flows_is_tp():
+    result = result_with([contention_finding([F1, F2])])
+    assert score_case(contention_truth(), result) == "tp"
+
+
+def test_contention_superset_still_tp():
+    extra = FlowKey("h10", "h2", 3, 4791)
+    result = result_with([contention_finding([F1, F2, extra])])
+    assert score_case(contention_truth(), result) == "tp"
+
+
+def test_contention_partial_is_fp():
+    result = result_with([contention_finding([F1])])
+    assert score_case(contention_truth(), result) == "fp"
+
+
+def test_contention_nothing_is_fn():
+    assert score_case(contention_truth(), result_with([])) == "fn"
+
+
+def test_contention_unrelated_flows_is_fn():
+    stranger = FlowKey("h10", "h2", 3, 4791)
+    result = result_with([contention_finding([stranger])])
+    assert score_case(contention_truth(), result) == "fn"
+
+
+def test_pfc_correct_root_is_tp():
+    result = result_with([pfc_finding([ROOT])])
+    assert score_case(pfc_truth(), result) == "tp"
+
+
+def test_pfc_presence_only_is_fp():
+    result = result_with([pfc_finding([PortRef("c0", 1)])])
+    assert score_case(pfc_truth(), result) == "fp"
+
+
+def test_pfc_no_finding_is_fn():
+    result = result_with([contention_finding([F1])])
+    assert score_case(pfc_truth(), result) == "fn"
+
+
+def test_backpressure_root_via_backpressure_finding():
+    truth = GroundTruth("pfc_backpressure", root_port=ROOT)
+    result = result_with(
+        [pfc_finding([ROOT], AnomalyType.PFC_BACKPRESSURE)])
+    assert score_case(truth, result) == "tp"
+
+
+# ----------------------------------------------------------------------
+# runner plumbing
+# ----------------------------------------------------------------------
+def test_make_system_known_names():
+    for name in SYSTEM_FACTORIES:
+        assert make_system(name).name == name
+
+
+def test_make_system_unknown():
+    with pytest.raises(ValueError):
+        make_system("clairvoyance")
+
+
+@pytest.mark.slow
+def test_run_case_end_to_end():
+    config = ScenarioConfig(scale=0.002)
+    case = make_cases("flow_contention", 1, config)[0]
+    result = run_case(case, "vedrfolnir")
+    assert result.outcome in ("tp", "fp", "fn")
+    assert result.collective_completed
+    assert result.processing_bytes > 0
+    assert result.wall_seconds > 0
+    assert result.injected_flow_count >= 1

@@ -1,0 +1,92 @@
+"""Time-series samplers."""
+
+import pytest
+
+from repro.simnet.network import Network
+from repro.simnet.stats import FlowThroughputSampler, PortQueueSampler, \
+    Series
+from repro.simnet.topology import build_dumbbell
+from repro.simnet.units import ms, us
+
+
+def test_series_basics():
+    series = Series()
+    for i, value in enumerate((1.0, 5.0, 3.0)):
+        series.append(float(i), value)
+    assert len(series) == 3
+    assert series.max == 5.0
+    assert series.mean == pytest.approx(3.0)
+    assert series.above(2.5) == pytest.approx(2 / 3)
+
+
+def test_series_empty():
+    series = Series()
+    assert series.max == 0.0
+    assert series.mean == 0.0
+    assert series.above(1) == 0.0
+    assert series.sparkline() == ""
+
+
+def test_series_sparkline_shape():
+    series = Series()
+    for i in range(100):
+        series.append(float(i), float(i % 10))
+    art = series.sparkline(width=20)
+    assert 0 < len(art) <= 20
+
+
+def test_flow_throughput_sampler_tracks_goodput():
+    net = Network(build_dumbbell(1))
+    flow = net.create_flow("h0", "h1", 1_000_000)
+    flow.start()
+    sampler = FlowThroughputSampler(net, flow, period_ns=us(5))
+    net.run_until_quiet(max_time=ms(10))
+    assert flow.completed
+    assert len(sampler.series) > 3
+    # goodput peaks near line rate (100 Gbps) but never above it
+    assert 50 <= sampler.series.max <= 105
+
+
+def test_flow_sampler_stops_with_flow():
+    net = Network(build_dumbbell(1))
+    flow = net.create_flow("h0", "h1", 200_000)
+    flow.start()
+    sampler = FlowThroughputSampler(net, flow, period_ns=us(5))
+    net.run_until_quiet(max_time=ms(10))
+    samples_at_end = len(sampler.series)
+    net.run_until_quiet(max_time=net.sim.now + ms(1))
+    assert len(sampler.series) == samples_at_end
+
+
+def test_port_queue_sampler_sees_contention():
+    net = Network(build_dumbbell(2))
+    bottleneck = net.switches["s0"].port_toward("s1")
+    sampler = PortQueueSampler(net, bottleneck, period_ns=us(2),
+                               duration_ns=ms(1))
+    f1 = net.create_flow("h0", "h2", 1_000_000)
+    f2 = net.create_flow("h1", "h3", 1_000_000)
+    f1.start()
+    f2.start()
+    net.run_until_quiet(max_time=ms(10))
+    assert sampler.series.max > 0, "two line-rate flows must queue"
+
+
+def test_port_sampler_duration_bound():
+    net = Network(build_dumbbell(1))
+    port = net.switches["s0"].port_toward("s1")
+    sampler = PortQueueSampler(net, port, period_ns=us(10),
+                               duration_ns=us(100))
+    net.create_flow("h0", "h1", 3_000_000).start()
+    net.run_until_quiet(max_time=ms(10))
+    assert len(sampler.series) <= 12
+
+
+def test_sampler_stop():
+    net = Network(build_dumbbell(1))
+    port = net.switches["s0"].port_toward("s1")
+    sampler = PortQueueSampler(net, port, period_ns=us(10))
+    net.run(until=us(35))
+    sampler.stop()
+    count = len(sampler.series)
+    net.run(until=us(100))
+    assert len(sampler.series) == count

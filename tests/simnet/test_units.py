@@ -1,0 +1,54 @@
+"""Unit conversion helpers."""
+
+import pytest
+
+from repro.simnet.units import (
+    GBPS,
+    gbps,
+    ms,
+    ns,
+    sec,
+    serialization_delay,
+    us,
+)
+
+
+def test_ns_identity():
+    assert ns(7) == 7.0
+
+
+def test_us_to_ns():
+    assert us(2) == 2_000.0
+
+
+def test_ms_to_ns():
+    assert ms(3) == 3_000_000.0
+
+
+def test_sec_to_ns():
+    assert sec(1) == 1_000_000_000.0
+
+
+def test_gbps():
+    assert gbps(100) == 100 * GBPS
+
+
+def test_serialization_delay_100g():
+    # 1250 bytes = 10000 bits at 100 Gbps -> 100 ns
+    assert serialization_delay(1250, gbps(100)) == pytest.approx(100.0)
+
+
+def test_serialization_delay_scales_inverse_with_rate():
+    slow = serialization_delay(1000, gbps(10))
+    fast = serialization_delay(1000, gbps(100))
+    assert slow == pytest.approx(10 * fast)
+
+
+def test_serialization_delay_zero_rate_rejected():
+    with pytest.raises(ValueError):
+        serialization_delay(100, 0)
+
+
+def test_serialization_delay_negative_rate_rejected():
+    with pytest.raises(ValueError):
+        serialization_delay(100, -5)

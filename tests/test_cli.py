@@ -1,0 +1,80 @@
+"""CLI subcommands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_scenarios_lists_all(capsys):
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    for name in ("flow_contention", "incast", "pfc_storm",
+                 "pfc_backpressure"):
+        assert name in out
+
+
+def test_topology_describes_fat_tree(capsys):
+    assert main(["topology", "--k", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "16 hosts" in out
+    assert "20 switches" in out
+    assert "100 Gbps" in out
+
+
+def test_run_scenario_unknown_scenario(capsys):
+    assert main(["run-scenario", "--scenario", "gremlins"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_run_scenario_unknown_system(capsys):
+    assert main(["run-scenario", "--scenario", "flow_contention",
+                 "--system", "oracle"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_run_scenario_end_to_end(capsys, tmp_path):
+    trace = tmp_path / "run.jsonl"
+    code = main(["run-scenario", "--scenario", "flow_contention",
+                 "--system", "vedrfolnir", "--scale", "0.002",
+                 "--trace", str(trace)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "outcome:" in out
+    assert "collective completed: True" in out
+    assert trace.exists()
+
+
+@pytest.mark.slow
+def test_diagnose_roundtrip(capsys, tmp_path):
+    trace = tmp_path / "run.jsonl"
+    assert main(["run-scenario", "--scenario", "flow_contention",
+                 "--scale", "0.002", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["diagnose", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    assert "step records" in out
+
+
+def test_diagnose_missing_file(capsys):
+    assert main(["diagnose", "--trace", "/nonexistent/x.jsonl"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_figure_13b_via_cli(capsys):
+    assert main(["figure", "--id", "13b", "--cases", "1",
+                 "--scale", "0.002"]) == 0
+    out = capsys.readouterr().out
+    assert "unrestricted" in out
+
+
+def test_figure_rejects_unknown_id():
+    with pytest.raises(SystemExit):
+        main(["figure", "--id", "99"])

@@ -1,0 +1,107 @@
+"""DOT export and ASCII rendering."""
+
+import pytest
+
+from repro.collective.ring import ring_allgather
+from repro.collective.runtime import StepRecord
+from repro.core.provenance import ProvenanceGraph
+from repro.core.waiting_graph import WaitingGraph
+from repro.simnet.packet import FlowKey
+from repro.simnet.pfc import PortRef
+from repro.viz import (
+    format_critical_path,
+    provenance_to_dot,
+    waiting_graph_to_dot,
+)
+
+CF = FlowKey("h0", "h1", 1, 4791)
+BF = FlowKey("h8", "h3", 2, 4791)
+PORT = PortRef("s0", 0)
+
+
+def sample_waiting_graph() -> WaitingGraph:
+    schedule = ring_allgather(["n0", "n1"], 100)
+    records = [
+        StepRecord("n0", 0, FlowKey("n0", "n1", 1, 4791), 100,
+                   0.0, 10_000.0, None, None),
+        StepRecord("n1", 0, FlowKey("n1", "n0", 2, 4791), 100,
+                   0.0, 12_000.0, None, None),
+    ]
+    return WaitingGraph(schedule, records, mode="full")
+
+
+def sample_provenance() -> ProvenanceGraph:
+    graph = ProvenanceGraph(collective_flows={CF})
+    graph.flows = {CF, BF}
+    graph.ports = {PORT, PortRef("s1", 2)}
+    graph.flow_port[(CF, PORT)] = 42.0
+    graph.port_flow[(PORT, BF)] = 7.5
+    graph.port_port[(PORT, PortRef("s1", 2))] = 0.8
+    graph.ungrounded_pause_sources = {PortRef("s1", 2)}
+    return graph
+
+
+def test_waiting_dot_is_digraph():
+    dot = waiting_graph_to_dot(sample_waiting_graph())
+    assert dot.startswith("digraph waiting_graph {")
+    assert dot.endswith("}")
+
+
+def test_waiting_dot_contains_vertices_and_colors():
+    dot = waiting_graph_to_dot(sample_waiting_graph())
+    assert '"F[n0]S0.start"' in dot
+    assert '"F[n1]S0.end"' in dot
+    assert "color=black" in dot  # execution edges
+
+
+def test_waiting_dot_execution_weight_label():
+    dot = waiting_graph_to_dot(sample_waiting_graph())
+    assert '10.0us' in dot
+
+
+def test_waiting_dot_highlights_critical():
+    dot = waiting_graph_to_dot(sample_waiting_graph(),
+                               highlight_critical=True)
+    assert "fillcolor" in dot
+
+
+def test_waiting_dot_title():
+    dot = waiting_graph_to_dot(sample_waiting_graph(), title="Fig 4")
+    assert 'label="Fig 4";' in dot
+
+
+def test_provenance_dot_structure():
+    dot = provenance_to_dot(sample_provenance())
+    assert dot.startswith("digraph provenance {")
+    assert '"F:h0:1->h1:4791"' in dot
+    assert '"P:s0.p0"' in dot
+    assert "shape=box" in dot and "shape=ellipse" in dot
+
+
+def test_provenance_dot_marks_storm_source():
+    dot = provenance_to_dot(sample_provenance())
+    assert "#ffb0b0" in dot
+
+
+def test_provenance_dot_edge_families():
+    dot = provenance_to_dot(sample_provenance())
+    assert 'label="42.0"' in dot          # e(f,p)
+    assert "style=dashed" in dot          # e(p,f)
+    assert "color=red" in dot             # e(p_i,p_j)
+
+
+def test_format_critical_path_bars():
+    graph = sample_waiting_graph()
+    text = format_critical_path(graph.critical_path())
+    assert "#" in text
+    assert "F[n1]S0" in text
+
+
+def test_format_critical_path_empty():
+    assert "empty" in format_critical_path([])
+
+
+def test_dot_quotes_are_balanced():
+    for dot in (waiting_graph_to_dot(sample_waiting_graph()),
+                provenance_to_dot(sample_provenance())):
+        assert dot.count('"') % 2 == 0

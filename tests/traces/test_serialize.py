@@ -1,0 +1,92 @@
+"""Round-trip serialization of monitoring data types."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collective.ring import ring_allgather
+from repro.collective.runtime import StepRecord
+from repro.simnet.packet import FlowKey
+from repro.simnet.pfc import PauseEvent, PortRef
+from repro.simnet.telemetry import PortTelemetryEntry, SwitchReport
+from repro.traces import serialize
+
+KEY = FlowKey("h0", "h1", 10000, 4791)
+
+
+def test_flow_key_roundtrip():
+    encoded = serialize.encode_flow_key(KEY)
+    assert json.loads(json.dumps(encoded)) == encoded
+    assert serialize.decode_flow_key(encoded) == KEY
+
+
+def test_pause_event_roundtrip():
+    event = PauseEvent(time=12.5, sender=PortRef("s0", 2),
+                       victim=PortRef("a0", 1),
+                       buffer_bytes_at_send=262144, genuine=False)
+    decoded = serialize.decode_pause_event(
+        json.loads(json.dumps(serialize.encode_pause_event(event))))
+    assert decoded == event
+
+
+def test_step_record_roundtrip():
+    record = StepRecord(node="h0", step_index=3, flow_key=KEY,
+                        size_bytes=360_000, start_time=1.0,
+                        end_time=99.5, recv_source="h7",
+                        binding_dependency="recv")
+    decoded = serialize.decode_step_record(
+        json.loads(json.dumps(serialize.encode_step_record(record))))
+    assert decoded == record
+
+
+def test_step_record_none_fields():
+    record = StepRecord(node="h0", step_index=0, flow_key=KEY,
+                        size_bytes=1, start_time=0.0, end_time=1.0,
+                        recv_source=None, binding_dependency=None)
+    decoded = serialize.decode_step_record(
+        serialize.encode_step_record(record))
+    assert decoded.recv_source is None
+    assert decoded.binding_dependency is None
+
+
+def test_switch_report_roundtrip():
+    other = FlowKey("h2", "h1", 20000, 4791)
+    report = SwitchReport(
+        switch_id="a3", time=500.0, poll_id="h0#7",
+        ports=[PortTelemetryEntry(
+            port=1, qdepth_pkts=12, qdepth_bytes=48_000, paused=True,
+            flow_pkts={KEY: 30.0, other: 12.0},
+            inqueue_flow_pkts={KEY: 4},
+            wait_weights={(KEY, other): 55.0})],
+        port_meters={(0, 1): 1e6, (2, 1): 5e5},
+        pause_received=[PauseEvent(499.0, PortRef("c0", 1),
+                                   PortRef("a3", 1), 300_000)],
+        pause_sent=[],
+        ttl_drops={other: 2},
+        size_bytes=432)
+    blob = json.dumps(serialize.encode_switch_report(report))
+    decoded = serialize.decode_switch_report(json.loads(blob))
+    assert decoded == report
+
+
+def test_schedule_roundtrip():
+    schedule = ring_allgather(["a", "b", "c", "d"], 777)
+    decoded = serialize.decode_schedule(
+        json.loads(json.dumps(serialize.encode_schedule(schedule))))
+    assert decoded.nodes == schedule.nodes
+    assert decoded.op == schedule.op
+    assert decoded.algorithm == schedule.algorithm
+    for node in schedule.nodes:
+        assert decoded.steps[node] == schedule.steps[node]
+
+
+@given(st.text(min_size=1, max_size=8), st.text(min_size=1, max_size=8),
+       st.integers(min_value=0, max_value=65535),
+       st.integers(min_value=0, max_value=65535),
+       st.sampled_from(["UDP", "TCP", "CTRL"]))
+def test_flow_key_roundtrip_property(src, dst, sport, dport, proto):
+    key = FlowKey(src, dst, sport, dport, proto)
+    assert serialize.decode_flow_key(
+        json.loads(json.dumps(serialize.encode_flow_key(key)))) == key

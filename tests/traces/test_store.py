@@ -1,0 +1,102 @@
+"""Trace capture, reload and offline analysis."""
+
+import pytest
+
+from repro.collective.ring import ring_allgather
+from repro.collective.runtime import CollectiveRuntime
+from repro.core.system import VedrfolnirSystem
+from repro.simnet.network import Network
+from repro.simnet.topology import build_fat_tree
+from repro.simnet.units import ms
+from repro.traces import TraceRecorder, analyze_trace, load_trace
+
+NODES = ["h0", "h4", "h8", "h12"]
+
+
+@pytest.fixture(scope="module")
+def recorded_run(tmp_path_factory):
+    """One contended collective, captured live and written to disk."""
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, ring_allgather(NODES, 200_000))
+    system = VedrfolnirSystem(net, runtime)
+    recorder = TraceRecorder.attach(net, runtime)
+    runtime.start()
+    bf = net.create_flow("h1", "h4", 2_500_000, tag="background")
+    bf.start()
+    net.run_until_quiet(max_time=ms(100))
+    assert runtime.completed
+    path = tmp_path_factory.mktemp("traces") / "run.jsonl"
+    recorder.write(path)
+    live_diagnosis = system.analyze()
+    return path, runtime, live_diagnosis, bf.key
+
+
+def test_trace_file_loads(recorded_run):
+    path, runtime, _, _ = recorded_run
+    trace = load_trace(path)
+    assert trace.schedule.nodes == NODES
+    assert len(trace.step_records) == len(runtime.records)
+    assert trace.reports, "telemetry reports should be captured"
+    assert trace.pfc_xoff_bytes > 0
+    assert trace.meta["topology"] == "fat-tree-k4"
+
+
+def test_flow_keys_and_expected_times_roundtrip(recorded_run):
+    path, runtime, _, _ = recorded_run
+    trace = load_trace(path)
+    assert trace.flow_keys == runtime.flow_keys
+    for step in runtime.schedule.all_steps():
+        key = (step.node, step.step_index)
+        assert trace.expected_step_times[key] == pytest.approx(
+            runtime.expected_step_time_ns(step))
+
+
+def test_offline_analysis_matches_live(recorded_run):
+    path, _, live, bf_key = recorded_run
+    offline = analyze_trace(load_trace(path))
+    live_path = [(e.node, e.step_index) for e in live.critical_path]
+    offline_path = [(e.node, e.step_index)
+                    for e in offline.critical_path]
+    assert offline_path == live_path
+    assert offline.bottleneck_steps == live.bottleneck_steps
+    assert {f.type for f in offline.result.findings} == \
+        {f.type for f in live.result.findings}
+    assert offline.detected_flows == live.detected_flows
+    assert bf_key in offline.detected_flows
+
+
+def test_offline_contributor_scores_match_live(recorded_run):
+    path, _, live, bf_key = recorded_run
+    offline = analyze_trace(load_trace(path))
+    assert offline.collective_scores.keys() == \
+        live.collective_scores.keys()
+    for key, score in live.collective_scores.items():
+        assert offline.collective_scores[key] == pytest.approx(score)
+
+
+def test_missing_schedule_rejected(tmp_path):
+    path = tmp_path / "broken.jsonl"
+    path.write_text('{"kind": "meta", "version": 1}\n')
+    with pytest.raises(ValueError, match="no schedule"):
+        load_trace(path)
+
+
+def test_unknown_kind_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind": "mystery"}\n')
+    with pytest.raises(ValueError, match="unknown record kind"):
+        load_trace(path)
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text('{"kind": "meta", "version": 99}\n')
+    with pytest.raises(ValueError, match="version"):
+        load_trace(path)
+
+
+def test_blank_lines_tolerated(recorded_run, tmp_path):
+    path, _, _, _ = recorded_run
+    padded = tmp_path / "padded.jsonl"
+    padded.write_text(path.read_text() + "\n\n")
+    assert load_trace(padded).schedule.nodes == NODES
