@@ -1,0 +1,103 @@
+"""Live pipeline throughput (repro.live, §III-D1 online analyzer).
+
+A synthetic but dependency-consistent event stream is replayed through
+:class:`LivePipeline` at full speed.  We report sustained ingest rate
+(records/sec) and the ingest-to-snapshot latency distribution — the
+wall-clock time between an event's arrival on the bus and the first
+snapshot that reflects it.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.collective.ring import ring_allgather
+from repro.collective.runtime import StepRecord
+from repro.live import LivePipeline, PipelineConfig
+from repro.simnet.packet import FlowKey
+from repro.traces.stream import TraceEvent
+
+
+def synthetic_stream(num_nodes: int):
+    """A ring collective's step records in completion-time order."""
+    nodes = [f"n{i}" for i in range(num_nodes)]
+    schedule = ring_allgather(nodes, 100_000)
+    expected = {}
+    events = []
+    for idx in range(num_nodes - 1):
+        for n, node in enumerate(nodes):
+            start = idx * 1000.0 + n
+            end = start + 900.0
+            record = StepRecord(
+                node=node, step_index=idx,
+                flow_key=FlowKey(node, nodes[(n + 1) % num_nodes],
+                                 9000 + idx, 4791),
+                size_bytes=100_000,
+                start_time=start, end_time=end,
+                recv_source=None, binding_dependency="prev_send")
+            expected[(node, idx)] = 900.0
+            events.append(TraceEvent("step_record", end, record,
+                                     line_no=len(events) + 1))
+    events.sort(key=lambda e: e.time)
+    return schedule, expected, events
+
+
+def replay(schedule, expected, events, snapshot_every):
+    config = PipelineConfig(snapshot_every=snapshot_every,
+                            prune_interval=32)
+    pipeline = LivePipeline(schedule, {}, expected, 262_144,
+                            config=config)
+    start = time.perf_counter()
+    for event in events:
+        pipeline.publish(event)
+        if len(pipeline.bus) >= config.pump_batch:
+            pipeline.pump(config.pump_batch)
+    pipeline.finish()
+    elapsed = time.perf_counter() - start
+    return pipeline, elapsed
+
+
+@pytest.mark.parametrize("num_nodes", [16, 32])
+def test_ingest_throughput(benchmark, num_nodes):
+    schedule, expected, events = synthetic_stream(num_nodes)
+
+    def run():
+        return replay(schedule, expected, events, snapshot_every=128)
+
+    pipeline, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    counters = pipeline.counters()
+    assert counters["consumed"] == len(events)
+    assert counters["quarantined"] == 0
+    assert elapsed > 0
+    # loose sanity floor: catches pathological slowdowns, not a perf
+    # gate (the first parametrized run pays interpreter warm-up)
+    assert counters["consumed"] / elapsed > 100
+
+
+def test_live_throughput_summary(benchmark):
+    """Print the records/sec + latency table cited in EXPERIMENTS.md."""
+
+    def sweep():
+        rows = []
+        for num_nodes in (8, 16, 32, 48):
+            schedule, expected, events = synthetic_stream(num_nodes)
+            pipeline, elapsed = replay(schedule, expected, events,
+                                       snapshot_every=64)
+            latency = pipeline.latency
+            rows.append({
+                "nodes": num_nodes,
+                "events": len(events),
+                "snapshots": len(pipeline.snapshots),
+                "records_per_sec":
+                    round(len(events) / elapsed),
+                "p50_ms": round(latency.percentile(50) * 1000, 3),
+                "p99_ms": round(latency.percentile(99) * 1000, 3),
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_rows("Live pipeline throughput (ingest -> snapshot)", rows)
+    for row in rows:
+        assert row["records_per_sec"] > 100
+        assert row["p99_ms"] >= row["p50_ms"]

@@ -7,6 +7,9 @@
     python -m repro run-scenario --scenario flow_contention --system vedrfolnir \
         --case 3 --scale 0.005 --trace run.jsonl
     python -m repro diagnose --trace run.jsonl
+    python -m repro serve --trace run.jsonl --speed 10
+    python -m repro tail --snapshots run.snapshots.jsonl --follow
+    python -m repro metrics --file run.live-metrics.json
     python -m repro figure --id 13b --cases 2
 
 Every subcommand prints human-readable text and exits 0 on success.
@@ -58,6 +61,50 @@ def build_parser() -> argparse.ArgumentParser:
                       help="contributors to print")
     diag.add_argument("--json", action="store_true",
                       help="emit the machine-readable report")
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a JSONL trace through the live streaming pipeline")
+    serve.add_argument("--trace", required=True, help="JSONL trace file")
+    serve.add_argument("--speed", type=float, default=1.0,
+                       help="replay speed multiplier vs simulated time "
+                            "(0 = as fast as possible)")
+    serve.add_argument("--queue", type=int, default=4096,
+                       help="event-bus capacity (<=0 = unbounded)")
+    serve.add_argument("--policy", default="block",
+                       choices=["block", "drop-oldest", "drop-newest"],
+                       help="backpressure policy when the bus is full")
+    serve.add_argument("--lateness-us", type=float, default=0.0,
+                       help="watermark lateness bound (microseconds of "
+                            "event time)")
+    serve.add_argument("--snapshot-every", type=int, default=64,
+                       help="emit a rolling snapshot every N events "
+                            "(0 = final snapshot only)")
+    serve.add_argument("--snapshots",
+                       help="also append snapshots as JSONL here "
+                            "(the repro tail input)")
+    serve.add_argument("--metrics",
+                       help="write pipeline metrics JSON here (default: "
+                            "<trace>.live-metrics.json)")
+    serve.add_argument("--top", type=int, default=5,
+                       help="contributors to print in the final report")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-snapshot lines")
+
+    tail = sub.add_parser(
+        "tail", help="print diagnosis snapshots as they land")
+    tail.add_argument("--snapshots", required=True,
+                      help="snapshot JSONL file written by repro serve")
+    tail.add_argument("--follow", action="store_true",
+                      help="keep polling for new snapshots until the "
+                           "final one lands")
+    tail.add_argument("--interval", type=float, default=0.5,
+                      help="poll interval in seconds with --follow")
+
+    met = sub.add_parser(
+        "metrics", help="render a pipeline metrics JSON export")
+    met.add_argument("--file", required=True,
+                     help="metrics JSON written by repro serve")
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("--id", required=True,
@@ -178,6 +225,161 @@ def cmd_diagnose(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import json
+    import time as _time
+
+    from repro.live import LivePipeline, PipelineConfig
+    from repro.live.bus import BusPolicy
+    from repro.traces.stream import merged_events, read_header
+
+    try:
+        header = read_header(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    config = PipelineConfig(
+        queue_capacity=args.queue,
+        policy=BusPolicy(args.policy),
+        lateness_bound_ns=args.lateness_us * 1000.0,
+        snapshot_every=args.snapshot_every,
+    )
+    pipeline = LivePipeline.from_header(header, config)
+    print(f"serving {args.trace}: "
+          f"{header.schedule.algorithm} {header.schedule.op.value}, "
+          f"{len(header.schedule.nodes)} nodes, speed="
+          f"{'max' if args.speed <= 0 else f'{args.speed:g}x'}")
+
+    snapshot_sink = open(args.snapshots, "w") if args.snapshots else None
+
+    def on_snapshot(snapshot) -> None:
+        if not args.quiet:
+            print(snapshot.summary_line())
+        if snapshot_sink is not None:
+            snapshot_sink.write(
+                json.dumps(snapshot.to_dict(args.top)) + "\n")
+            snapshot_sink.flush()
+
+    pipeline.on_snapshot.append(on_snapshot)
+
+    def quarantine_line(line_no: int, reason: str, snippet: str) -> None:
+        pipeline.quarantine.admit(line_no, reason, snippet)
+
+    # drain before the bus can overflow: a queue smaller than the pump
+    # batch would otherwise shed events the consumer had time for
+    pump_at = config.pump_batch if config.queue_capacity <= 0 \
+        else min(config.pump_batch, config.queue_capacity)
+    last_time = None
+    try:
+        for event in merged_events(args.trace,
+                                   on_error=quarantine_line):
+            if args.speed > 0 and last_time is not None \
+                    and event.time > last_time:
+                _time.sleep((event.time - last_time) / 1e9
+                            / args.speed)
+            last_time = event.time if last_time is None \
+                else max(last_time, event.time)
+            pipeline.publish(event)
+            if len(pipeline.bus) >= pump_at:
+                pipeline.pump(config.pump_batch)
+        final = pipeline.finish()
+    finally:
+        if snapshot_sink is not None:
+            snapshot_sink.close()
+
+    print()
+    print("final diagnosis")
+    print("-" * 15)
+    print(f"critical path: {len(final.critical_path)} steps; "
+          f"bottleneck steps: {final.bottleneck_steps}")
+    if final.confidence < 1.0:
+        print(f"confidence: {final.confidence:.2f} "
+              f"(switch telemetry degraded)")
+    if not final.result.findings:
+        print("no network anomalies diagnosed")
+    for finding in final.result.findings:
+        print(f"  - {finding.type.value}: {finding.detail}")
+    ranked = final.top_contributors(args.top)
+    if ranked:
+        print("contributor ranking (Eq. 3):")
+        for flow, score in ranked:
+            print(f"  {flow.short():<32} {score:14,.0f}")
+    counters = final.counters
+    print(f"pipeline: {counters['consumed']} events consumed, "
+          f"{counters['dropped']} dropped, "
+          f"{counters['late_discarded']} late, "
+          f"{counters['quarantined']} quarantined, "
+          f"{counters['graph_pruned']} graph records pruned")
+
+    metrics_path = args.metrics or f"{args.trace}.live-metrics.json"
+    with open(metrics_path, "w") as handle:
+        handle.write(pipeline.build_metrics().to_json())
+        handle.write("\n")
+    print(f"metrics written to {metrics_path}")
+    return 0
+
+
+def _format_snapshot_dict(entry: dict) -> str:
+    findings = ",".join(sorted({f["type"]
+                                for f in entry.get("findings", [])})) \
+        or "none"
+    contributors = entry.get("contributors") or []
+    top = contributors[0]["flow"] if contributors \
+        and contributors[0].get("score", 0) > 0 else "-"
+    tag = "FINAL" if entry.get("final") else f"#{entry.get('seq')}"
+    return (f"[{tag}] wm={entry.get('watermark_ns', 0) / 1e6:.3f}ms "
+            f"steps={entry.get('step_records')} "
+            f"reports={entry.get('switch_reports')} "
+            f"anomalies={findings} top={top}")
+
+
+def cmd_tail(args) -> int:
+    import json
+    import time as _time
+
+    printed = 0
+    saw_final = False
+    while True:
+        try:
+            with open(args.snapshots) as handle:
+                lines = handle.readlines()
+        except OSError as error:
+            if not args.follow:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            lines = []
+        for line in lines[printed:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # snapshot line still being written
+            print(_format_snapshot_dict(entry))
+            printed += 1
+            if entry.get("final"):
+                saw_final = True
+        if not args.follow or saw_final:
+            return 0
+        _time.sleep(args.interval)
+
+
+def cmd_metrics(args) -> int:
+    import json
+
+    from repro.live import render_metrics_text
+
+    try:
+        with open(args.file) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_metrics_text(data))
+    return 0
+
+
 def cmd_figure(args) -> int:
     from repro.experiments import figures
 
@@ -216,6 +418,9 @@ COMMANDS = {
     "topology": cmd_topology,
     "run-scenario": cmd_run_scenario,
     "diagnose": cmd_diagnose,
+    "serve": cmd_serve,
+    "tail": cmd_tail,
+    "metrics": cmd_metrics,
     "figure": cmd_figure,
 }
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.collective.primitives import StepSchedule
 from repro.collective.runtime import StepRecord
@@ -46,6 +46,11 @@ class IncrementalWaitingGraph:
         self._tie = itertools.count()
         self._ingested = 0
         self.pruned_total = 0
+        #: called with each record as it is ingested (in completion-time
+        #: order) — the live pipeline's per-step aggregation hook
+        self.ingest_listeners: list[Callable[[StepRecord], None]] = []
+        #: called with the number of records each prune pass dropped
+        self.prune_listeners: list[Callable[[int], None]] = []
         #: steps whose records a future step still needs (reverse deps)
         self._expected = {(s.node, s.step_index)
                           for s in schedule.all_steps()}
@@ -67,6 +72,8 @@ class IncrementalWaitingGraph:
         self.records[key] = record
         self._expected.discard(key)
         self._ingested += 1
+        for listener in self.ingest_listeners:
+            listener(record)
         if self.prune_interval > 0 \
                 and self._ingested % self.prune_interval == 0:
             self.prune()
@@ -115,12 +122,36 @@ class IncrementalWaitingGraph:
         for key in doomed:
             del self.records[key]
         self.pruned_total += len(doomed)
+        for listener in self.prune_listeners:
+            listener(len(doomed))
         return len(doomed)
 
     # ------------------------------------------------------------------
     @property
     def retained(self) -> int:
         return len(self.records)
+
+    @property
+    def ingested(self) -> int:
+        return self._ingested
+
+    @property
+    def expected_remaining(self) -> int:
+        """Steps of the schedule whose records have not arrived yet."""
+        return len(self._expected)
+
+    def stats(self) -> dict:
+        """Memory-bounding effectiveness, for pipeline metrics:
+        ``prune_efficiency`` is the fraction of ingested records the
+        in-degree-zero prune has already discarded."""
+        return {
+            "ingested": self._ingested,
+            "retained": self.retained,
+            "pruned_total": self.pruned_total,
+            "expected_remaining": len(self._expected),
+            "prune_efficiency": (self.pruned_total / self._ingested
+                                 if self._ingested else 0.0),
+        }
 
     def snapshot(self) -> WaitingGraph:
         """A regular waiting graph over the retained records."""

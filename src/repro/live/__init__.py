@@ -1,0 +1,59 @@
+"""Online streaming diagnosis service.
+
+In deployment the analyzer is not a post-mortem script: §III-D1 has it
+"queue the collected data entries in order of their completion time and
+construct the waiting graph sequentially".  This package is that
+service layer — a bounded event bus with explicit backpressure
+(:mod:`repro.live.bus`), completion-time watermarking for out-of-order
+and late telemetry (:mod:`repro.live.watermark`), the diagnosis
+pipeline that wires both into :class:`~repro.core.incremental.
+IncrementalWaitingGraph` and the signature detectors
+(:mod:`repro.live.pipeline`), self-observability for the pipeline
+itself (:mod:`repro.live.metrics`), and malformed-input quarantine plus
+telemetry-loss degradation (:mod:`repro.live.robustness`).
+
+    header = read_header("run.jsonl")
+    pipeline = LivePipeline.from_header(header)
+    for event in merged_events("run.jsonl"):
+        pipeline.publish(event)
+    snapshot = pipeline.finish()        # == batch analyze_trace result
+"""
+
+from repro.live.bus import (
+    BusOverflow,
+    BusPolicy,
+    EventBus,
+    TelemetryEvent,
+)
+from repro.live.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_metrics_text,
+)
+from repro.live.pipeline import (
+    DiagnosisSnapshot,
+    LivePipeline,
+    PipelineConfig,
+)
+from repro.live.robustness import DegradationTracker, Quarantine
+from repro.live.watermark import WatermarkBuffer
+
+__all__ = [
+    "BusOverflow",
+    "BusPolicy",
+    "EventBus",
+    "TelemetryEvent",
+    "WatermarkBuffer",
+    "LivePipeline",
+    "PipelineConfig",
+    "DiagnosisSnapshot",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_metrics_text",
+    "Quarantine",
+    "DegradationTracker",
+]

@@ -1,0 +1,197 @@
+"""Self-observability for the live pipeline.
+
+A diagnosis service that cannot report on *itself* is just another
+opaque component to diagnose.  This module is a dependency-free
+miniature of the Prometheus client model: :class:`Counter` (monotonic),
+:class:`Gauge` (point-in-time), :class:`Histogram` (log-bucketed, with
+quantile estimates), all registered in a :class:`MetricsRegistry` that
+exports stable JSON (``repro serve --metrics``) and renders as the
+``repro metrics`` CLI view.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+from typing import Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "help": self.help,
+                "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, rates, ratios)."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "help": self.help, "value": self.value}
+
+
+def default_buckets(start: float = 1e-6, factor: float = 2.0,
+                    count: int = 24) -> list[float]:
+    """Log-spaced bucket upper bounds; 1 µs .. ~8 s with defaults."""
+    return [start * factor ** i for i in range(count)]
+
+
+class Histogram:
+    """Fixed log-bucket histogram with quantile estimation.
+
+    Quantiles are estimated by linear interpolation inside the bucket
+    holding the target rank — coarse, but bounded-memory and good
+    enough for "p99 ingest-to-snapshot latency" dashboards.
+    """
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Optional[list[float]] = None) -> None:
+        self.name = name
+        self.help = help
+        self.bounds = sorted(buckets or default_buckets())
+        #: counts[i] observations <= bounds[i]; the last slot overflows
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    # ------------------------------------------------------------------
+    def percentile(self, p: float) -> float:
+        """Estimated value at percentile ``p`` in [0, 100]."""
+        if self.total == 0:
+            return 0.0
+        rank = p / 100.0 * self.total
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            lower = self.bounds[i - 1] if i > 0 else \
+                min(self.min, self.bounds[0])
+            upper = self.bounds[i] if i < len(self.bounds) else self.max
+            if cumulative + count >= rank:
+                fraction = (rank - cumulative) / count
+                return min(max(lower + fraction * (upper - lower),
+                               self.min), self.max)
+            cumulative += count
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram", "help": self.help,
+            "count": self.total, "sum": self.sum,
+            "min": self.min if self.total else 0.0,
+            "max": self.max if self.total else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "buckets": [[bound, count] for bound, count
+                        in zip(self.bounds, self.counts)
+                        if count > 0],
+            "overflow": self.counts[-1],
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with one-call JSON export."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def attach(self, metric):
+        """Register an externally-owned metric instance."""
+        if metric.name in self._metrics:
+            raise ValueError(f"duplicate metric {metric.name!r}")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.attach(Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self.attach(Gauge(name, help))
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[list[float]] = None) -> Histogram:
+        return self.attach(Histogram(name, help, buckets))
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str):
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def to_dict(self) -> dict:
+        return {name: self._metrics[name].to_dict()
+                for name in self.names()}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def render_metrics_text(data: dict) -> str:
+    """The ``repro metrics`` view over an exported metrics dict."""
+    lines: list[str] = []
+    width = max((len(name) for name in data), default=0)
+    for name in sorted(data):
+        entry = data[name]
+        kind = entry.get("type", "?")
+        if kind == "histogram":
+            value = (f"count={entry['count']} "
+                     f"mean={_fmt(entry['mean'])} "
+                     f"p50={_fmt(entry['p50'])} "
+                     f"p99={_fmt(entry['p99'])} "
+                     f"max={_fmt(entry['max'])}")
+        else:
+            value = _fmt(entry.get("value", 0))
+        lines.append(f"{name:<{width}}  {kind:<9} {value}")
+        if entry.get("help"):
+            lines.append(f"{'':<{width}}    {entry['help']}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,486 @@
+"""The online diagnosis pipeline: bus → watermark → graph → snapshot.
+
+Wires the bounded :class:`~repro.live.bus.EventBus` and the
+:class:`~repro.live.watermark.WatermarkBuffer` into the streaming
+:class:`~repro.core.incremental.IncrementalWaitingGraph`, the signature
+detectors and the Eq. 1-3 contributor rating, emitting rolling
+:class:`DiagnosisSnapshot`\\ s.
+
+Equivalence contract (tested): on a clean, fully-delivered stream the
+*final* snapshot's critical path, bottleneck steps, findings and
+contributor scores equal the batch
+:func:`~repro.traces.store.analyze_trace` result for the same data —
+the pipeline is the paper's online analyzer, not an approximation of
+it.  The waiting graph itself stays memory-bounded via in-degree-zero
+pruning; only O(steps) scalar aggregates (per-step windows, durations,
+slowest flows) are retained for the steps the prune discards.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.collective.primitives import StepSchedule
+from repro.collective.runtime import StepRecord
+from repro.core.diagnosis import DiagnosisResult, diagnose
+from repro.core.incremental import IncrementalWaitingGraph
+from repro.core.provenance import build_provenance
+from repro.core.rating import (
+    contribution_to_collective,
+    contribution_to_flow,
+)
+from repro.core.waiting_graph import CriticalPathEntry
+from repro.live.bus import BusPolicy, EventBus, TelemetryEvent
+from repro.live.metrics import Histogram, MetricsRegistry
+from repro.live.robustness import DegradationTracker, Quarantine
+from repro.live.watermark import WatermarkBuffer
+from repro.simnet.packet import FlowKey
+from repro.simnet.telemetry import SwitchReport
+from repro.traces.stream import TraceEvent, TraceHeader
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs of the live service."""
+
+    #: bus bound; <= 0 = unbounded
+    queue_capacity: int = 4096
+    #: what to do when the bus is full
+    policy: BusPolicy = BusPolicy.BLOCK
+    #: out-of-order tolerance of the watermark (event-time ns)
+    lateness_bound_ns: float = 0.0
+    #: emit a rolling snapshot every N ingested events (0 = final only)
+    snapshot_every: int = 0
+    #: events pumped off the bus per :meth:`LivePipeline.pump` batch
+    pump_batch: int = 64
+    #: prune cadence of the incremental waiting graph
+    prune_interval: int = 16
+    #: bottleneck threshold, as in :class:`VedrfolnirAnalyzer`
+    slowdown_factor: float = 1.5
+    #: compute Eq. 1-3 contributor scores in each snapshot
+    rate_contributors: bool = True
+    #: switch-report staleness before confidence degrades; None = auto
+    #: (4x the largest expected step time)
+    report_gap_ns: Optional[float] = None
+
+
+@dataclass
+class DiagnosisSnapshot:
+    """One rolling diagnosis emitted by the pipeline."""
+
+    seq: int
+    final: bool
+    watermark_ns: float
+    step_records_ingested: int
+    switch_reports_ingested: int
+    critical_path: list[CriticalPathEntry]
+    bottleneck_steps: list[int]
+    result: DiagnosisResult
+    collective_scores: dict[FlowKey, float]
+    #: 1.0 = full telemetry; lower = switch reports missing/stale
+    confidence: float
+    degraded: bool
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def detected_flows(self) -> set[FlowKey]:
+        return self.result.detected_flows
+
+    def top_contributors(self, n: int = 5) -> list[tuple[FlowKey, float]]:
+        ranked = sorted(self.collective_scores.items(),
+                        key=lambda kv: -kv[1])
+        return ranked[:n]
+
+    def to_dict(self, top: int = 5) -> dict:
+        return {
+            "seq": self.seq,
+            "final": self.final,
+            "watermark_ns": self.watermark_ns,
+            "step_records": self.step_records_ingested,
+            "switch_reports": self.switch_reports_ingested,
+            "confidence": self.confidence,
+            "degraded": self.degraded,
+            "critical_path": [
+                {"node": e.node, "step": e.step_index,
+                 "start_ns": e.start_time, "end_ns": e.end_time,
+                 "entered_via": e.entered_via}
+                for e in self.critical_path],
+            "bottleneck_steps": self.bottleneck_steps,
+            "findings": [
+                {"type": f.type.value, "detail": f.detail,
+                 "root_ports": [str(p) for p in f.root_ports],
+                 "culprit_flows": sorted(
+                     fl.short() for fl in f.culprit_flows)}
+                for f in self.result.findings],
+            "contributors": [
+                {"flow": flow.short(), "score": score}
+                for flow, score in self.top_contributors(top)],
+            "counters": self.counters,
+        }
+
+    def summary_line(self) -> str:
+        """One-line operator view (the ``repro tail`` format)."""
+        findings = ",".join(sorted({f.type.value
+                                    for f in self.result.findings})) \
+            or "none"
+        top = self.top_contributors(1)
+        contributor = top[0][0].short() if top and top[0][1] > 0 \
+            else "-"
+        tag = "FINAL" if self.final else f"#{self.seq}"
+        note = "" if self.confidence >= 1.0 \
+            else f" confidence={self.confidence:.2f}"
+        return (f"[{tag}] wm={self.watermark_ns / 1e6:.3f}ms "
+                f"steps={self.step_records_ingested} "
+                f"reports={self.switch_reports_ingested} "
+                f"anomalies={findings} top={contributor}{note}")
+
+
+class LivePipeline:
+    """Streaming §III-D analyzer over a telemetry event stream."""
+
+    def __init__(self, schedule: StepSchedule,
+                 flow_keys: dict[tuple[str, int], FlowKey],
+                 expected_step_times: dict[tuple[str, int], float],
+                 pfc_xoff_bytes: int,
+                 config: Optional[PipelineConfig] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.schedule = schedule
+        self.flow_keys = dict(flow_keys)
+        self.expected_step_times = dict(expected_step_times)
+        self.pfc_xoff_bytes = pfc_xoff_bytes
+        self.config = config or PipelineConfig()
+        self.clock = clock
+
+        cfg = self.config
+        self.bus = EventBus(cfg.queue_capacity, cfg.policy,
+                            drain_hook=self._backpressure_drain)
+        self.watermark = WatermarkBuffer(cfg.lateness_bound_ns)
+        self.graph = IncrementalWaitingGraph(
+            schedule, prune_interval=cfg.prune_interval)
+        self.graph.ingest_listeners.append(self._aggregate_record)
+        self.quarantine = Quarantine()
+        self.degradation = DegradationTracker(
+            cfg.report_gap_ns if cfg.report_gap_ns is not None
+            else self._auto_report_gap_ns())
+
+        self.reports: list[SwitchReport] = []
+        #: per-step-index [min start, max end] over ALL ingested records
+        self._windows: dict[int, list[float]] = {}
+        #: duration of every ingested record (survives graph pruning)
+        self._durations: dict[tuple[str, int], float] = {}
+        #: per step index, the slowest record seen: (duration, node)
+        self._slowest: dict[int, tuple[float, str]] = {}
+        self._dupes = 0
+        self._seq = 0
+        self._ingested = {"step_record": 0, "switch_report": 0}
+        self._since_snapshot = 0
+        self._pending_arrivals: list[float] = []
+        self._arrival_wall: dict[int, float] = {}
+        self._started_wall: Optional[float] = None
+        self._snapshot_seq = 0
+        self.snapshots: list[DiagnosisSnapshot] = []
+        self.on_snapshot: list[Callable[[DiagnosisSnapshot], None]] = []
+
+        self.latency = Histogram(
+            "live_ingest_to_snapshot_seconds",
+            "wall time from event arrival on the bus to the snapshot "
+            "that includes it")
+        self.snapshot_cost = Histogram(
+            "live_snapshot_build_seconds",
+            "wall time to build one diagnosis snapshot")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_header(cls, header: TraceHeader,
+                    config: Optional[PipelineConfig] = None,
+                    clock: Callable[[], float] = time.monotonic
+                    ) -> "LivePipeline":
+        return cls(header.schedule, header.flow_keys,
+                   header.expected_step_times, header.pfc_xoff_bytes,
+                   config=config, clock=clock)
+
+    def _auto_report_gap_ns(self) -> float:
+        expected = self.expected_step_times.values()
+        largest = max(expected, default=0.0)
+        return 4.0 * largest if largest > 0 else 1e7
+
+    @property
+    def collective_flow_keys(self) -> set[FlowKey]:
+        return set(self.flow_keys.values())
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def publish(self, event: TraceEvent) -> bool:
+        """Enqueue one decoded trace event onto the bus.
+
+        Returns False when the event was shed by a drop policy."""
+        if self._started_wall is None:
+            self._started_wall = self.clock()
+        self._seq += 1
+        wrapped = TelemetryEvent(kind=event.kind, time=event.time,
+                                 payload=event.payload, seq=self._seq)
+        self._arrival_wall[self._seq] = self.clock()
+        admitted = self.bus.publish(wrapped)
+        if not admitted:
+            self._arrival_wall.pop(self._seq, None)
+        return admitted
+
+    def publish_step_record(self, record: StepRecord) -> bool:
+        """Live (non-trace) producers: a runtime's step-end listener."""
+        return self.publish(TraceEvent("step_record", record.end_time,
+                                       record, line_no=0))
+
+    def publish_switch_report(self, report: SwitchReport) -> bool:
+        """Live (non-trace) producers: a network's report sink."""
+        return self.publish(TraceEvent("switch_report", report.time,
+                                       report, line_no=0))
+
+    def _backpressure_drain(self) -> None:
+        self.pump(limit=max(1, self.config.pump_batch))
+
+    def pump(self, limit: int = 0) -> int:
+        """Consume up to ``limit`` events off the bus (all if 0)."""
+        processed = 0
+        for event in self.bus.drain(limit):
+            processed += 1
+            for released in self.watermark.observe(event):
+                self._ingest(released)
+        self._prune_arrivals()
+        return processed
+
+    def _prune_arrivals(self) -> None:
+        # events shed by drop policies or the lateness bound leave
+        # stale arrival entries; bound the map so they cannot leak
+        if len(self._arrival_wall) > 65536:
+            for seq in sorted(self._arrival_wall)[:-65536]:
+                del self._arrival_wall[seq]
+
+    def _ingest(self, event: TelemetryEvent) -> None:
+        if event.kind == "step_record":
+            record: StepRecord = event.payload  # type: ignore[assignment]
+            key = (record.node, record.step_index)
+            if key in self._durations:
+                self._dupes += 1
+            self.graph.submit(record)
+            self.degradation.observe_step(record.end_time)
+            self._ingested["step_record"] += 1
+        elif event.kind == "switch_report":
+            report: SwitchReport = event.payload  # type: ignore[assignment]
+            self.reports.append(report)
+            self.degradation.observe_report(report.time)
+            self._ingested["switch_report"] += 1
+        else:
+            self.quarantine.admit(
+                0, f"unroutable event kind {event.kind!r}")
+            return
+        arrival = self._arrival_wall.pop(event.seq, None)
+        if arrival is not None:
+            self._pending_arrivals.append(arrival)
+        self._since_snapshot += 1
+        every = self.config.snapshot_every
+        if every > 0 and self._since_snapshot >= every:
+            self.emit_snapshot(final=False)
+
+    def _aggregate_record(self, record: StepRecord) -> None:
+        """Ingest hook of the incremental graph: keep the O(steps)
+        scalars the batch analyzer would read off the full record set,
+        so pruning never changes the diagnosis."""
+        idx = record.step_index
+        window = self._windows.setdefault(
+            idx, [record.start_time, record.end_time])
+        window[0] = min(window[0], record.start_time)
+        window[1] = max(window[1], record.end_time)
+        self._durations[(record.node, idx)] = record.duration_ns
+        slowest = self._slowest.get(idx)
+        if slowest is None or record.duration_ns > slowest[0]:
+            self._slowest[idx] = (record.duration_ns, record.node)
+
+    # ------------------------------------------------------------------
+    # diagnosis
+    # ------------------------------------------------------------------
+    def _critical_flows_by_step(
+            self, path: list[CriticalPathEntry]) -> dict[int, str]:
+        result = {entry.step_index: entry.node for entry in path}
+        for idx, (_duration, node) in self._slowest.items():
+            result.setdefault(idx, node)
+        return result
+
+    def emit_snapshot(self, final: bool = False) -> DiagnosisSnapshot:
+        """Run the §III-D analysis over everything ingested so far."""
+        build_start = self.clock()
+        path = self.graph.critical_path()
+        critical_nodes = self._critical_flows_by_step(path)
+        exec_times: dict[int, float] = {}
+        expect_times: dict[int, float] = {}
+        critical_flow_keys: dict[int, FlowKey] = {}
+        for idx, node in critical_nodes.items():
+            duration = self._durations.get((node, idx))
+            if duration is not None:
+                exec_times[idx] = duration
+            expect_times[idx] = self.expected_step_times.get(
+                (node, idx), 0.0)
+            flow_key = self.flow_keys.get((node, idx))
+            if flow_key is not None:
+                critical_flow_keys[idx] = flow_key
+        cfg = self.config
+        bottlenecks = sorted(
+            idx for idx, t in exec_times.items()
+            if t > cfg.slowdown_factor
+            * expect_times.get(idx, float("inf")))
+
+        cf_keys = self.collective_flow_keys
+        overall = build_provenance(self.reports, cf_keys,
+                                   self.pfc_xoff_bytes)
+        result = diagnose(overall)
+
+        collective_scores: dict[FlowKey, float] = {}
+        if cfg.rate_contributors:
+            step_graphs = self._per_step_graphs(cf_keys)
+            for flow in sorted(overall.background_flows(),
+                               key=lambda f: f.short()):
+                collective_scores[flow] = contribution_to_collective(
+                    flow, step_graphs or {0: overall},
+                    critical_flow_keys, exec_times, expect_times)
+
+        self._snapshot_seq += 1
+        snapshot = DiagnosisSnapshot(
+            seq=self._snapshot_seq,
+            final=final,
+            watermark_ns=self.watermark.watermark,
+            step_records_ingested=self._ingested["step_record"],
+            switch_reports_ingested=self._ingested["switch_report"],
+            critical_path=path,
+            bottleneck_steps=bottlenecks,
+            result=result,
+            collective_scores=collective_scores,
+            confidence=self.degradation.confidence(),
+            degraded=self.degradation.degraded,
+            counters=self.counters(),
+        )
+        now = self.clock()
+        for arrival in self._pending_arrivals:
+            self.latency.observe(max(0.0, now - arrival))
+        self._pending_arrivals.clear()
+        self.snapshot_cost.observe(max(0.0, now - build_start))
+        self._since_snapshot = 0
+        self.snapshots.append(snapshot)
+        for callback in self.on_snapshot:
+            callback(snapshot)
+        return snapshot
+
+    def _per_step_graphs(self, cf_keys: set[FlowKey]) -> dict:
+        graphs = {}
+        for idx, (start, end) in self._windows.items():
+            step_reports = [r for r in self.reports
+                            if start <= r.time <= end]
+            if step_reports:
+                graphs[idx] = build_provenance(
+                    step_reports, cf_keys, self.pfc_xoff_bytes)
+        return graphs
+
+    def per_flow_score(self, flow: FlowKey, cf: FlowKey) -> float:
+        """Eq. 2 against the overall provenance graph (on demand)."""
+        overall = build_provenance(self.reports,
+                                   self.collective_flow_keys,
+                                   self.pfc_xoff_bytes)
+        return contribution_to_flow(overall, flow, cf)
+
+    def finish(self) -> DiagnosisSnapshot:
+        """Drain everything and emit the final snapshot."""
+        self.pump()
+        for released in self.watermark.flush():
+            self._ingest(released)
+        return self.emit_snapshot(final=True)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def counters(self) -> dict:
+        """Raw pipeline counters (embedded in every snapshot)."""
+        stats = self.bus.stats
+        graph = self.graph.stats()
+        return {
+            "published": stats.published,
+            "consumed": stats.consumed,
+            "dropped": stats.dropped,
+            "backpressure_stalls": stats.backpressure_stalls,
+            "bus_depth": len(self.bus),
+            "bus_high_watermark": stats.high_watermark,
+            "late_discarded": self.watermark.late_discarded,
+            "watermark_buffered": self.watermark.buffered,
+            "quarantined": self.quarantine.count,
+            "duplicates": self._dupes,
+            "graph_retained": graph["retained"],
+            "graph_pruned": graph["pruned_total"],
+            "prune_efficiency": round(graph["prune_efficiency"], 4),
+            "snapshots": self._snapshot_seq,
+        }
+
+    def build_metrics(self) -> MetricsRegistry:
+        """A full metrics registry over the pipeline's current state."""
+        registry = MetricsRegistry()
+        stats = self.bus.stats
+        graph = self.graph.stats()
+        wall = (self.clock() - self._started_wall) \
+            if self._started_wall is not None else 0.0
+        total = sum(self._ingested.values())
+
+        def counter(name, help, value):
+            registry.counter(name, help).inc(value)
+
+        counter("live_events_published_total",
+                "events offered to the bus", stats.published)
+        counter("live_step_records_total",
+                "step records ingested", self._ingested["step_record"])
+        counter("live_switch_reports_total",
+                "switch reports ingested",
+                self._ingested["switch_report"])
+        counter("live_bus_dropped_total",
+                "events shed by drop-oldest/drop-newest",
+                stats.dropped)
+        counter("live_bus_backpressure_total",
+                "publishes that stalled on a full bus",
+                stats.backpressure_stalls)
+        counter("live_late_discarded_total",
+                "events behind the watermark's lateness bound",
+                self.watermark.late_discarded)
+        counter("live_quarantined_total",
+                "malformed inputs quarantined", self.quarantine.count)
+        counter("live_duplicate_records_total",
+                "step records seen more than once", self._dupes)
+        counter("live_snapshots_total",
+                "diagnosis snapshots emitted", self._snapshot_seq)
+        counter("live_graph_pruned_total",
+                "waiting-graph records discarded by pruning",
+                graph["pruned_total"])
+
+        registry.gauge("live_bus_depth",
+                       "events currently queued").set(len(self.bus))
+        registry.gauge(
+            "live_bus_high_watermark",
+            "deepest the bus has been").set(stats.high_watermark)
+        registry.gauge(
+            "live_watermark_buffered",
+            "events held for reordering").set(self.watermark.buffered)
+        registry.gauge(
+            "live_graph_retained",
+            "waiting-graph records currently held"
+        ).set(graph["retained"])
+        registry.gauge(
+            "live_prune_efficiency",
+            "fraction of ingested records already pruned"
+        ).set(round(graph["prune_efficiency"], 6))
+        registry.gauge(
+            "live_ingest_rate_per_sec",
+            "ingested events / wall second"
+        ).set(round(total / wall, 3) if wall > 0 else 0.0)
+        registry.gauge(
+            "live_confidence",
+            "diagnosis confidence under telemetry loss"
+        ).set(round(self.degradation.confidence(), 4))
+        registry.attach(self.latency)
+        registry.attach(self.snapshot_cost)
+        return registry

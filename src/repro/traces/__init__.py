@@ -26,10 +26,18 @@ from repro.traces.serialize import (
 )
 from repro.traces.store import (
     Trace,
+    TraceFormatError,
     TraceRecorder,
     TraceRuntime,
     analyze_trace,
     load_trace,
+)
+from repro.traces.stream import (
+    TraceEvent,
+    TraceHeader,
+    merged_events,
+    read_header,
+    stream_events,
 )
 
 __all__ = [
@@ -40,8 +48,14 @@ __all__ = [
     "encode_switch_report",
     "decode_switch_report",
     "Trace",
+    "TraceFormatError",
     "TraceRecorder",
     "TraceRuntime",
     "load_trace",
     "analyze_trace",
+    "TraceEvent",
+    "TraceHeader",
+    "read_header",
+    "stream_events",
+    "merged_events",
 ]

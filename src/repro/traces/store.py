@@ -10,6 +10,7 @@ decomposition), ``flow_key`` (the (node, step) → 5-tuple map),
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
@@ -27,6 +28,21 @@ if TYPE_CHECKING:  # pragma: no cover
 FORMAT_VERSION = 1
 
 
+class TraceFormatError(ValueError):
+    """A trace file violates the JSONL format contract.
+
+    Carries the offending line number so a corrupt multi-gigabyte
+    capture can be triaged without bisecting it by hand.
+    """
+
+    def __init__(self, message: str,
+                 line_no: Optional[int] = None) -> None:
+        if line_no is not None:
+            message = f"{message} (line {line_no})"
+        super().__init__(message)
+        self.line_no = line_no
+
+
 @dataclass
 class Trace:
     """A fully-loaded trace."""
@@ -38,6 +54,9 @@ class Trace:
     reports: list[SwitchReport]
     pfc_xoff_bytes: int
     meta: dict = field(default_factory=dict)
+    #: entries whose ``kind`` this reader does not understand (a newer
+    #: writer's extension records): kind -> occurrence count
+    unknown_kinds: dict[str, int] = field(default_factory=dict)
 
 
 class TraceRuntime:
@@ -127,6 +146,7 @@ def load_trace(path: Union[str, Path]) -> Trace:
     step_records: list[StepRecord] = []
     reports: list[SwitchReport] = []
     meta: dict = {}
+    unknown_kinds: dict[str, int] = {}
     with path.open() as handle:
         for line_no, line in enumerate(handle, 1):
             line = line.strip()
@@ -137,9 +157,10 @@ def load_trace(path: Union[str, Path]) -> Trace:
             if kind == "meta":
                 meta = entry
                 if entry.get("version") != FORMAT_VERSION:
-                    raise ValueError(
-                        f"unsupported trace version "
-                        f"{entry.get('version')!r} at line {line_no}")
+                    raise TraceFormatError(
+                        f"unsupported trace version: found "
+                        f"{entry.get('version')!r}, expected "
+                        f"{FORMAT_VERSION!r}", line_no)
             elif kind == "schedule":
                 schedule = serialize.decode_schedule(entry["schedule"])
             elif kind == "flow_key":
@@ -153,10 +174,17 @@ def load_trace(path: Union[str, Path]) -> Trace:
             elif kind == "switch_report":
                 reports.append(serialize.decode_switch_report(entry))
             else:
-                raise ValueError(
-                    f"unknown record kind {kind!r} at line {line_no}")
+                # forward compatibility: a newer writer's record kinds
+                # must not abort the load, but must not vanish either
+                label = str(kind)
+                if label not in unknown_kinds:
+                    warnings.warn(
+                        f"skipping unknown trace record kind {kind!r} "
+                        f"(first at line {line_no})",
+                        stacklevel=2)
+                unknown_kinds[label] = unknown_kinds.get(label, 0) + 1
     if schedule is None:
-        raise ValueError(f"{path} contains no schedule record")
+        raise TraceFormatError(f"{path} contains no schedule record")
     return Trace(
         schedule=schedule,
         flow_keys=flow_keys,
@@ -165,6 +193,7 @@ def load_trace(path: Union[str, Path]) -> Trace:
         reports=reports,
         pfc_xoff_bytes=int(meta.get("pfc_xoff_bytes", 0)),
         meta=meta,
+        unknown_kinds=unknown_kinds,
     )
 
 

@@ -1,0 +1,202 @@
+"""Streaming trace access: yield records instead of loading files.
+
+:func:`load_trace` materializes an entire capture; a live service
+cannot.  This module reads the same JSONL format incrementally:
+
+* :func:`read_header` scans only the prologue (``meta`` / ``schedule``
+  / ``flow_key`` / ``expected`` entries) and stops at the first data
+  record;
+* :func:`stream_events` yields decoded ``step_record`` /
+  ``switch_report`` events one at a time, in file order;
+* :func:`merged_events` yields them in *completion-time order* — the
+  order the paper's analyzer queues entries in (§III-D1) — by merging
+  the two per-kind streams (each individually time-sorted by the
+  writer) with two file handles and O(1) buffering.
+
+Every reader takes an optional quarantine callback
+``on_error(line_no, reason, snippet)``; with it, malformed lines are
+reported and skipped instead of raising, so one truncated line cannot
+take down a tailing pipeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
+
+from repro.collective.primitives import StepSchedule
+from repro.simnet.packet import FlowKey
+from repro.traces import serialize
+from repro.traces.store import FORMAT_VERSION, TraceFormatError
+
+#: quarantine callback: (line_no, reason, snippet)
+ErrorSink = Callable[[int, str, str], None]
+
+#: record kinds that belong to the monitoring stream (vs the prologue)
+DATA_KINDS = ("step_record", "switch_report")
+
+
+@dataclass
+class TraceHeader:
+    """Everything the analyzer needs *before* the stream starts."""
+
+    schedule: StepSchedule
+    flow_keys: dict[tuple[str, int], FlowKey] = field(
+        default_factory=dict)
+    expected_step_times: dict[tuple[str, int], float] = field(
+        default_factory=dict)
+    pfc_xoff_bytes: int = 0
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One decoded monitoring-stream entry.
+
+    ``time`` is the event's completion/emission time in simulation
+    nanoseconds — a step record's ``end_time``, a switch report's
+    ``time``.
+    """
+
+    kind: str
+    time: float
+    payload: object
+    line_no: int
+
+
+def _lines(path: Union[str, Path]) -> Iterator[tuple[int, str]]:
+    with Path(path).open() as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if line:
+                yield line_no, line
+
+
+def _parse(line_no: int, line: str,
+           on_error: Optional[ErrorSink]) -> Optional[dict]:
+    try:
+        entry = json.loads(line)
+        if not isinstance(entry, dict):
+            raise TraceFormatError(
+                f"expected a JSON object, got {type(entry).__name__}")
+        return entry
+    except (ValueError, TraceFormatError) as error:
+        if on_error is None:
+            raise TraceFormatError(str(error), line_no) from error
+        on_error(line_no, f"{type(error).__name__}: {error}", line)
+        return None
+
+
+# ----------------------------------------------------------------------
+# header
+# ----------------------------------------------------------------------
+def read_header(path: Union[str, Path],
+                on_error: Optional[ErrorSink] = None) -> TraceHeader:
+    """Scan the prologue; stop at the first monitoring-stream record."""
+    schedule: Optional[StepSchedule] = None
+    flow_keys: dict[tuple[str, int], FlowKey] = {}
+    expected: dict[tuple[str, int], float] = {}
+    meta: dict = {}
+    for line_no, line in _lines(path):
+        entry = _parse(line_no, line, on_error)
+        if entry is None:
+            continue
+        kind = entry.get("kind")
+        if kind in DATA_KINDS:
+            break
+        if kind == "meta":
+            meta = entry
+            if entry.get("version") != FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"unsupported trace version: found "
+                    f"{entry.get('version')!r}, expected "
+                    f"{FORMAT_VERSION!r}", line_no)
+        elif kind == "schedule":
+            schedule = serialize.decode_schedule(entry["schedule"])
+        elif kind == "flow_key":
+            flow_keys[(entry["node"], int(entry["step"]))] = \
+                serialize.decode_flow_key(entry["flow"])
+        elif kind == "expected":
+            expected[(entry["node"], int(entry["step"]))] = \
+                float(entry["time_ns"])
+    if schedule is None:
+        raise TraceFormatError(f"{path} contains no schedule record")
+    return TraceHeader(
+        schedule=schedule,
+        flow_keys=flow_keys,
+        expected_step_times=expected,
+        pfc_xoff_bytes=int(meta.get("pfc_xoff_bytes", 0)),
+        meta=meta,
+    )
+
+
+# ----------------------------------------------------------------------
+# data stream
+# ----------------------------------------------------------------------
+def _decode_event(entry: dict, line_no: int) -> Optional[TraceEvent]:
+    kind = entry.get("kind")
+    if kind == "step_record":
+        record = serialize.decode_step_record(entry)
+        return TraceEvent("step_record", record.end_time, record,
+                          line_no)
+    if kind == "switch_report":
+        report = serialize.decode_switch_report(entry)
+        return TraceEvent("switch_report", report.time, report,
+                          line_no)
+    return None
+
+
+def stream_events(path: Union[str, Path],
+                  on_error: Optional[ErrorSink] = None,
+                  kinds: tuple[str, ...] = DATA_KINDS
+                  ) -> Iterator[TraceEvent]:
+    """Yield monitoring-stream events one at a time, in file order."""
+    for line_no, line in _lines(path):
+        entry = _parse(line_no, line, on_error)
+        if entry is None or entry.get("kind") not in kinds:
+            continue
+        if on_error is None:
+            event = _decode_event(entry, line_no)
+        else:
+            try:
+                event = _decode_event(entry, line_no)
+            except Exception as error:  # noqa: BLE001 - quarantine
+                on_error(line_no,
+                         f"{type(error).__name__}: {error}", line)
+                continue
+        if event is not None:
+            yield event
+
+
+def merged_events(path: Union[str, Path],
+                  on_error: Optional[ErrorSink] = None
+                  ) -> Iterator[TraceEvent]:
+    """Yield data events in completion-time order.
+
+    The writer emits each kind in its own time-sorted run, so a 2-way
+    streaming merge over two handles of the same file reconstructs the
+    arrival order a live analyzer would have seen, without loading the
+    capture.  Ties break toward step records (hosts report a step's
+    end before switches report the window that contained it).
+    """
+    rank = {"step_record": 0, "switch_report": 1}
+    # both per-kind streams parse every line; report each bad line once
+    if on_error is not None:
+        reported: set[int] = set()
+        original = on_error
+
+        def on_error(line_no: int, reason: str, snippet: str) -> None:
+            if line_no not in reported:
+                reported.add(line_no)
+                original(line_no, reason, snippet)
+
+    streams = [
+        ((e.time, rank[e.kind], e.line_no, e)
+         for e in stream_events(path, on_error, kinds=(kind,)))
+        for kind in DATA_KINDS
+    ]
+    for *_ignored, event in heapq.merge(*streams):
+        yield event

@@ -34,10 +34,9 @@ def test_switch_ring_minimum_size():
 
 def test_transient_loop_heals_and_collective_completes():
     net = Network(build_fat_tree(4))
-    from repro.simnet.network import NetworkConfig
     net.config.rto_ns = us(400)  # recover quickly after healing
     runtime = CollectiveRuntime(net, ring_allgather(NODES, 150_000))
-    system = VedrfolnirSystem(net, runtime)
+    VedrfolnirSystem(net, runtime)
     runtime.start()
     injection = inject_transient_loop(net, runtime, NODES[0],
                                       heal_after_ns=ms(1))

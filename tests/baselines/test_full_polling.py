@@ -1,7 +1,5 @@
 """Full-polling baseline semantics."""
 
-import pytest
-
 from repro.baselines.full_polling import FullPollingSystem
 from repro.collective.ring import ring_allgather
 from repro.collective.runtime import CollectiveRuntime

@@ -7,7 +7,7 @@ from repro.collective.ring import ring_allgather
 from repro.collective.runtime import CollectiveRuntime
 from repro.simnet.network import Network
 from repro.simnet.topology import build_fat_tree
-from repro.simnet.units import ms, us
+from repro.simnet.units import ms
 
 # mixed distances: h0->h1 shares a ToR, the other hops cross the fabric,
 # so base RTTs genuinely differ between flows (MaxR != MinR)

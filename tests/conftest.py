@@ -6,7 +6,7 @@ import pytest
 
 from repro.collective.ring import ring_allgather
 from repro.collective.runtime import CollectiveRuntime
-from repro.simnet.network import Network, NetworkConfig
+from repro.simnet.network import Network
 from repro.simnet.topology import build_dumbbell, build_fat_tree, build_linear
 from repro.simnet.units import ms
 

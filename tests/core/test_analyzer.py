@@ -1,7 +1,5 @@
 """Analyzer and VedrfolnirSystem end-to-end on small scenarios."""
 
-import pytest
-
 from repro.collective.ring import ring_allgather
 from repro.collective.runtime import CollectiveRuntime
 from repro.core.system import VedrfolnirConfig, VedrfolnirSystem

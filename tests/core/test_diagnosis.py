@@ -1,7 +1,5 @@
 """Signature detectors over synthetic provenance graphs (§III-D2)."""
 
-import pytest
-
 from repro.core.diagnosis import (
     AnomalyType,
     DiagnosisResult,

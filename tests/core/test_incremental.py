@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.collective.ring import ring_allgather
 from repro.collective.runtime import CollectiveRuntime, StepRecord
 from repro.core.incremental import IncrementalWaitingGraph

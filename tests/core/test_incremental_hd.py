@@ -1,7 +1,5 @@
 """Incremental waiting graph on non-ring decompositions."""
 
-import pytest
-
 from repro.collective.extra import binomial_broadcast, pipeline_broadcast
 from repro.collective.halving_doubling import halving_doubling_allreduce
 from repro.collective.runtime import CollectiveRuntime

@@ -1,0 +1,106 @@
+"""Property: incremental snapshot == batch graph, regardless of
+ingestion order or prune cadence.
+
+Randomized out-of-order ingestion across three different schedule
+shapes, ~50 seeded shuffles each paired with a random prune interval:
+the streaming graph's critical path must always equal the batch
+:class:`WaitingGraph` built from the same (complete) record set.
+"""
+
+import random
+import zlib
+
+import pytest
+
+from repro.collective.extra import all_to_all
+from repro.collective.halving_doubling import halving_doubling_allgather
+from repro.collective.ring import ring_allgather
+from repro.collective.runtime import StepRecord
+from repro.core.incremental import IncrementalWaitingGraph
+from repro.core.waiting_graph import WaitingGraph
+from repro.simnet.packet import FlowKey
+
+SCHEDULES = {
+    "ring": lambda: ring_allgather(["n0", "n1", "n2", "n3"], 1000),
+    "halving_doubling": lambda: halving_doubling_allgather(
+        ["n0", "n1", "n2", "n3"], 1000),
+    "all_to_all": lambda: all_to_all(["n0", "n1", "n2"], 1000),
+}
+
+
+def synthesize_records(schedule, rng: random.Random) -> list[StepRecord]:
+    """Dependency-consistent records with randomized durations.
+
+    Start times honor the schedule's structural edges (a step starts
+    when its node's previous step ended and its data dependency's end
+    arrived), so the resulting graph is a realistic execution, not
+    noise.
+    """
+    ends: dict[tuple[str, int], float] = {}
+    records: list[StepRecord] = []
+    max_index = max(s.step_index for s in schedule.all_steps())
+    for idx in range(max_index + 1):
+        for node in schedule.nodes:
+            steps = schedule.steps.get(node, [])
+            if idx >= len(steps):
+                continue
+            step = steps[idx]
+            prev_end = ends.get((node, idx - 1), 0.0)
+            dep_end = ends.get(step.depends_on, 0.0) \
+                if step.depends_on is not None else 0.0
+            if dep_end > prev_end:
+                binding = "recv"
+            elif idx > 0 and prev_end > dep_end:
+                binding = "prev_send"
+            else:
+                binding = None
+            start = max(prev_end, dep_end)
+            duration = rng.uniform(10.0, 500.0)
+            end = start + duration
+            ends[(node, idx)] = end
+            records.append(StepRecord(
+                node=node, step_index=idx,
+                flow_key=FlowKey(node, step.peer, 9000 + idx, 4791),
+                size_bytes=step.size_bytes,
+                start_time=start, end_time=end,
+                recv_source=None, binding_dependency=binding))
+    return records
+
+
+def critical_path_of(graph) -> list[tuple[str, int]]:
+    return [(e.node, e.step_index) for e in graph.critical_path()]
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULES))
+def test_snapshot_equals_batch_under_shuffled_ingestion(name):
+    make_schedule = SCHEDULES[name]
+    for trial in range(50):
+        rng = random.Random(zlib.crc32(name.encode()) + trial)
+        schedule = make_schedule()
+        records = synthesize_records(schedule, rng)
+        shuffled = records[:]
+        rng.shuffle(shuffled)
+        prune_interval = rng.choice([0, 1, 2, 3, 5, 8, 16])
+        incremental = IncrementalWaitingGraph(
+            schedule, prune_interval=prune_interval)
+        for record in shuffled:
+            incremental.submit(record)
+        incremental.prune()
+        batch = WaitingGraph(schedule, records)
+        assert critical_path_of(incremental.snapshot()) == \
+            critical_path_of(batch), \
+            f"{name} trial {trial} prune_interval={prune_interval}"
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULES))
+def test_pruning_only_ever_removes_noncritical(name):
+    rng = random.Random(99)
+    schedule = SCHEDULES[name]()
+    records = synthesize_records(schedule, rng)
+    incremental = IncrementalWaitingGraph(schedule, prune_interval=1)
+    for record in records:
+        incremental.submit(record)
+    incremental.prune()
+    batch_path = critical_path_of(WaitingGraph(schedule, records))
+    retained = set(incremental.records)
+    assert set(batch_path) <= retained

@@ -1,7 +1,5 @@
 """Host monitor: SSQ/RSQ and Table I waiting states."""
 
-import pytest
-
 from repro.collective.ring import ring_allgather
 from repro.collective.runtime import CollectiveRuntime
 from repro.core.monitor import HostMonitor, WaitingState

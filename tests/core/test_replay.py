@@ -10,7 +10,7 @@ from repro.simnet.network import Network
 from repro.simnet.packet import FlowKey
 from repro.simnet.telemetry import PortTelemetryEntry
 from repro.simnet.topology import build_dumbbell
-from repro.simnet.units import ms, us
+from repro.simnet.units import us
 
 F1 = FlowKey("h0", "h2", 1, 4791)
 F2 = FlowKey("h1", "h3", 2, 4791)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.collective.primitives import CollectiveOp, SendStep, StepSchedule
+from repro.collective.primitives import StepSchedule
 from repro.collective.ring import ring_reduce_scatter
 from repro.collective.runtime import StepRecord
 from repro.core.waiting_graph import EdgeKind, WaitingGraph, WaitingVertex

@@ -3,11 +3,7 @@
 import pytest
 
 from repro.experiments.harness import CaseResult
-from repro.experiments.metrics import (
-    ScenarioSystemMetrics,
-    aggregate,
-    format_table,
-)
+from repro.experiments.metrics import aggregate, format_table
 
 
 def case(scenario="flow_contention", system="vedrfolnir", outcome="tp",

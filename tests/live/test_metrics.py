@@ -1,0 +1,91 @@
+"""Pipeline self-observability primitives."""
+
+import json
+
+import pytest
+
+from repro.live.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_metrics_text,
+)
+
+
+def test_counter_monotonic():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("g")
+    gauge.set(10)
+    gauge.set(3.5)
+    assert gauge.value == 3.5
+
+
+def test_histogram_stats():
+    hist = Histogram("h", buckets=[1.0, 10.0, 100.0])
+    for value in [0.5, 2.0, 3.0, 50.0, 500.0]:
+        hist.observe(value)
+    data = hist.to_dict()
+    assert data["count"] == 5
+    assert data["min"] == 0.5
+    assert data["max"] == 500.0
+    assert data["sum"] == pytest.approx(555.5)
+    assert data["overflow"] == 1
+
+
+def test_histogram_percentiles_ordered():
+    hist = Histogram("h")
+    for i in range(1, 1001):
+        hist.observe(i / 1000.0)
+    p50, p90, p99 = (hist.percentile(p) for p in (50, 90, 99))
+    assert hist.min <= p50 <= p90 <= p99 <= hist.max
+    # log buckets are coarse; just require the right ballpark
+    assert 0.2 <= p50 <= 0.8
+    assert p99 >= 0.5
+
+
+def test_empty_histogram_is_quiet():
+    hist = Histogram("h")
+    assert hist.percentile(99) == 0.0
+    assert hist.mean == 0.0
+    assert hist.to_dict()["count"] == 0
+
+
+def test_registry_round_trips_json():
+    registry = MetricsRegistry()
+    registry.counter("events", "total events").inc(7)
+    registry.gauge("depth").set(2)
+    registry.histogram("lat").observe(0.25)
+    data = json.loads(registry.to_json())
+    assert data["events"]["value"] == 7
+    assert data["events"]["type"] == "counter"
+    assert data["depth"]["value"] == 2
+    assert data["lat"]["count"] == 1
+    assert registry.names() == ["depth", "events", "lat"]
+
+
+def test_registry_rejects_duplicates():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError, match="duplicate"):
+        registry.gauge("x")
+
+
+def test_render_text_view():
+    registry = MetricsRegistry()
+    registry.counter("live_events_total", "all events").inc(42)
+    registry.histogram("live_latency_seconds").observe(0.001)
+    text = render_metrics_text(registry.to_dict())
+    assert "live_events_total" in text
+    assert "42" in text
+    assert "counter" in text
+    assert "p99" in text
+    assert "all events" in text

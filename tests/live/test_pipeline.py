@@ -1,0 +1,171 @@
+"""End-to-end live pipeline: equivalence with the batch analyzer,
+rolling snapshots, degradation, and metrics export."""
+
+import math
+
+import pytest
+
+from repro.collective.ring import ring_allgather
+from repro.collective.runtime import CollectiveRuntime
+from repro.core.system import VedrfolnirSystem
+from repro.live import LivePipeline, PipelineConfig
+from repro.live.bus import BusPolicy
+from repro.simnet.network import Network
+from repro.simnet.topology import build_fat_tree
+from repro.simnet.units import ms
+from repro.traces import TraceRecorder, analyze_trace, load_trace
+from repro.traces.stream import merged_events, read_header
+
+NODES = ["h0", "h4", "h8", "h12"]
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    """One contended collective captured to JSONL."""
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, ring_allgather(NODES, 200_000))
+    VedrfolnirSystem(net, runtime)  # triggers switch telemetry
+    recorder = TraceRecorder.attach(net, runtime)
+    runtime.start()
+    net.create_flow("h1", "h4", 2_500_000, tag="background").start()
+    net.run_until_quiet(max_time=ms(100))
+    assert runtime.completed
+    path = tmp_path_factory.mktemp("live") / "run.jsonl"
+    recorder.write(path)
+    return path
+
+
+def replay(path, config=None) -> LivePipeline:
+    pipeline = LivePipeline.from_header(read_header(path), config)
+    for event in merged_events(path):
+        pipeline.publish(event)
+        if len(pipeline.bus) >= 32:
+            pipeline.pump(32)
+    return pipeline
+
+
+def test_final_snapshot_matches_batch(trace_path):
+    batch = analyze_trace(load_trace(trace_path))
+    pipeline = replay(trace_path,
+                      PipelineConfig(snapshot_every=50,
+                                     prune_interval=8))
+    final = pipeline.finish()
+
+    assert [(e.node, e.step_index) for e in final.critical_path] == \
+        [(e.node, e.step_index) for e in batch.critical_path]
+    assert final.bottleneck_steps == batch.bottleneck_steps
+    assert {(f.type, tuple(sorted(map(str, f.root_ports))))
+            for f in final.result.findings} == \
+        {(f.type, tuple(sorted(map(str, f.root_ports))))
+         for f in batch.result.findings}
+    assert final.detected_flows == batch.detected_flows
+    assert final.collective_scores.keys() == \
+        batch.collective_scores.keys()
+    for key, score in batch.collective_scores.items():
+        assert math.isclose(final.collective_scores[key], score,
+                            rel_tol=1e-9, abs_tol=1e-9)
+    assert final.top_contributors(1) == batch.top_contributors(1)
+
+
+def test_rolling_snapshots_emitted(trace_path):
+    pipeline = replay(trace_path, PipelineConfig(snapshot_every=8))
+    final = pipeline.finish()
+    assert len(pipeline.snapshots) >= 2
+    assert pipeline.snapshots[-1] is final
+    assert final.final
+    assert not pipeline.snapshots[0].final
+    # rolling snapshots see a prefix of the stream
+    first = pipeline.snapshots[0]
+    assert first.step_records_ingested <= final.step_records_ingested
+    assert first.watermark_ns <= final.watermark_ns
+    # counters land in every snapshot
+    assert final.counters["consumed"] == final.counters["published"]
+    assert final.counters["quarantined"] == 0
+    assert final.counters["dropped"] == 0
+
+
+def test_snapshot_callbacks_and_summary(trace_path):
+    pipeline = replay(trace_path, PipelineConfig(snapshot_every=0))
+    seen = []
+    pipeline.on_snapshot.append(seen.append)
+    final = pipeline.finish()
+    assert seen == [final]
+    line = final.summary_line()
+    assert "FINAL" in line
+    assert "anomalies=" in line
+    payload = final.to_dict(top=3)
+    assert payload["final"] is True
+    assert payload["step_records"] == final.step_records_ingested
+    assert len(payload["contributors"]) <= 3
+
+
+def test_live_attachment_to_running_collective():
+    """The pipeline can consume a simulation directly (no trace)."""
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, ring_allgather(NODES, 150_000))
+    pipeline = LivePipeline(
+        runtime.schedule, {}, {}, net.config.pfc_xoff_bytes,
+        PipelineConfig(rate_contributors=False))
+    runtime.step_end_listeners.append(pipeline.publish_step_record)
+    net.set_report_sink(pipeline.publish_switch_report)
+    runtime.start()
+    net.create_flow("h1", "h4", 1_000_000).start()
+    net.run_until_quiet(max_time=ms(100))
+    assert runtime.completed
+    # flow keys arrive lazily in a live deployment
+    pipeline.flow_keys.update(runtime.flow_keys)
+    for step in runtime.schedule.all_steps():
+        pipeline.expected_step_times[(step.node, step.step_index)] = \
+            runtime.expected_step_time_ns(step)
+    final = pipeline.finish()
+    assert final.step_records_ingested == len(runtime.records)
+    assert final.critical_path
+
+
+def test_degradation_when_reports_missing(trace_path):
+    header = read_header(trace_path)
+    pipeline = LivePipeline.from_header(header)
+    for event in merged_events(trace_path):
+        if event.kind == "switch_report":
+            continue                   # telemetry loss: no switch data
+        pipeline.publish(event)
+    final = pipeline.finish()
+    assert final.switch_reports_ingested == 0
+    assert final.degraded
+    assert final.confidence == pipeline.degradation.floor
+    # the waiting-graph side still works without switch telemetry
+    assert final.critical_path
+
+
+def test_confidence_full_on_clean_stream(trace_path):
+    pipeline = replay(trace_path)
+    final = pipeline.finish()
+    assert final.confidence == 1.0
+    assert not final.degraded
+
+
+def test_metrics_export(trace_path):
+    pipeline = replay(trace_path, PipelineConfig(snapshot_every=40))
+    pipeline.finish()
+    registry = pipeline.build_metrics()
+    data = registry.to_dict()
+    assert data["live_step_records_total"]["value"] > 0
+    assert data["live_switch_reports_total"]["value"] > 0
+    assert data["live_quarantined_total"]["value"] == 0
+    assert data["live_snapshots_total"]["value"] == \
+        len(pipeline.snapshots)
+    assert data["live_ingest_to_snapshot_seconds"]["count"] > 0
+    assert data["live_ingest_rate_per_sec"]["value"] > 0
+
+
+def test_block_policy_backpressures_instead_of_dropping(trace_path):
+    pipeline = replay(trace_path,
+                      PipelineConfig(queue_capacity=8,
+                                     policy=BusPolicy.BLOCK,
+                                     pump_batch=4))
+    final = pipeline.finish()
+    assert final.counters["backpressure_stalls"] > 0
+    assert final.counters["dropped"] == 0
+    batch = analyze_trace(load_trace(trace_path))
+    # backpressure loses nothing: the diagnosis is still exact
+    assert final.detected_flows == batch.detected_flows

@@ -1,0 +1,179 @@
+"""Fault injection: the live pipeline must degrade, never crash.
+
+Covers the contract that truncated JSONL lines, duplicate records and
+bursts exceeding the queue bound all produce a snapshot plus nonzero
+quarantine/drop counters — and never an exception.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.collective.ring import ring_allgather
+from repro.collective.runtime import CollectiveRuntime
+from repro.core.system import VedrfolnirSystem
+from repro.live import LivePipeline, PipelineConfig
+from repro.live.bus import BusPolicy
+from repro.live.robustness import DegradationTracker, Quarantine
+from repro.simnet.network import Network
+from repro.simnet.topology import build_fat_tree
+from repro.simnet.units import ms
+from repro.traces import TraceRecorder
+from repro.traces.stream import merged_events, read_header
+
+NODES = ["h0", "h4", "h8", "h12"]
+
+
+@pytest.fixture(scope="module")
+def clean_trace(tmp_path_factory):
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, ring_allgather(NODES, 150_000))
+    VedrfolnirSystem(net, runtime)  # triggers switch telemetry
+    recorder = TraceRecorder.attach(net, runtime)
+    runtime.start()
+    net.create_flow("h1", "h4", 1_500_000, tag="background").start()
+    net.run_until_quiet(max_time=ms(100))
+    assert runtime.completed
+    path = tmp_path_factory.mktemp("fault") / "clean.jsonl"
+    recorder.write(path)
+    return path
+
+
+def serve_file(path, config=None) -> tuple:
+    """Replay a (possibly corrupt) file exactly like ``repro serve``."""
+    pipeline = LivePipeline.from_header(
+        read_header(path, on_error=lambda *_: None), config)
+
+    def quarantine_line(line_no, reason, snippet):
+        pipeline.quarantine.admit(line_no, reason, snippet)
+
+    for event in merged_events(path, on_error=quarantine_line):
+        pipeline.publish(event)
+        if len(pipeline.bus) >= 32:
+            pipeline.pump(32)
+    return pipeline, pipeline.finish()
+
+
+def test_truncated_lines_quarantined(clean_trace, tmp_path):
+    corrupt = tmp_path / "truncated.jsonl"
+    lines = clean_trace.read_text().splitlines()
+    rng = random.Random(11)
+    data_lines = [i for i, line in enumerate(lines)
+                  if '"step_record"' in line
+                  or '"switch_report"' in line]
+    chopped = set(rng.sample(data_lines, 5))
+    corrupt.write_text("\n".join(
+        line[:len(line) // 2] if i in chopped else line
+        for i, line in enumerate(lines)) + "\n")
+
+    pipeline, final = serve_file(corrupt)
+    assert pipeline.quarantine.count >= 5
+    assert final.counters["quarantined"] >= 5
+    assert final.critical_path, "snapshot still produced"
+    sample = pipeline.quarantine.to_dict()
+    assert sample["count"] == pipeline.quarantine.count
+    assert sample["sample"][0]["line"] > 0
+
+
+def test_garbage_and_wrong_shape_lines(clean_trace, tmp_path):
+    corrupt = tmp_path / "garbage.jsonl"
+    garbage = [
+        "not json at all",
+        '{"kind": "step_record"}',            # fields missing
+        '[1, 2, 3]',                          # not an object
+        '{"kind": "step_record", "node": "h0", "step": "NaNny"}',
+    ]
+    corrupt.write_text(clean_trace.read_text()
+                       + "\n".join(garbage) + "\n")
+    pipeline, final = serve_file(corrupt)
+    assert pipeline.quarantine.count >= 3
+    assert final.critical_path
+    # reasons are grouped for the operator
+    assert pipeline.quarantine.by_reason
+
+
+def test_duplicate_records_counted_not_fatal(clean_trace, tmp_path):
+    duplicated = tmp_path / "dupes.jsonl"
+    lines = clean_trace.read_text().splitlines()
+    out = []
+    dupes = 0
+    for line in lines:
+        out.append(line)
+        if '"step_record"' in line and dupes < 7:
+            out.append(line)
+            dupes += 1
+    duplicated.write_text("\n".join(out) + "\n")
+    pipeline, final = serve_file(duplicated)
+    assert final.counters["duplicates"] == 7
+    assert final.critical_path
+
+
+def test_burst_exceeding_queue_bound_drop_oldest(clean_trace):
+    config = PipelineConfig(queue_capacity=16,
+                            policy=BusPolicy.DROP_OLDEST)
+    pipeline = LivePipeline.from_header(read_header(clean_trace),
+                                        config)
+    # the whole trace as one burst, no pumping in between
+    for event in merged_events(clean_trace):
+        pipeline.publish(event)
+    final = pipeline.finish()
+    assert final.counters["dropped"] > 0
+    assert pipeline.bus.stats.dropped_oldest > 0
+    assert final.step_records_ingested + \
+        final.switch_reports_ingested == 16
+
+
+def test_burst_exceeding_queue_bound_drop_newest(clean_trace):
+    config = PipelineConfig(queue_capacity=16,
+                            policy=BusPolicy.DROP_NEWEST)
+    pipeline = LivePipeline.from_header(read_header(clean_trace),
+                                        config)
+    admitted = sum(pipeline.publish(e)
+                   for e in merged_events(clean_trace))
+    final = pipeline.finish()
+    assert admitted == 16
+    assert final.counters["dropped"] > 0
+    assert pipeline.bus.stats.dropped_newest > 0
+
+
+def test_unknown_event_kind_is_quarantined():
+    from repro.live.bus import TelemetryEvent
+
+    pipeline = LivePipeline(ring_allgather(NODES, 1000), {}, {}, 0)
+    pipeline.bus.publish(TelemetryEvent("mystery", 1.0, None, seq=1))
+    pipeline.pump()
+    assert pipeline.quarantine.count == 1
+
+
+def test_quarantine_bounds_retained_sample():
+    quarantine = Quarantine(keep=3)
+    for i in range(10):
+        quarantine.admit(i, f"ValueError: bad {i}", snippet="x" * 500)
+    assert quarantine.count == 10
+    assert len(quarantine.entries) == 3
+    assert all(len(e.snippet) <= 120 for e in quarantine.entries)
+    assert quarantine.by_reason == {"ValueError": 10}
+
+
+def test_quarantine_guard_swallows_and_returns_none():
+    quarantine = Quarantine()
+    assert quarantine.guard(5, lambda: json.loads("{nope")) is None
+    assert quarantine.guard(6, lambda: 42) == 42
+    assert quarantine.count == 1
+
+
+def test_degradation_tracker_profile():
+    tracker = DegradationTracker(report_gap_ns=100.0, floor=0.2)
+    assert tracker.confidence() == 1.0       # nothing seen yet
+    tracker.observe_step(1000.0)
+    assert tracker.confidence() == 0.2       # steps but no reports
+    tracker.observe_report(990.0)
+    assert tracker.confidence() == 1.0       # fresh report
+    tracker.observe_step(1200.0)             # report now 210ns stale
+    assert 0.2 < tracker.confidence() < 1.0
+    tracker.observe_step(5000.0)             # far beyond 3x gap
+    assert tracker.confidence() == 0.2
+    data = tracker.to_dict()
+    assert data["degraded"] is True
+    assert data["report_staleness_ns"] == pytest.approx(4010.0)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.simnet.flow import FlowReceiver
 from repro.simnet.network import Network
 from repro.simnet.packet import (
     FlowKey,
@@ -93,7 +92,7 @@ def test_port_space_kick_unblocks_sender(net):
 def test_receiver_duplicate_completion_fires_once(net):
     done = []
     key = net.new_flow_key("h0", "h1")
-    receiver = net.hosts["h1"].expect_flow(
+    net.hosts["h1"].expect_flow(
         key, expected_bytes=1000,
         on_receive_complete=lambda r: done.append(1))
     packet = make_data_packet(key, 0, 1000, 0.0)

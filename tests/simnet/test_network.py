@@ -3,7 +3,6 @@
 import pytest
 
 from repro.simnet.network import Network, NetworkConfig
-from repro.simnet.packet import PacketKind
 from repro.simnet.topology import build_dumbbell, build_fat_tree
 from repro.simnet.units import ms, us
 

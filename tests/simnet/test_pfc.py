@@ -1,7 +1,5 @@
 """PFC generation, propagation, storm injection."""
 
-import pytest
-
 from repro.simnet.network import Network, NetworkConfig
 from repro.simnet.pfc import PfcStormInjector, PortRef
 from repro.simnet.topology import build_dumbbell, build_fat_tree, build_linear

@@ -1,7 +1,5 @@
 """Switch internals: polling machinery, ECN, PFC accounting invariants."""
 
-import pytest
-
 from repro.simnet.network import Network, NetworkConfig
 from repro.simnet.packet import PacketKind, make_control_packet
 from repro.simnet.topology import build_dumbbell, build_fat_tree, build_linear
@@ -184,7 +182,7 @@ def test_notify_packet_reaches_only_destination():
 
 def test_ttl_expiry_drops_and_counts():
     net = Network(build_dumbbell(1))
-    flow = net.create_flow("h0", "h1", 50_000)
+    net.create_flow("h0", "h1", 50_000)
     packet = make_control_packet(PacketKind.NOTIFY, None, "h0", "h1", 0.0)
     packet.ttl = 1
     net.hosts["h0"].send_packet(packet)

@@ -1,7 +1,5 @@
 """Telemetry store: windowed counters, waiting weights, reports."""
 
-import pytest
-
 from repro.simnet.network import Network
 from repro.simnet.packet import FlowKey
 from repro.simnet.telemetry import (
@@ -10,7 +8,7 @@ from repro.simnet.telemetry import (
     WindowedCounter,
 )
 from repro.simnet.topology import build_dumbbell
-from repro.simnet.units import ms, us
+from repro.simnet.units import us
 
 
 # ----------------------------------------------------------------------

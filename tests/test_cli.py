@@ -67,6 +67,103 @@ def test_diagnose_missing_file(capsys):
     assert "error" in capsys.readouterr().err
 
 
+@pytest.fixture(scope="module")
+def cli_trace(tmp_path_factory):
+    """One recorded run shared by the serve/tail/metrics tests."""
+    from repro.collective.ring import ring_allgather
+    from repro.collective.runtime import CollectiveRuntime
+    from repro.core.system import VedrfolnirSystem
+    from repro.simnet.network import Network
+    from repro.simnet.topology import build_fat_tree
+    from repro.simnet.units import ms
+    from repro.traces import TraceRecorder
+
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(
+        net, ring_allgather(["h0", "h4", "h8", "h12"], 150_000))
+    VedrfolnirSystem(net, runtime)  # triggers switch telemetry
+    recorder = TraceRecorder.attach(net, runtime)
+    runtime.start()
+    net.create_flow("h1", "h4", 1_500_000, tag="background").start()
+    net.run_until_quiet(max_time=ms(100))
+    assert runtime.completed
+    path = tmp_path_factory.mktemp("cli") / "run.jsonl"
+    recorder.write(path)
+    return path
+
+
+def test_serve_matches_diagnose(capsys, cli_trace, tmp_path):
+    """Acceptance: max-speed replay == batch diagnosis on one trace."""
+    import json
+
+    assert main(["diagnose", "--trace", str(cli_trace), "--json"]) == 0
+    batch = json.loads(capsys.readouterr().out)
+
+    snapshots = tmp_path / "snaps.jsonl"
+    metrics = tmp_path / "metrics.json"
+    assert main(["serve", "--trace", str(cli_trace), "--speed", "0",
+                 "--snapshots", str(snapshots),
+                 "--metrics", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "final diagnosis" in out
+    assert "metrics written to" in out
+
+    lines = [json.loads(line)
+             for line in snapshots.read_text().splitlines()]
+    final = lines[-1]
+    assert final["final"] is True
+    batch_findings = {(f["type"], tuple(f["root_ports"]))
+                      for f in batch["findings"]}
+    live_findings = {(f["type"], tuple(f["root_ports"]))
+                     for f in final["findings"]}
+    assert live_findings == batch_findings
+    if batch["contributors"]:
+        assert final["contributors"][0]["flow"] == \
+            batch["contributors"][0]["flow"]
+    assert final["counters"]["quarantined"] == 0
+
+
+def test_serve_missing_trace(capsys):
+    assert main(["serve", "--trace", "/nonexistent/x.jsonl"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_tail_prints_snapshots(capsys, cli_trace, tmp_path):
+    snapshots = tmp_path / "snaps.jsonl"
+    assert main(["serve", "--trace", str(cli_trace), "--speed", "0",
+                 "--quiet", "--snapshot-every", "8",
+                 "--snapshots", str(snapshots),
+                 "--metrics", str(tmp_path / "m.json")]) == 0
+    capsys.readouterr()
+    assert main(["tail", "--snapshots", str(snapshots)]) == 0
+    out = capsys.readouterr().out.splitlines()
+    assert len(out) >= 2
+    assert out[-1].startswith("[FINAL]")
+    assert all("steps=" in line for line in out)
+
+
+def test_tail_missing_file(capsys):
+    assert main(["tail", "--snapshots", "/nonexistent/s.jsonl"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_metrics_view(capsys, cli_trace, tmp_path):
+    metrics = tmp_path / "metrics.json"
+    assert main(["serve", "--trace", str(cli_trace), "--speed", "0",
+                 "--quiet", "--metrics", str(metrics)]) == 0
+    capsys.readouterr()
+    assert main(["metrics", "--file", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "live_step_records_total" in out
+    assert "live_quarantined_total" in out
+    assert "p99" in out
+
+
+def test_metrics_missing_file(capsys):
+    assert main(["metrics", "--file", "/nonexistent/m.json"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
 @pytest.mark.slow
 def test_figure_13b_via_cli(capsys):
     assert main(["figure", "--id", "13b", "--cases", "1",

@@ -7,8 +7,6 @@ and network layers have their own finer-grained checks).
 
 import json
 
-import pytest
-
 from repro.anomalies.scenarios import ScenarioConfig, make_cases
 from repro.collective.ring import ring_allgather
 from repro.collective.runtime import CollectiveRuntime

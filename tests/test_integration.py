@@ -1,8 +1,6 @@
 """Cross-cutting integration tests: full pipeline on varied algorithms,
 topologies and anomalies."""
 
-import pytest
-
 from repro.collective.extra import all_to_all, pipeline_broadcast
 from repro.collective.halving_doubling import halving_doubling_allreduce
 from repro.collective.runtime import CollectiveRuntime

@@ -1,7 +1,5 @@
 """Small uncovered paths across modules."""
 
-import pytest
-
 from repro.core.diagnosis import AnomalyType
 from repro.core.monitor import HostMonitor, WaitingState
 from repro.core.reports import RECOMMENDED_ACTIONS

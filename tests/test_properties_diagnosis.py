@@ -101,7 +101,6 @@ def test_replay_weights_sum_bounded(flow_pkts, qdepth):
         paused=False, flow_pkts=flow_pkts, inqueue_flow_pkts={},
         wait_weights={})
     estimate = replay_pairwise_weights(entry)
-    total_pkts = sum(flow_pkts.values())
     # Σ_j w(f_i, f_j) <= pkt_num(f_i) * qdepth for every f_i
     for fi, count_i in flow_pkts.items():
         row = sum(w for (a, _b), w in estimate.items() if a == fi)

@@ -1,7 +1,5 @@
 """DOT export and ASCII rendering."""
 
-import pytest
-
 from repro.collective.ring import ring_allgather
 from repro.collective.runtime import StepRecord
 from repro.core.provenance import ProvenanceGraph

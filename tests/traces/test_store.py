@@ -81,18 +81,36 @@ def test_missing_schedule_rejected(tmp_path):
         load_trace(path)
 
 
-def test_unknown_kind_rejected(tmp_path):
-    path = tmp_path / "bad.jsonl"
-    path.write_text('{"kind": "mystery"}\n')
-    with pytest.raises(ValueError, match="unknown record kind"):
-        load_trace(path)
+def test_unknown_kind_warns_and_counts(recorded_run, tmp_path):
+    path, _, _, _ = recorded_run
+    padded = tmp_path / "extended.jsonl"
+    padded.write_text(path.read_text()
+                      + '{"kind": "mystery", "x": 1}\n'
+                      + '{"kind": "mystery", "x": 2}\n'
+                      + '{"kind": "gadget"}\n')
+    with pytest.warns(UserWarning, match="unknown trace record kind"):
+        trace = load_trace(padded)
+    assert trace.schedule.nodes == NODES
+    assert trace.unknown_kinds == {"mystery": 2, "gadget": 1}
+
+
+def test_known_kinds_leave_no_unknown_counts(recorded_run):
+    path, _, _, _ = recorded_run
+    assert load_trace(path).unknown_kinds == {}
 
 
 def test_version_mismatch_rejected(tmp_path):
+    from repro.traces import TraceFormatError
+
     path = tmp_path / "future.jsonl"
-    path.write_text('{"kind": "meta", "version": 99}\n')
-    with pytest.raises(ValueError, match="version"):
+    path.write_text('\n{"kind": "meta", "version": 99}\n')
+    with pytest.raises(TraceFormatError,
+                       match=r"found 99, expected 1 \(line 2\)") \
+            as excinfo:
         load_trace(path)
+    assert excinfo.value.line_no == 2
+    # TraceFormatError stays a ValueError for existing callers
+    assert isinstance(excinfo.value, ValueError)
 
 
 def test_blank_lines_tolerated(recorded_run, tmp_path):

@@ -1,0 +1,113 @@
+"""Streaming trace reader: header scan, event streams, merge order."""
+
+import json
+
+import pytest
+
+from repro.collective.ring import ring_allgather
+from repro.collective.runtime import CollectiveRuntime
+from repro.core.system import VedrfolnirSystem
+from repro.simnet.network import Network
+from repro.simnet.topology import build_fat_tree
+from repro.simnet.units import ms
+from repro.traces import TraceRecorder, load_trace
+from repro.traces.store import TraceFormatError
+from repro.traces.stream import (
+    merged_events,
+    read_header,
+    stream_events,
+)
+
+NODES = ["h0", "h4", "h8", "h12"]
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, ring_allgather(NODES, 150_000))
+    VedrfolnirSystem(net, runtime)  # triggers switch telemetry
+    recorder = TraceRecorder.attach(net, runtime)
+    runtime.start()
+    net.create_flow("h1", "h4", 1_000_000, tag="background").start()
+    net.run_until_quiet(max_time=ms(100))
+    assert runtime.completed
+    path = tmp_path_factory.mktemp("stream") / "run.jsonl"
+    recorder.write(path)
+    return path
+
+
+def test_header_matches_full_load(trace_path):
+    header = read_header(trace_path)
+    trace = load_trace(trace_path)
+    assert header.schedule.nodes == trace.schedule.nodes
+    assert header.flow_keys == trace.flow_keys
+    assert header.expected_step_times == trace.expected_step_times
+    assert header.pfc_xoff_bytes == trace.pfc_xoff_bytes
+    assert header.meta["topology"] == trace.meta["topology"]
+
+
+def test_stream_yields_same_events_as_load(trace_path):
+    trace = load_trace(trace_path)
+    events = list(stream_events(trace_path))
+    steps = [e.payload for e in events if e.kind == "step_record"]
+    reports = [e.payload for e in events if e.kind == "switch_report"]
+    assert steps == trace.step_records
+    assert reports == trace.reports
+    assert all(e.line_no > 0 for e in events)
+
+
+def test_merged_events_are_time_sorted(trace_path):
+    times = [e.time for e in merged_events(trace_path)]
+    assert times == sorted(times)
+    assert len(times) == len(list(stream_events(trace_path)))
+
+
+def test_header_requires_schedule(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text('{"kind": "meta", "version": 1}\n')
+    with pytest.raises(TraceFormatError, match="no schedule"):
+        read_header(path)
+
+
+def test_header_rejects_future_version(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text('{"kind": "meta", "version": 99}\n')
+    with pytest.raises(TraceFormatError, match="found 99, expected 1"):
+        read_header(path)
+
+
+def test_strict_stream_raises_with_line_number(trace_path, tmp_path):
+    corrupt = tmp_path / "bad.jsonl"
+    text = trace_path.read_text()
+    corrupt.write_text(text + "{broken\n")
+    bad_line = text.count("\n") + 1
+    with pytest.raises(TraceFormatError) as excinfo:
+        list(stream_events(corrupt))
+    assert excinfo.value.line_no == bad_line
+    assert f"line {bad_line}" in str(excinfo.value)
+
+
+def test_quarantined_stream_skips_and_reports(trace_path, tmp_path):
+    corrupt = tmp_path / "bad.jsonl"
+    corrupt.write_text(trace_path.read_text() + "{broken\n[]\n")
+    errors = []
+    events = list(merged_events(
+        corrupt, on_error=lambda n, r, s: errors.append((n, r))))
+    assert len(errors) == 2        # each bad line reported exactly once
+    assert events, "good events still flow"
+    clean_count = len(list(stream_events(trace_path)))
+    assert len(events) == clean_count
+
+
+def test_header_stops_at_first_data_record(trace_path, tmp_path):
+    # a trace whose prologue is followed by garbage that read_header
+    # must never reach
+    lines = trace_path.read_text().splitlines()
+    first_data = next(i for i, line in enumerate(lines)
+                      if json.loads(line)["kind"] in
+                      ("step_record", "switch_report"))
+    clipped = tmp_path / "clipped.jsonl"
+    clipped.write_text(
+        "\n".join(lines[:first_data + 1]) + "\nTRAILING GARBAGE\n")
+    header = read_header(clipped)
+    assert header.schedule.nodes == NODES
