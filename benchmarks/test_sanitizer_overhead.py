@@ -1,0 +1,75 @@
+"""Runtime sanitizer overhead (``Simulator(sanitize=True)``).
+
+The sanitizer's contract is "cheap enough to leave on in CI": the same
+collective is simulated with sanitizing off and on, and the slowdown
+ratio is asserted below 2x.  Timings take the best of three runs so a
+scheduler hiccup on a shared CI box does not fail the gate.
+"""
+
+import time
+
+from benchmarks.conftest import print_rows
+from repro.collective.ring import ring_allgather
+from repro.collective.runtime import CollectiveRuntime
+from repro.simnet.network import Network
+from repro.simnet.topology import build_fat_tree
+from repro.simnet.units import ms
+
+NODES = ["h0", "h4", "h8", "h12"]
+CHUNK_BYTES = 400_000
+MAX_SLOWDOWN = 2.0
+
+
+def run_collective(sanitize: bool) -> Network:
+    net = Network(build_fat_tree(4), sanitize=sanitize)
+    runtime = CollectiveRuntime(net,
+                                ring_allgather(NODES, CHUNK_BYTES))
+    runtime.start()
+    net.create_flow("h1", "h4", 2_000_000, tag="background").start()
+    net.run_until_quiet(max_time=ms(200))
+    assert runtime.completed
+    return net
+
+
+def best_of(repeats: int, sanitize: bool) -> tuple:
+    best = float("inf")
+    net = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        net = run_collective(sanitize)
+        best = min(best, time.perf_counter() - start)
+    return best, net
+
+
+def test_sanitizer_overhead_under_2x(benchmark):
+    def measure():
+        plain_s, plain_net = best_of(3, sanitize=False)
+        checked_s, checked_net = best_of(3, sanitize=True)
+        return plain_s, plain_net, checked_s, checked_net
+
+    plain_s, plain_net, checked_s, checked_net = \
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = checked_s / plain_s
+    sanitizer = checked_net.sim.sanitizer
+    print_rows("Sanitizer overhead (ring AllGather, fat-tree k=4)", [
+        {"mode": "off", "best_s": round(plain_s, 4),
+         "events": plain_net.sim.events_processed,
+         "events_checked": 0, "violations": 0},
+        {"mode": "on", "best_s": round(checked_s, 4),
+         "events": checked_net.sim.events_processed,
+         "events_checked": sanitizer.events_checked,
+         "violations": sanitizer.violations_raised},
+        {"mode": "ratio", "best_s": round(ratio, 3),
+         "events": "-", "events_checked": "-", "violations": "-"},
+    ])
+    # the sanitizer saw every event and raised nothing
+    assert sanitizer.events_checked == \
+        checked_net.sim.events_processed
+    assert sanitizer.violations_raised == 0
+    # both runs simulated the same workload
+    assert checked_net.sim.events_processed == \
+        plain_net.sim.events_processed
+    # the acceptance gate: < 2x slowdown with sanitizing on
+    assert ratio < MAX_SLOWDOWN, (
+        f"sanitizer slowdown {ratio:.2f}x exceeds "
+        f"{MAX_SLOWDOWN}x budget")

@@ -1,0 +1,43 @@
+"""Correctness tooling: static analysis and the runtime sanitizer.
+
+``repro.checks`` is the enforcement layer for the two properties every
+diagnosis result in this repo silently depends on — bit-for-bit
+deterministic simulation and consistent units (ns / bytes / bps):
+
+* :mod:`repro.checks.lint` — an AST-based static pass with
+  repo-specific rules (RPR001–RPR006), exposed as the ``repro check``
+  CLI verb and gated in CI;
+* :mod:`repro.checks.sanitizer` — :class:`SimSanitizer`, a runtime
+  invariant checker hooked into the simulation engine and data plane
+  behind ``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``, raising
+  structured :class:`InvariantViolation` errors with the offending
+  event trace.
+
+See ``docs/CHECKS.md`` for the rule catalog and suppression syntax.
+"""
+
+from repro.checks.lint import (
+    Finding,
+    RULES,
+    check_paths,
+    check_source,
+    iter_python_files,
+    render_findings,
+)
+from repro.checks.sanitizer import (
+    InvariantViolation,
+    SimSanitizer,
+    TracedEvent,
+)
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+    "render_findings",
+    "InvariantViolation",
+    "SimSanitizer",
+    "TracedEvent",
+]

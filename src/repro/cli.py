@@ -11,6 +11,7 @@
     python -m repro tail --snapshots run.snapshots.jsonl --follow
     python -m repro metrics --file run.live-metrics.json
     python -m repro figure --id 13b --cases 2
+    python -m repro check src/ --strict
 
 Every subcommand prints human-readable text and exits 0 on success.
 """
@@ -105,6 +106,18 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="render a pipeline metrics JSON export")
     met.add_argument("--file", required=True,
                      help="metrics JSON written by repro serve")
+
+    chk = sub.add_parser(
+        "check",
+        help="static analysis: determinism / unit-safety / event-loop "
+             "rules (RPR001-RPR006)")
+    chk.add_argument("paths", nargs="*", default=["src"],
+                     help="files or directories to lint (default: src)")
+    chk.add_argument("--strict", action="store_true",
+                     help="also flag suppression comments that "
+                          "suppress nothing (RPR006)")
+    chk.add_argument("--json", action="store_true",
+                     help="emit findings as a JSON array")
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("--id", required=True,
@@ -380,6 +393,27 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    import json
+
+    from repro.checks.lint import check_paths, render_findings
+
+    findings = check_paths(args.paths, strict=args.strict)
+    if args.json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    elif findings:
+        print(render_findings(findings))
+    if findings:
+        rules = sorted({f.rule for f in findings})
+        print(f"{len(findings)} finding(s) [{', '.join(rules)}]",
+              file=sys.stderr)
+        return 1
+    if not args.json:
+        print(f"repro check: clean "
+              f"({', '.join(args.paths)})")
+    return 0
+
+
 def cmd_figure(args) -> int:
     from repro.experiments import figures
 
@@ -421,6 +455,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "tail": cmd_tail,
     "metrics": cmd_metrics,
+    "check": cmd_check,
     "figure": cmd_figure,
 }
 

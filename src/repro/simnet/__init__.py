@@ -15,8 +15,15 @@ runs.  It models a RoCEv2-style lossless Ethernet fabric:
   (:mod:`repro.simnet.flow`),
 * switch telemetry and polling-packet propagation
   (:mod:`repro.simnet.telemetry`).
+
+Every layer is deterministic by construction; the optional runtime
+sanitizer (``Simulator(sanitize=True)`` or ``REPRO_SANITIZE=1``,
+see :mod:`repro.checks.sanitizer`) verifies the invariants that
+determinism rests on and raises :class:`InvariantViolation` —
+re-exported here for ergonomic catching — when one breaks.
 """
 
+from repro.checks.sanitizer import InvariantViolation, SimSanitizer
 from repro.simnet.engine import Simulator, Event
 from repro.simnet.packet import Packet, PacketKind, FlowKey, Priority
 from repro.simnet.topology import (
@@ -35,6 +42,8 @@ from repro.simnet.telemetry import TelemetryConfig, SwitchReport
 __all__ = [
     "Simulator",
     "Event",
+    "InvariantViolation",
+    "SimSanitizer",
     "Packet",
     "PacketKind",
     "FlowKey",

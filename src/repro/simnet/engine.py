@@ -10,7 +10,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from typing import Any, Callable, Optional
+
+from repro.checks.sanitizer import SimSanitizer
+
+
+def _env_sanitize() -> bool:
+    """True when ``REPRO_SANITIZE`` requests sanitizing globally."""
+    value = os.environ.get("REPRO_SANITIZE", "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
 
 
 class Event:
@@ -35,8 +44,10 @@ class Event:
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
+        if self.time < other.time:
+            return True
+        if other.time < self.time:
+            return False
         return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -47,12 +58,17 @@ class Event:
 class Simulator:
     """Event loop with a monotonically advancing clock in nanoseconds."""
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: Optional[bool] = None) -> None:
         self.now: float = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._stopped = False
+        if sanitize is None:
+            sanitize = _env_sanitize()
+        #: invariant checker, or None (the default: zero overhead)
+        self.sanitizer: Optional[SimSanitizer] = \
+            SimSanitizer(self) if sanitize else None
 
     @property
     def events_processed(self) -> int:
@@ -68,6 +84,11 @@ class Simulator:
                  *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
         if delay < 0:
+            if self.sanitizer is not None:
+                self.sanitizer.violation(
+                    "schedule_in_past",
+                    f"schedule() called with negative delay {delay}",
+                    delay=delay)
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         event = Event(self.now + delay, next(self._seq), callback, args)
         heapq.heappush(self._heap, event)
@@ -77,6 +98,11 @@ class Simulator:
                     *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute simulation time."""
         if time < self.now:
+            if self.sanitizer is not None:
+                self.sanitizer.violation(
+                    "schedule_in_past",
+                    f"schedule_at({time}) is before the clock",
+                    target_time=time, clock=self.now)
             raise ValueError(
                 f"cannot schedule at {time} before current time {self.now}")
         event = Event(time, next(self._seq), callback, args)
@@ -99,6 +125,7 @@ class Simulator:
         """
         self._stopped = False
         heap = self._heap
+        sanitizer = self.sanitizer
         while heap and not self._stopped:
             event = heap[0]
             if until is not None and event.time > until:
@@ -106,9 +133,13 @@ class Simulator:
             heapq.heappop(heap)
             if event.cancelled:
                 continue
+            if sanitizer is not None:
+                sanitizer.before_event(event)
             self.now = event.time
             self._events_processed += 1
             event.callback(*event.args)
+            if sanitizer is not None:
+                sanitizer.after_event(event)
             if max_events is not None and self._events_processed >= max_events:
                 break
         if until is not None and self.now < until and not self._stopped:

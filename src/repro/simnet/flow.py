@@ -224,6 +224,8 @@ class RdmaFlow:
     def _complete(self) -> None:
         self._done = True
         self.stats.complete_time = self.network.sim.now
+        if self.network.sim.sanitizer is not None:
+            self.network.sim.sanitizer.check_flow_conservation(self)
         if self._rto_event is not None:
             self._rto_event.cancel()
             self._rto_event = None
@@ -283,6 +285,8 @@ class FlowReceiver:
         self.received_bytes += payload_bytes
         self.received_packets += 1
         self.highest_seq = packet.seq
+        if self.network.sim.sanitizer is not None:
+            self.network.sim.sanitizer.check_receiver_progress(self)
         is_last = (self.expected_bytes is not None
                    and self.received_bytes >= self.expected_bytes)
         if packet.seq % self.ack_every == self.ack_every - 1 or is_last:

@@ -67,11 +67,12 @@ class Network:
 
     def __init__(self, topology: Topology,
                  config: Optional[NetworkConfig] = None,
-                 telemetry_config: Optional[TelemetryConfig] = None) -> None:
+                 telemetry_config: Optional[TelemetryConfig] = None,
+                 sanitize: Optional[bool] = None) -> None:
         self.topology = topology
         self.config = config or NetworkConfig()
         self.telemetry_config = telemetry_config or TelemetryConfig()
-        self.sim = Simulator()
+        self.sim = Simulator(sanitize=sanitize)
         self.rng = random.Random(self.config.seed)
         self.routing = EcmpRouting(topology, seed=self.config.seed)
 

@@ -48,11 +48,17 @@ class Node:
 
     def on_pause_frame(self, port_id: int, event) -> None:
         """Default: pause the local egress port named by the frame."""
+        sanitizer = self.network.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_pause_delivered(self.node_id, port_id)
         port = self.ports.get(port_id)
         if port is not None:
             port.pause(self.network.config.pause_quanta_ns)
 
     def on_resume_frame(self, port_id: int, event) -> None:
+        sanitizer = self.network.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_resume_delivered(self.node_id, port_id)
         port = self.ports.get(port_id)
         if port is not None:
             port.resume()

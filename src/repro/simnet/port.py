@@ -125,10 +125,18 @@ class EgressPort:
         if self._control_queue:
             packet = self._control_queue.popleft()
             self.control_queue_bytes -= packet.size
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.check_occupancy(
+                    self.node_id, self.port_id, "control queue bytes",
+                    self.control_queue_bytes)
             return packet
         if self._data_queue and not self.paused:
             packet = self._data_queue.popleft()
             self.data_queue_bytes -= packet.size
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.check_occupancy(
+                    self.node_id, self.port_id, "data queue bytes",
+                    self.data_queue_bytes)
             return packet
         return None
 

@@ -126,6 +126,11 @@ class SwitchNode(Node):
         if ingress_port is None:
             return
         usage = self.ingress_usage.get(ingress_port, 0) - packet.size
+        sanitizer = self.network.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_occupancy(
+                self.node_id, ingress_port, "PFC ingress accounting",
+                usage)
         self.ingress_usage[ingress_port] = max(0, usage)
         self.telemetry.on_data_departure(
             self.network.sim.now, ingress_port, egress_port_id,

@@ -23,6 +23,7 @@ from repro.simnet.telemetry import SwitchReport
 from repro.traces import serialize
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.live.robustness import Quarantine
     from repro.simnet.network import Network
 
 FORMAT_VERSION = 1
@@ -57,6 +58,9 @@ class Trace:
     #: entries whose ``kind`` this reader does not understand (a newer
     #: writer's extension records): kind -> occurrence count
     unknown_kinds: dict[str, int] = field(default_factory=dict)
+    #: the same rejects, routed through the live pipeline's fault
+    #: containment so offline and online loads share one accounting
+    quarantine: Optional["Quarantine"] = None
 
 
 class TraceRuntime:
@@ -137,9 +141,24 @@ class TraceRecorder:
         return path
 
 
-def load_trace(path: Union[str, Path]) -> Trace:
-    """Parse a trace file back into typed objects."""
+def load_trace(path: Union[str, Path],
+               quarantine: Optional["Quarantine"] = None) -> Trace:
+    """Parse a trace file back into typed objects.
+
+    Unknown record kinds are skipped (forward compatibility) and the
+    skips are routed through the same :class:`~repro.live.robustness.
+    Quarantine` counter the live pipeline uses, so offline loads and
+    online streams report rejects identically.  Pass a ``quarantine``
+    to accumulate across several loads; otherwise a fresh one is
+    created and returned on :attr:`Trace.quarantine`.
+    """
+    # imported lazily: repro.live.__init__ imports the pipeline, which
+    # reads traces via this module — a top-level import would cycle
+    from repro.live.robustness import Quarantine
+
     path = Path(path)
+    if quarantine is None:
+        quarantine = Quarantine()
     schedule: Optional[StepSchedule] = None
     flow_keys: dict[tuple[str, int], FlowKey] = {}
     expected: dict[tuple[str, int], float] = {}
@@ -183,6 +202,10 @@ def load_trace(path: Union[str, Path]) -> Trace:
                         f"(first at line {line_no})",
                         stacklevel=2)
                 unknown_kinds[label] = unknown_kinds.get(label, 0) + 1
+                quarantine.admit(
+                    line_no,
+                    f"unknown trace record kind: {label}",
+                    line)
     if schedule is None:
         raise TraceFormatError(f"{path} contains no schedule record")
     return Trace(
@@ -194,6 +217,7 @@ def load_trace(path: Union[str, Path]) -> Trace:
         pfc_xoff_bytes=int(meta.get("pfc_xoff_bytes", 0)),
         meta=meta,
         unknown_kinds=unknown_kinds,
+        quarantine=quarantine,
     )
 
 

@@ -1,0 +1,23 @@
+"""RPR002 fixture: unit-unsafe literals bound to suffixed names."""
+
+from repro.simnet.units import us
+
+GOOD_TIMEOUT_NS = us(2)
+DISABLED_DELAY_NS = 0.0
+BAD_TIMEOUT_NS = 2000.0  # expect: RPR002
+
+
+def configure(window_ns: float = us(5),
+              delay_ns: float = 2_000_000.0):  # expect: RPR002
+    return window_ns + delay_ns
+
+
+def call_sites() -> dict:
+    good = dict(poll_interval_ns=us(100), chunk_bytes=4096)
+    bad = dict(poll_interval_ns=50_000.0)  # expect: RPR002
+    worse = dict(chunk_bytes=4096.0)  # expect: RPR002
+    return {"good": good, "bad": bad, "worse": worse}
+
+
+def suppressed(rate_bps: float = 100_000.0):  # repro: noqa RPR002
+    return rate_bps

@@ -1,0 +1,25 @@
+"""RPR003 fixture: ==/!= on float timestamps."""
+
+
+def good_ordering(now: float, deadline_time: float) -> bool:
+    return now >= deadline_time
+
+
+def good_tolerance(start_time: float, end_time: float) -> bool:
+    return abs(end_time - start_time) < 1e-9
+
+
+def good_sentinel(complete_time) -> bool:
+    return complete_time is not None and complete_time == "pending"
+
+
+def bad_equal(now: float, deadline_time: float) -> bool:
+    return now == deadline_time  # expect: RPR003
+
+
+def bad_not_equal(start_time: float, end_time: float) -> bool:
+    return start_time != end_time  # expect: RPR003
+
+
+def suppressed(now: float, epoch_time: float) -> bool:
+    return now == epoch_time  # repro: noqa RPR003

@@ -1,0 +1,38 @@
+"""RPR004 fixture: trace writer/reader schema drift."""
+
+import json
+
+
+def encode_sample(sample) -> dict:  # expect: RPR004
+    return {"node": sample.node, "value": sample.value,
+            "extra": sample.extra}
+
+
+def decode_sample(entry: dict) -> tuple:  # expect: RPR004
+    return (entry["node"], entry["value"], entry["stale"])
+
+
+def encode_point(point) -> dict:
+    return {"x": point.x, "y": point.y}
+
+
+def decode_point(entry: dict) -> tuple:
+    return (entry["x"], entry.get("y", 0.0))
+
+
+def write_records(handle, samples) -> None:
+    def emit(kind: str, payload: dict) -> None:
+        handle.write(json.dumps({"kind": kind, **payload}) + "\n")
+
+    for sample in samples:
+        emit("sample", encode_sample(sample))
+    emit("orphan", {"count": len(samples)})  # expect: RPR004
+
+
+def read_records(lines) -> list:
+    out = []
+    for line in lines:
+        entry = json.loads(line)
+        if entry.get("kind") == "sample":
+            out.append(decode_sample(entry))
+    return out

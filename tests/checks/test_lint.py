@@ -1,0 +1,164 @@
+"""Exact-location tests for the ``repro check`` static-analysis pass.
+
+Each fixture file under ``fixtures/`` tags its deliberately-bad lines
+with a trailing ``# expect: RPR00x`` marker; the tests assert that the
+linter reports exactly those (line, rule) pairs — nothing missing,
+nothing extra — so rule regressions show up as precise diffs.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.checks import RULES, check_paths, check_source
+from repro.checks.lint import Finding, render_findings
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_EXPECT = re.compile(r"#\s*expect:\s*(RPR\d{3})")
+
+FIXTURE_NAMES = ["rpr001", "rpr002", "rpr003", "rpr004", "rpr005"]
+
+
+def expected_findings(path: Path) -> set:
+    marks = set()
+    for line_no, line in enumerate(path.read_text().splitlines(), 1):
+        match = _EXPECT.search(line)
+        if match:
+            marks.add((line_no, match.group(1)))
+    return marks
+
+
+# ----------------------------------------------------------------------
+# fixtures: exact line/rule agreement
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_fixture_reports_exact_lines(name):
+    path = FIXTURES / f"{name}.py"
+    findings = check_source(path.read_text(), path)
+    got = {(f.line, f.rule) for f in findings}
+    want = expected_findings(path)
+    assert want, f"{name} fixture has no expect markers"
+    assert got == want
+    # one finding per marked line, and only the fixture's own rule
+    assert len(findings) == len(got)
+    assert {rule for _, rule in got} == {name.upper()}
+
+
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_fixture_render_format(name):
+    path = FIXTURES / f"{name}.py"
+    for finding in check_source(path.read_text(), path):
+        assert re.fullmatch(
+            rf"{re.escape(str(path))}:\d+:\d+: RPR\d{{3}} .+",
+            finding.render())
+
+
+def test_fixtures_clean_under_strict_too():
+    """The noqa comments in the fixtures all suppress real findings,
+    so --strict adds no RPR006 noise."""
+    for name in FIXTURE_NAMES:
+        path = FIXTURES / f"{name}.py"
+        strict = check_source(path.read_text(), path, strict=True)
+        lax = check_source(path.read_text(), path)
+        assert [f.rule for f in strict] == [f.rule for f in lax]
+
+
+# ----------------------------------------------------------------------
+# the repo's own sources must be clean (the CI gate)
+# ----------------------------------------------------------------------
+def test_src_tree_is_clean_strict():
+    findings = check_paths([REPO_ROOT / "src"], strict=True)
+    assert findings == [], render_findings(findings)
+
+
+# ----------------------------------------------------------------------
+# scoping and suppression mechanics
+# ----------------------------------------------------------------------
+WALL_CLOCK_SNIPPET = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def test_rpr001_only_fires_in_sim_scope():
+    assert check_source(WALL_CLOCK_SNIPPET, "tools/helper.py") == []
+    findings = check_source(WALL_CLOCK_SNIPPET,
+                            "src/repro/simnet/helper.py")
+    assert [f.rule for f in findings] == ["RPR001"]
+
+
+def test_scope_pragma_opts_a_file_in():
+    pragma = "# repro: check-scope sim\n" + WALL_CLOCK_SNIPPET
+    findings = check_source(pragma, "tools/helper.py")
+    assert [f.rule for f in findings] == ["RPR001"]
+
+
+def test_blanket_noqa_suppresses_all_rules():
+    source = ("def f(now, end_time):\n"
+              "    return now == end_time  # repro: noqa\n")
+    assert check_source(source, "x.py") == []
+
+
+def test_noqa_with_other_code_does_not_suppress():
+    source = ("def f(now, end_time):\n"
+              "    return now == end_time  # repro: noqa RPR001\n")
+    assert [f.rule for f in check_source(source, "x.py")] == ["RPR003"]
+
+
+def test_strict_flags_unused_noqa():
+    source = "VALUE = 3  # repro: noqa RPR002\n"
+    assert check_source(source, "x.py") == []
+    strict = check_source(source, "x.py", strict=True)
+    assert [(f.rule, f.line) for f in strict] == [("RPR006", 1)]
+
+
+def test_noqa_inside_string_literal_is_ignored():
+    source = 'DOC = "# repro: noqa RPR003"\nt_time = 0\nx = t_time == 0.5\n'
+    findings = check_source(source, "x.py", strict=True)
+    assert [f.rule for f in findings] == ["RPR003"]
+
+
+def test_syntax_error_reports_rpr000():
+    findings = check_source("def broken(:\n", "x.py")
+    assert [f.rule for f in findings] == ["RPR000"]
+    assert "parse" in findings[0].message
+
+
+def test_rules_catalog_covers_reported_ids():
+    assert set(RULES) == {f"RPR00{i}" for i in range(1, 7)}
+
+
+def test_finding_to_dict_roundtrip():
+    finding = Finding("a.py", 3, 7, "RPR002", "msg")
+    assert finding.to_dict() == {"path": "a.py", "line": 3, "col": 7,
+                                 "rule": "RPR002", "message": "msg"}
+
+
+# ----------------------------------------------------------------------
+# CLI verb
+# ----------------------------------------------------------------------
+def test_cli_check_fixtures_exits_nonzero(capsys):
+    code = main(["check", str(FIXTURES)])
+    assert code == 1
+    captured = capsys.readouterr()
+    for name in FIXTURE_NAMES:
+        assert name.upper() in captured.out
+    # findings carry clickable file:line locations
+    assert re.search(r"rpr001\.py:\d+:\d+: RPR001", captured.out)
+    assert "finding(s)" in captured.err
+
+
+def test_cli_check_src_is_clean(capsys):
+    code = main(["check", "--strict", str(REPO_ROOT / "src")])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_check_json_output(capsys):
+    code = main(["check", "--json", str(FIXTURES / "rpr003.py")])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert {entry["rule"] for entry in payload} == {"RPR003"}
+    assert all({"path", "line", "col", "rule", "message"}
+               <= set(entry) for entry in payload)

@@ -118,3 +118,43 @@ def test_blank_lines_tolerated(recorded_run, tmp_path):
     padded = tmp_path / "padded.jsonl"
     padded.write_text(path.read_text() + "\n\n")
     assert load_trace(padded).schedule.nodes == NODES
+
+
+def test_unknown_kinds_routed_to_quarantine(recorded_run, tmp_path):
+    """Offline loads account rejects through the same Quarantine the
+    live pipeline uses, not a private counter."""
+    path, _, _, _ = recorded_run
+    padded = tmp_path / "quarantined.jsonl"
+    padded.write_text(path.read_text()
+                      + '{"kind": "mystery", "x": 1}\n'
+                      + '{"kind": "gadget"}\n')
+    with pytest.warns(UserWarning, match="unknown trace record kind"):
+        trace = load_trace(padded)
+    assert trace.quarantine is not None
+    assert trace.quarantine.count == 2  # mystery x1 + gadget x1
+    assert trace.quarantine.by_reason == \
+        {"unknown trace record kind": 2}
+    assert all(entry.snippet for entry in trace.quarantine.entries)
+
+
+def test_shared_quarantine_accumulates_across_loads(recorded_run,
+                                                    tmp_path):
+    from repro.live.robustness import Quarantine
+
+    path, _, _, _ = recorded_run
+    padded = tmp_path / "accumulate.jsonl"
+    padded.write_text(path.read_text() + '{"kind": "mystery"}\n')
+    shared = Quarantine()
+    with pytest.warns(UserWarning):
+        trace_a = load_trace(padded, quarantine=shared)
+        trace_b = load_trace(padded, quarantine=shared)
+    assert trace_a.quarantine is shared
+    assert trace_b.quarantine is shared
+    assert shared.count == 2
+
+
+def test_clean_trace_has_empty_quarantine(recorded_run):
+    path, _, _, _ = recorded_run
+    trace = load_trace(path)
+    assert trace.quarantine.count == 0
+    assert trace.quarantine.by_reason == {}
