@@ -1,0 +1,46 @@
+"""Units-pass latency gate (``repro check --units``).
+
+The interprocedural pass runs in CI and as a pre-commit hook, so its
+contract is "fast enough to never be skipped": a whole-repo run —
+call-graph construction, return-unit fixpoint, and every function body
+re-analyzed — must finish well under five seconds.  Best-of-three so a
+scheduler hiccup on a shared CI box does not fail the gate.
+"""
+
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_rows
+from repro.checks.units import build_project, check_units
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+MAX_SECONDS = 5.0
+
+
+def best_of(repeats: int) -> tuple:
+    best = float("inf")
+    findings = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        findings = check_units([SRC], strict=True)
+        best = min(best, time.perf_counter() - start)
+    return best, findings
+
+
+def test_units_pass_whole_repo_under_5s(benchmark):
+    best_s, findings = benchmark.pedantic(
+        lambda: best_of(3), rounds=1, iterations=1)
+    project = build_project([SRC])
+    functions = sum(
+        len(m.functions) + sum(len(c.methods)
+                               for c in m.classes.values())
+        for m in project.modules)
+    print_rows("Units pass latency (src tree, best of 3)", [
+        {"modules": len(project.modules), "functions": functions,
+         "best_s": round(best_s, 3), "budget_s": MAX_SECONDS,
+         "findings": len(findings)}])
+    assert best_s < MAX_SECONDS, (
+        f"units pass took {best_s:.2f}s on the src tree "
+        f"(budget {MAX_SECONDS}s)")
+    assert findings == []

@@ -7,6 +7,10 @@ deterministic simulation and consistent units (ns / bytes / bps):
 * :mod:`repro.checks.lint` — an AST-based static pass with
   repo-specific rules (RPR001–RPR006), exposed as the ``repro check``
   CLI verb and gated in CI;
+* :mod:`repro.checks.units` — a whole-program, interprocedural
+  unit-of-measure dataflow pass (RPR010–RPR013) over the
+  :mod:`repro.core.units` NewType layer, exposed as
+  ``repro check --units``;
 * :mod:`repro.checks.sanitizer` — :class:`SimSanitizer`, a runtime
   invariant checker hooked into the simulation engine and data plane
   behind ``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``, raising
@@ -29,12 +33,20 @@ from repro.checks.sanitizer import (
     SimSanitizer,
     TracedEvent,
 )
+from repro.checks.units import (
+    UNIT_RULES,
+    Unit,
+    check_units,
+)
 
 __all__ = [
     "Finding",
     "RULES",
+    "UNIT_RULES",
+    "Unit",
     "check_paths",
     "check_source",
+    "check_units",
     "iter_python_files",
     "render_findings",
     "InvariantViolation",

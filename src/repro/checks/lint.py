@@ -488,6 +488,10 @@ def _apply_noqa(findings: list[Finding], source: str, path: str,
             used.add(finding.line)
     if strict:
         for line_no in sorted(set(suppressors) - used):
+            codes = suppressors[line_no]
+            if codes is not None and not codes & set(RULES):
+                # names only units-pass rules (RPR010+): judged there
+                continue
             kept.append(Finding(
                 path, line_no, 1, "RPR006",
                 "suppression comment does not match any finding on "

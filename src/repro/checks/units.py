@@ -1,0 +1,1188 @@
+"""Interprocedural unit-of-measure dataflow analysis (``repro check --units``).
+
+RPR002 flags suspicious *literals* inside a single file; it cannot see a
+microseconds value flowing into a seconds-typed parameter three calls
+away.  This pass can.  It builds a module-level call graph over the
+analyzed tree — direct calls, methods resolved through ``self`` and
+attribute/parameter types, dataclass constructors, and the engine's
+callback registrations (``schedule(delay, callback, *args)``) — and
+propagates a unit lattice through assignments, arithmetic, returns and
+call arguments:
+
+    seconds  milliseconds  microseconds  nanoseconds
+    bytes  bits  bps  gbps            (the *known* units)
+    dimensionless                     (literals, ratios — compatible
+                                       with everything)
+    unknown                           (no information — never reported)
+
+Unit facts come from three sources, strongest first:
+
+1. annotations naming the :mod:`repro.core.units` NewTypes
+   (``delay: Nanoseconds``, ``-> Optional[Nanoseconds]``);
+2. the built-in signatures of the unit constructors and checked
+   converters (``us(2)`` *returns* nanoseconds; ``us_to_ns`` takes
+   microseconds and returns nanoseconds);
+3. name suffixes (``window_ns``, ``qdepth_bytes``, ``rate_gbps``).
+
+Rules (all suppressible with ``# repro: noqa RPR01x``):
+
+* **RPR010** — a call argument (or default value) whose inferred unit
+  conflicts with the parameter's unit;
+* **RPR011** — mixed-unit arithmetic or comparison
+  (``seconds + microseconds``, ``min(t_ns, t_us)``);
+* **RPR012** — a public time/size parameter or dataclass field in
+  sim/diagnosis scope (``simnet`` / ``core`` / ``live`` directories, or
+  a ``# repro: check-scope sim`` pragma) without a unit annotation;
+* **RPR013** — a raw conversion constant (``* 1000.0``, ``/ 1e9``,
+  ``* 8``) applied to a known-unit value in scope, where a checked
+  converter from :mod:`repro.core.units` exists.
+
+The analysis is deliberately conservative: a dynamic call that cannot
+be resolved, or an expression whose unit cannot be inferred, degrades
+to *unknown* and is never reported.  Files that fail to parse are
+skipped here — the base pass already reports them as RPR000.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.checks.lint import Finding, _apply_noqa, iter_python_files
+
+UNIT_RULES = {
+    "RPR010": "unit-mismatched call argument",
+    "RPR011": "mixed-unit arithmetic/comparison",
+    "RPR012": "unit-ambiguous public signature (missing unit "
+              "annotation)",
+    "RPR013": "raw conversion constant where a checked converter "
+              "exists",
+}
+
+#: directories whose files are in sim/diagnosis scope (RPR012 / RPR013)
+UNITS_SCOPE_DIRS = frozenset({"simnet", "core", "live"})
+_SCOPE_PRAGMA = re.compile(r"#\s*repro:\s*check-scope\s+sim\b")
+#: modules allowed to use raw conversion factors (they *define* them)
+_CONVERTER_MODULES = frozenset({"repro.simnet.units", "repro.core.units"})
+
+
+class Unit(enum.Enum):
+    """One point of the unit lattice."""
+
+    SECONDS = "s"
+    MILLISECONDS = "ms"
+    MICROSECONDS = "us"
+    NANOSECONDS = "ns"
+    BYTES = "bytes"
+    BITS = "bits"
+    BPS = "bps"
+    GBPS = "gbps"
+    DIMENSIONLESS = "dimensionless"
+    UNKNOWN = "unknown"
+
+    @property
+    def known(self) -> bool:
+        return self not in (Unit.DIMENSIONLESS, Unit.UNKNOWN)
+
+
+TIME_UNITS = frozenset({Unit.SECONDS, Unit.MILLISECONDS,
+                        Unit.MICROSECONDS, Unit.NANOSECONDS})
+DATA_UNITS = frozenset({Unit.BYTES, Unit.BITS})
+RATE_UNITS = frozenset({Unit.BPS, Unit.GBPS})
+
+#: annotation name (repro.core.units NewTypes) -> unit
+ANNOTATION_UNITS = {
+    "Seconds": Unit.SECONDS,
+    "Milliseconds": Unit.MILLISECONDS,
+    "Microseconds": Unit.MICROSECONDS,
+    "Nanoseconds": Unit.NANOSECONDS,
+    "Bytes": Unit.BYTES,
+    "Bits": Unit.BITS,
+    "BitsPerSecond": Unit.BPS,
+    "Gbps": Unit.GBPS,
+    "Dimensionless": Unit.DIMENSIONLESS,
+}
+
+#: name suffix -> unit (matched case-insensitively, longest first)
+SUFFIX_UNITS = (
+    ("_gbps", Unit.GBPS),
+    ("_bytes", Unit.BYTES),
+    ("_bits", Unit.BITS),
+    ("_bps", Unit.BPS),
+    ("_sec", Unit.SECONDS),
+    ("_ns", Unit.NANOSECONDS),
+    ("_us", Unit.MICROSECONDS),
+    ("_ms", Unit.MILLISECONDS),
+    ("_s", Unit.SECONDS),
+)
+
+#: bare parameter names that denote a time magnitude (RPR012)
+TIME_WORDS = frozenset({
+    "delay", "timeout", "interval", "duration", "deadline", "lateness",
+    "until", "now", "time",
+})
+
+#: conversion factors a checked converter replaces, per unit family
+_TIME_FACTORS = frozenset({1e3, 1e6, 1e9, 1e-3, 1e-6, 1e-9})
+_DATA_FACTORS = frozenset({8.0, 0.125})
+_RATE_FACTORS = frozenset({1e9, 1e-9})
+_CONVERTER_HINTS = {
+    "time": "a checked time converter (us_to_ns, ns_to_us, ns_to_s, "
+            "ms_to_ns, ...)",
+    "data": "bytes_to_bits / bits_to_bytes",
+    "rate": "gbps_to_bps / bps_to_gbps",
+}
+
+
+def _builtin(params, ret):
+    return BuiltinSignature(tuple(params), ret)
+
+
+@dataclass(frozen=True)
+class BuiltinSignature:
+    """Known unit signature of a converter/constructor function."""
+
+    params: tuple  # of (name, Unit)
+    return_unit: Unit
+
+
+#: qualified name -> signature for the unit constructors / converters.
+#: Kept literal (not imported from repro.core.units) so the pass can
+#: analyze arbitrary file sets without importing the project.
+BUILTIN_SIGNATURES = {
+    # repro.simnet.units magnitude constructors (return engine-native)
+    "repro.simnet.units.ns": _builtin(
+        [("value", Unit.NANOSECONDS)], Unit.NANOSECONDS),
+    "repro.simnet.units.us": _builtin(
+        [("value", Unit.MICROSECONDS)], Unit.NANOSECONDS),
+    "repro.simnet.units.ms": _builtin(
+        [("value", Unit.MILLISECONDS)], Unit.NANOSECONDS),
+    "repro.simnet.units.sec": _builtin(
+        [("value", Unit.SECONDS)], Unit.NANOSECONDS),
+    "repro.simnet.units.gbps": _builtin(
+        [("value", Unit.GBPS)], Unit.BPS),
+    "repro.simnet.units.serialization_delay": _builtin(
+        [("size_bytes", Unit.BYTES), ("rate_bps", Unit.BPS)],
+        Unit.NANOSECONDS),
+    # repro.core.units checked converters
+    "repro.core.units.s_to_ms": _builtin(
+        [("value", Unit.SECONDS)], Unit.MILLISECONDS),
+    "repro.core.units.ms_to_s": _builtin(
+        [("value", Unit.MILLISECONDS)], Unit.SECONDS),
+    "repro.core.units.s_to_us": _builtin(
+        [("value", Unit.SECONDS)], Unit.MICROSECONDS),
+    "repro.core.units.us_to_s": _builtin(
+        [("value", Unit.MICROSECONDS)], Unit.SECONDS),
+    "repro.core.units.s_to_ns": _builtin(
+        [("value", Unit.SECONDS)], Unit.NANOSECONDS),
+    "repro.core.units.ns_to_s": _builtin(
+        [("value", Unit.NANOSECONDS)], Unit.SECONDS),
+    "repro.core.units.ms_to_ns": _builtin(
+        [("value", Unit.MILLISECONDS)], Unit.NANOSECONDS),
+    "repro.core.units.ns_to_ms": _builtin(
+        [("value", Unit.NANOSECONDS)], Unit.MILLISECONDS),
+    "repro.core.units.us_to_ns": _builtin(
+        [("value", Unit.MICROSECONDS)], Unit.NANOSECONDS),
+    "repro.core.units.ns_to_us": _builtin(
+        [("value", Unit.NANOSECONDS)], Unit.MICROSECONDS),
+    "repro.core.units.bytes_to_bits": _builtin(
+        [("value", Unit.BYTES)], Unit.BITS),
+    "repro.core.units.bits_to_bytes": _builtin(
+        [("value", Unit.BITS)], Unit.BYTES),
+    "repro.core.units.gbps_to_bps": _builtin(
+        [("value", Unit.GBPS)], Unit.BPS),
+    "repro.core.units.bps_to_gbps": _builtin(
+        [("value", Unit.BPS)], Unit.GBPS),
+}
+# NewType constructors double as unit assertions: Nanoseconds(x) both
+# takes and returns nanoseconds, so casting a known-microseconds value
+# through it is flagged rather than laundered.
+for _name, _unit in ANNOTATION_UNITS.items():
+    BUILTIN_SIGNATURES[f"repro.core.units.{_name}"] = _builtin(
+        [("value", _unit)], _unit)
+
+
+def suffix_unit(name: Optional[str]) -> Unit:
+    """Unit implied by a trailing name suffix, else UNKNOWN."""
+    if not name:
+        return Unit.UNKNOWN
+    lowered = name.lower()
+    for suffix, unit in SUFFIX_UNITS:
+        if lowered.endswith(suffix):
+            return unit
+    return Unit.UNKNOWN
+
+
+def join(a: Unit, b: Unit) -> Unit:
+    """Lattice join: dimensionless is compatible with anything."""
+    if a == b:
+        return a
+    if a == Unit.DIMENSIONLESS:
+        return b
+    if b == Unit.DIMENSIONLESS:
+        return a
+    return Unit.UNKNOWN
+
+
+def _family(unit: Unit) -> Optional[str]:
+    if unit in TIME_UNITS:
+        return "time"
+    if unit in DATA_UNITS:
+        return "data"
+    if unit in RATE_UNITS:
+        return "rate"
+    return None
+
+
+def _conversion_factor(unit: Unit, literal: ast.expr) -> Optional[float]:
+    """The raw conversion constant ``literal`` represents for ``unit``,
+    or None if it is not one."""
+    if not isinstance(literal, ast.Constant) \
+            or isinstance(literal.value, bool) \
+            or not isinstance(literal.value, (int, float)):
+        return None
+    value = float(literal.value)
+    table = {"time": _TIME_FACTORS, "data": _DATA_FACTORS,
+             "rate": _RATE_FACTORS}.get(_family(unit) or "")
+    if table and value in table:
+        return value
+    return None
+
+
+# ----------------------------------------------------------------------
+# project model
+# ----------------------------------------------------------------------
+@dataclass
+class Param:
+    name: str
+    unit: Unit
+    annotated: bool            # carries a recognized unit annotation
+    type_name: Optional[str]   # class named by a non-unit annotation
+    lineno: int
+    col: int
+
+
+@dataclass
+class FunctionInfo:
+    name: str
+    node: ast.AST
+    module: "ModuleInfo"
+    class_name: Optional[str]
+    params: list            # of Param, excluding self/cls
+    has_vararg: bool
+    return_unit: Unit
+    return_annotated: bool
+    is_public: bool
+
+    @property
+    def display(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    node: ast.ClassDef
+    module: "ModuleInfo"
+    bases: list
+    methods: dict = field(default_factory=dict)
+    attr_units: dict = field(default_factory=dict)
+    attr_types: dict = field(default_factory=dict)
+    #: attr name -> constructor expression name, resolved lazily
+    attr_ctors: dict = field(default_factory=dict)
+    is_dataclass: bool = False
+    fields: list = field(default_factory=list)  # of (Param, default)
+    is_public: bool = True
+
+    def constructor_params(self) -> tuple:
+        """(params, has_vararg) of ``Cls(...)`` calls."""
+        init = self.methods.get("__init__")
+        if init is not None:
+            return init.params, init.has_vararg
+        if self.is_dataclass:
+            return [param for param, _ in self.fields], False
+        return [], True  # unknown constructor: check nothing
+
+
+@dataclass
+class ModuleInfo:
+    path: Path
+    display: str
+    name: str                   # dotted module name
+    tree: ast.Module
+    source: str
+    units_scope: bool
+    functions: dict = field(default_factory=dict)
+    classes: dict = field(default_factory=dict)
+    imports: dict = field(default_factory=dict)
+    constants: dict = field(default_factory=dict)  # name -> Unit
+
+    @property
+    def is_converter_module(self) -> bool:
+        return self.name in _CONVERTER_MODULES
+
+
+def _module_name(path: Path) -> str:
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+    else:
+        parts = parts[-1:]
+    return ".".join(parts)
+
+
+def _is_units_scope(path: Path, source: str) -> bool:
+    if UNITS_SCOPE_DIRS.intersection(path.parts) and "repro" in path.parts:
+        return True
+    head = "\n".join(source.splitlines()[:5])
+    return _SCOPE_PRAGMA.search(head) is not None
+
+
+def _annotation_unit(node: Optional[ast.expr]) -> tuple:
+    """(unit, recognized) for an annotation expression."""
+    if node is None:
+        return Unit.UNKNOWN, False
+    if isinstance(node, ast.Name):
+        unit = ANNOTATION_UNITS.get(node.id)
+        return (unit, True) if unit is not None else (Unit.UNKNOWN, False)
+    if isinstance(node, ast.Attribute):
+        unit = ANNOTATION_UNITS.get(node.attr)
+        return (unit, True) if unit is not None else (Unit.UNKNOWN, False)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            inner = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return Unit.UNKNOWN, False
+        return _annotation_unit(inner)
+    if isinstance(node, ast.Subscript):
+        head = node.value
+        if isinstance(head, ast.Attribute):
+            head_name = head.attr
+        elif isinstance(head, ast.Name):
+            head_name = head.id
+        else:
+            return Unit.UNKNOWN, False
+        if head_name in ("Optional", "Final", "ClassVar"):
+            return _annotation_unit(node.slice)
+        if head_name in ("list", "List", "tuple", "Tuple", "set",
+                         "Set", "frozenset", "FrozenSet", "Sequence",
+                         "Iterable", "Iterator", "Collection", "Deque",
+                         "deque"):
+            # a container of unit magnitudes counts as annotated, but
+            # the container itself is not a magnitude
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            _, recognized = _annotation_unit(inner)
+            return Unit.UNKNOWN, recognized
+        if head_name in ("dict", "Dict", "Mapping", "MutableMapping",
+                         "DefaultDict", "defaultdict"):
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and len(inner.elts) == 2:
+                _, recognized = _annotation_unit(inner.elts[1])
+                return Unit.UNKNOWN, recognized
+            return Unit.UNKNOWN, False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # Nanoseconds | None
+        for side in (node.left, node.right):
+            if isinstance(side, ast.Constant) and side.value is None:
+                continue
+            return _annotation_unit(side)
+    return Unit.UNKNOWN, False
+
+
+def _annotation_class(node: Optional[ast.expr]) -> Optional[str]:
+    """Class name referenced by an annotation, for call resolution."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value.strip()
+        return name if name.isidentifier() else None
+    if isinstance(node, ast.Subscript):
+        head = _annotation_class(node.value)
+        if head == "Optional":
+            return _annotation_class(node.slice)
+    return None
+
+
+def _decorator_names(node) -> set:
+    names = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _collect_params(node, skip_first: bool) -> tuple:
+    """(params, has_vararg) for a function definition."""
+    args = node.args
+    params = []
+    positional = list(args.posonlyargs) + list(args.args)
+    if skip_first and positional:
+        positional = positional[1:]
+    for arg in positional + list(args.kwonlyargs):
+        unit, annotated = _annotation_unit(arg.annotation)
+        if not annotated:
+            unit = suffix_unit(arg.arg)
+        params.append(Param(
+            arg.arg, unit, annotated,
+            None if annotated else _annotation_class(arg.annotation),
+            arg.lineno, arg.col_offset + 1))
+    return params, args.vararg is not None
+
+
+class Project:
+    """All analyzed modules plus cross-module resolution indexes."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules = list(modules)
+        self.functions_q: dict = {}
+        self.classes_q: dict = {}
+        self._classes_simple: dict = {}
+        for module in self.modules:
+            for name, fn in module.functions.items():
+                self.functions_q[f"{module.name}.{name}"] = fn
+            for name, cls in module.classes.items():
+                self.classes_q[f"{module.name}.{name}"] = cls
+                if name in self._classes_simple:
+                    self._classes_simple[name] = None  # ambiguous
+                else:
+                    self._classes_simple[name] = cls
+
+    def class_named(self, module: ModuleInfo,
+                    name: Optional[str]) -> Optional[ClassInfo]:
+        if not name:
+            return None
+        if name in module.classes:
+            return module.classes[name]
+        qualified = module.imports.get(name)
+        if qualified is not None and qualified in self.classes_q:
+            return self.classes_q[qualified]
+        return self._classes_simple.get(name)
+
+    def method_of(self, cls: Optional[ClassInfo],
+                  name: str) -> Optional[FunctionInfo]:
+        seen = 0
+        while cls is not None and seen < 8:
+            if name in cls.methods:
+                return cls.methods[name]
+            nxt = None
+            for base in cls.bases:
+                candidate = self.class_named(cls.module, base)
+                if candidate is not None:
+                    nxt = candidate
+                    break
+            cls = nxt
+            seen += 1
+        return None
+
+    def attr_info(self, cls: Optional[ClassInfo], name: str) -> tuple:
+        """(unit, type_name) for an attribute, walking base classes."""
+        seen = 0
+        while cls is not None and seen < 8:
+            if name in cls.attr_units or name in cls.attr_types:
+                return (cls.attr_units.get(name, Unit.UNKNOWN),
+                        cls.attr_types.get(name))
+            nxt = None
+            for base in cls.bases:
+                candidate = self.class_named(cls.module, base)
+                if candidate is not None:
+                    nxt = candidate
+                    break
+            cls = nxt
+            seen += 1
+        return Unit.UNKNOWN, None
+
+
+# ----------------------------------------------------------------------
+# collection
+# ----------------------------------------------------------------------
+def _collect_imports(module: ModuleInfo) -> None:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                module.imports[alias.asname or
+                               alias.name.split(".")[0]] = \
+                    alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                if alias.asname:
+                    module.imports[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                package = module.name.rsplit(".", node.level)[0] \
+                    if module.name.count(".") >= node.level else ""
+                base = f"{package}.{base}".strip(".") if base else package
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                module.imports[alias.asname or alias.name] = \
+                    f"{base}.{alias.name}" if base else alias.name
+
+
+def _collect_class(module: ModuleInfo, node: ast.ClassDef) -> ClassInfo:
+    cls = ClassInfo(
+        name=node.name, node=node, module=module,
+        bases=[b.id if isinstance(b, ast.Name) else b.attr
+               for b in node.bases
+               if isinstance(b, (ast.Name, ast.Attribute))],
+        is_dataclass="dataclass" in _decorator_names(node),
+        is_public=not node.name.startswith("_"))
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            decorators = _decorator_names(item)
+            skip_first = "staticmethod" not in decorators
+            params, has_vararg = _collect_params(item, skip_first)
+            ret_unit, ret_annotated = _annotation_unit(item.returns)
+            cls.methods[item.name] = FunctionInfo(
+                item.name, item, module, node.name, params, has_vararg,
+                ret_unit if ret_annotated else Unit.UNKNOWN,
+                ret_annotated,
+                is_public=cls.is_public
+                and (not item.name.startswith("_")
+                     or item.name == "__init__"))
+        elif isinstance(item, ast.AnnAssign) \
+                and isinstance(item.target, ast.Name):
+            unit, annotated = _annotation_unit(item.annotation)
+            if not annotated:
+                unit = suffix_unit(item.target.id)
+            param = Param(item.target.id, unit, annotated,
+                          None if annotated
+                          else _annotation_class(item.annotation),
+                          item.lineno, item.col_offset + 1)
+            cls.fields.append((param, item.value))
+            if unit != Unit.UNKNOWN:
+                cls.attr_units[param.name] = unit
+            type_name = _annotation_class(item.annotation)
+            if type_name and not annotated:
+                cls.attr_types[param.name] = type_name
+    # instance attributes assigned in methods (self.x = ..., self.x: T)
+    for method in cls.methods.values():
+        for stmt in ast.walk(method.node):
+            if isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Attribute) \
+                    and isinstance(stmt.target.value, ast.Name) \
+                    and stmt.target.value.id == "self":
+                unit, annotated = _annotation_unit(stmt.annotation)
+                if annotated:
+                    cls.attr_units.setdefault(stmt.target.attr, unit)
+                else:
+                    type_name = _annotation_class(stmt.annotation)
+                    if type_name:
+                        cls.attr_types.setdefault(stmt.target.attr,
+                                                  type_name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Attribute) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id == "self" \
+                            and isinstance(stmt.value, ast.Call):
+                        ctor = stmt.value.func
+                        name = ctor.id if isinstance(ctor, ast.Name) \
+                            else ctor.attr \
+                            if isinstance(ctor, ast.Attribute) else None
+                        if name:
+                            cls.attr_ctors.setdefault(target.attr, name)
+    return cls
+
+
+def _collect_module(path: Path, source: str,
+                    tree: ast.Module) -> ModuleInfo:
+    module = ModuleInfo(
+        path=path, display=str(path), name=_module_name(path),
+        tree=tree, source=source,
+        units_scope=_is_units_scope(path, source))
+    _collect_imports(module)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            params, has_vararg = _collect_params(node, skip_first=False)
+            ret_unit, ret_annotated = _annotation_unit(node.returns)
+            module.functions[node.name] = FunctionInfo(
+                node.name, node, module, None, params, has_vararg,
+                ret_unit if ret_annotated else Unit.UNKNOWN,
+                ret_annotated,
+                is_public=not node.name.startswith("_"))
+        elif isinstance(node, ast.ClassDef):
+            module.classes[node.name] = _collect_class(module, node)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    unit = suffix_unit(target.id)
+                    if unit != Unit.UNKNOWN:
+                        module.constants[target.id] = unit
+        elif isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name):
+            unit, annotated = _annotation_unit(node.annotation)
+            if not annotated:
+                unit = suffix_unit(node.target.id)
+            if unit != Unit.UNKNOWN:
+                module.constants[node.target.id] = unit
+    # resolve deferred constructor names into attribute types
+    for cls in module.classes.values():
+        for attr, ctor in cls.attr_ctors.items():
+            if attr not in cls.attr_types:
+                cls.attr_types[attr] = ctor
+    return module
+
+
+# ----------------------------------------------------------------------
+# per-function analysis
+# ----------------------------------------------------------------------
+class _Analysis:
+    """Evaluates units for one function body (or module top level)."""
+
+    def __init__(self, project: Project, module: ModuleInfo,
+                 cls: Optional[ClassInfo], fn: Optional[FunctionInfo],
+                 emit: bool, findings: Optional[set] = None) -> None:
+        self.project = project
+        self.module = module
+        self.cls = cls
+        self.fn = fn
+        self.emit = emit
+        self.findings = findings if findings is not None else set()
+        self.env: dict = {}
+        self.types: dict = {}
+        if fn is not None:
+            for param in fn.params:
+                self.env[param.name] = param.unit
+                if param.type_name:
+                    self.types[param.name] = param.type_name
+        self._seed_locals()
+
+    # -- environment ---------------------------------------------------
+    def _body(self):
+        if self.fn is not None:
+            return self.fn.node.body
+        return [stmt for stmt in self.module.tree.body
+                if not isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef,
+                                         ast.ClassDef))]
+
+    def _seed_locals(self) -> None:
+        """Two rounds of flow-insensitive local unit inference."""
+        assigns: dict = {}
+        for stmt in self._walk_own():
+            if isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                unit, annotated = _annotation_unit(stmt.annotation)
+                if annotated:
+                    self.env[stmt.target.id] = unit
+                else:
+                    type_name = _annotation_class(stmt.annotation)
+                    if type_name:
+                        self.types.setdefault(stmt.target.id, type_name)
+                    if stmt.value is not None:
+                        assigns.setdefault(stmt.target.id,
+                                           []).append(stmt.value)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        assigns.setdefault(target.id,
+                                           []).append(stmt.value)
+                        if isinstance(stmt.value, ast.Call):
+                            ctor = self._callee_class(stmt.value)
+                            if ctor is not None:
+                                self.types.setdefault(target.id,
+                                                      ctor.name)
+        for _round in range(2):
+            for name, values in assigns.items():
+                if name in self.env and self.env[name] != Unit.UNKNOWN:
+                    continue
+                unit = suffix_unit(name)
+                if unit == Unit.UNKNOWN:
+                    inferred = {self.unit_of(value) for value in values}
+                    inferred.discard(Unit.UNKNOWN)
+                    if len(inferred) == 1:
+                        unit = inferred.pop()
+                if unit != Unit.UNKNOWN:
+                    self.env[name] = unit
+
+    def _walk_own(self):
+        """Walk statements of this body, not nested function defs."""
+        stack = list(self._body())
+        while stack:
+            stmt = stack.pop()
+            yield stmt
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+                continue
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    stack.append(child)
+
+    # -- reporting -----------------------------------------------------
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        if not self.emit:
+            return
+        self.findings.add(Finding(
+            self.module.display, getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0) + 1, rule, message))
+
+    # -- resolution ----------------------------------------------------
+    def _resolve_qualified(self, qualified: str):
+        if qualified in BUILTIN_SIGNATURES:
+            return BUILTIN_SIGNATURES[qualified]
+        if qualified in self.project.functions_q:
+            return self.project.functions_q[qualified]
+        if qualified in self.project.classes_q:
+            return self.project.classes_q[qualified]
+        return None
+
+    def _resolve_name(self, name: str):
+        if name in self.module.functions:
+            return self.module.functions[name]
+        if name in self.module.classes:
+            return self.module.classes[name]
+        qualified = self.module.imports.get(name)
+        if qualified is not None:
+            return self._resolve_qualified(qualified)
+        return None
+
+    def type_of(self, node: ast.expr) -> Optional[str]:
+        """Project class name of an expression's value, if inferable."""
+        if isinstance(node, ast.Name):
+            if node.id == "self" and self.cls is not None:
+                return self.cls.name
+            return self.types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            owner = self.project.class_named(self.module,
+                                             self.type_of(node.value))
+            if owner is not None:
+                _, type_name = self.project.attr_info(owner, node.attr)
+                return type_name
+            return None
+        if isinstance(node, ast.Call):
+            target = self._callee_class(node)
+            return target.name if target is not None else None
+        return None
+
+    def _callee_class(self, call: ast.Call) -> Optional[ClassInfo]:
+        target = self.resolve_call(call)
+        return target if isinstance(target, ClassInfo) else None
+
+    def resolve_call(self, call: ast.Call):
+        """FunctionInfo | ClassInfo | BuiltinSignature | None."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id)
+        if isinstance(func, ast.Attribute):
+            # module attribute (import alias or dotted import)
+            if isinstance(func.value, ast.Name):
+                qualified = self.module.imports.get(func.value.id)
+                if qualified is not None:
+                    target = self._resolve_qualified(
+                        f"{qualified}.{func.attr}")
+                    if target is not None:
+                        return target
+            # method through an inferred receiver type
+            owner = self.project.class_named(self.module,
+                                             self.type_of(func.value))
+            if owner is not None:
+                return self.project.method_of(owner, func.attr)
+        return None
+
+    def _function_ref(self, node: ast.expr) -> Optional[FunctionInfo]:
+        """A *reference* to a project function/method (a callback)."""
+        if isinstance(node, ast.Name):
+            target = self._resolve_name(node.id)
+            return target if isinstance(target, FunctionInfo) else None
+        if isinstance(node, ast.Attribute):
+            owner = self.project.class_named(self.module,
+                                             self.type_of(node.value))
+            if owner is not None:
+                return self.project.method_of(owner, node.attr)
+        return None
+
+    # -- checks --------------------------------------------------------
+    def _check_binding(self, node: ast.expr, param: Param,
+                       where: str) -> None:
+        unit = self.unit_of(node)
+        if unit.known and param.unit.known and unit != param.unit:
+            self.report(
+                node, "RPR010",
+                f"argument {param.name!r} of {where} expects "
+                f"{param.unit.value}, got {unit.value}")
+
+    def _check_call(self, call: ast.Call):
+        """RPR010 on resolvable calls; returns the call's unit."""
+        func = call.func
+        # builtins that preserve or combine operand units
+        if isinstance(func, ast.Name) and func.id in (
+                "min", "max", "abs", "round", "int", "float") \
+                and self._resolve_name(func.id) is None:
+            units = [self.unit_of(arg) for arg in call.args
+                     if not isinstance(arg, ast.Starred)]
+            known = {unit for unit in units if unit.known}
+            if func.id in ("min", "max") and len(known) > 1:
+                self.report(
+                    call, "RPR011",
+                    f"mixed-unit arguments to {func.id}(): "
+                    + " vs ".join(sorted(u.value for u in known)))
+            result = Unit.DIMENSIONLESS
+            for unit in units:
+                result = join(result, unit)
+            return result
+
+        target = self.resolve_call(call)
+        if target is None:
+            return Unit.UNKNOWN
+
+        if isinstance(target, BuiltinSignature):
+            params = [Param(name, unit, True, None, call.lineno, 0)
+                      for name, unit in target.params]
+            has_vararg = False
+            where = self._call_display(call)
+            result = target.return_unit
+        elif isinstance(target, ClassInfo):
+            params, has_vararg = target.constructor_params()
+            where = f"{target.name}()"
+            result = Unit.UNKNOWN
+        else:
+            params, has_vararg = target.params, target.has_vararg
+            where = f"{target.display}()"
+            result = target.return_unit
+
+        positional_ok = not any(isinstance(arg, ast.Starred)
+                                for arg in call.args)
+        callback: Optional[FunctionInfo] = None
+        callback_args: list = []
+        if positional_ok:
+            for index, arg in enumerate(call.args):
+                if index < len(params):
+                    if callback is None and has_vararg:
+                        ref = self._function_ref(arg)
+                        if ref is not None and index == len(params) - 1:
+                            # e.g. schedule(delay, callback, *args)
+                            callback = ref
+                            continue
+                    self._check_binding(arg, params[index], where)
+                elif has_vararg:
+                    if callback is None:
+                        callback = self._function_ref(arg)
+                        if callback is None:
+                            break  # opaque varargs: stop checking
+                    else:
+                        callback_args.append(arg)
+        by_name = {param.name: param for param in params}
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in by_name:
+                self._check_binding(keyword.value, by_name[keyword.arg],
+                                    where)
+        if callback is not None and callback_args:
+            registered = f"{callback.display}() registered here"
+            for arg, param in zip(callback_args, callback.params):
+                self._check_binding(arg, param, registered)
+        return result
+
+    def _call_display(self, call: ast.Call) -> str:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return f"{func.id}()"
+        if isinstance(func, ast.Attribute):
+            return f"{func.attr}()"
+        return "call"
+
+    def _check_conversion(self, node: ast.BinOp, unit: Unit,
+                          literal: ast.expr) -> bool:
+        """RPR013 when literal is a conversion factor for unit."""
+        if not self.module.units_scope or self.module.is_converter_module:
+            return False
+        factor = _conversion_factor(unit, literal)
+        if factor is None:
+            return False
+        hint = _CONVERTER_HINTS[_family(unit)]
+        self.report(
+            node, "RPR013",
+            f"raw conversion constant {literal.value!r} applied to a "
+            f"{unit.value} value; use {hint} from repro.core.units")
+        return True
+
+    # -- unit inference ------------------------------------------------
+    def unit_of(self, node: ast.expr) -> Unit:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) \
+                    or not isinstance(node.value, (int, float)):
+                return Unit.UNKNOWN
+            return Unit.DIMENSIONLESS
+        if isinstance(node, ast.Name):
+            unit = self.env.get(node.id, Unit.UNKNOWN)
+            if unit == Unit.UNKNOWN:
+                unit = self.module.constants.get(node.id, Unit.UNKNOWN)
+            if unit == Unit.UNKNOWN:
+                unit = suffix_unit(node.id)
+            return unit
+        if isinstance(node, ast.Attribute):
+            owner = self.project.class_named(self.module,
+                                             self.type_of(node.value))
+            if owner is not None:
+                unit, _ = self.project.attr_info(owner, node.attr)
+                if unit != Unit.UNKNOWN:
+                    return unit
+            return suffix_unit(node.attr)
+        if isinstance(node, ast.Call):
+            return self._check_call(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.unit_of(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._binop_unit(node)
+        if isinstance(node, ast.IfExp):
+            return join(self.unit_of(node.body),
+                        self.unit_of(node.orelse))
+        if isinstance(node, ast.BoolOp):
+            result = Unit.DIMENSIONLESS
+            for value in node.values:
+                result = join(result, self.unit_of(value))
+            return result
+        if isinstance(node, ast.Compare):
+            self._check_compare(node)
+            return Unit.DIMENSIONLESS
+        if isinstance(node, ast.NamedExpr):
+            return self.unit_of(node.value)
+        return Unit.UNKNOWN
+
+    def _binop_unit(self, node: ast.BinOp) -> Unit:
+        left = self.unit_of(node.left)
+        right = self.unit_of(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left.known and right.known and left != right:
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                self.report(
+                    node, "RPR011",
+                    f"mixed-unit arithmetic: {left.value} {op} "
+                    f"{right.value}")
+                return Unit.UNKNOWN
+            return join(left, right)
+        if isinstance(node.op, ast.Mult):
+            if left.known and self._check_conversion(node, left,
+                                                     node.right):
+                return Unit.UNKNOWN
+            if right.known and self._check_conversion(node, right,
+                                                      node.left):
+                return Unit.UNKNOWN
+            if left.known and _conversion_factor(left, node.right) \
+                    is not None:
+                return Unit.UNKNOWN  # raw conversion out of scope
+            if right.known and _conversion_factor(right, node.left) \
+                    is not None:
+                return Unit.UNKNOWN
+            if left == Unit.DIMENSIONLESS:
+                return right
+            if right == Unit.DIMENSIONLESS:
+                return left
+            return Unit.UNKNOWN
+        if isinstance(node.op, ast.Div):
+            if left == right and left.known:
+                return Unit.DIMENSIONLESS  # ratio of like quantities
+            if left.known and self._check_conversion(node, left,
+                                                     node.right):
+                return Unit.UNKNOWN
+            if left.known and _conversion_factor(left, node.right) \
+                    is not None:
+                return Unit.UNKNOWN
+            if right == Unit.DIMENSIONLESS:
+                return left
+            return Unit.UNKNOWN
+        if isinstance(node.op, (ast.FloorDiv, ast.Mod)):
+            if right == Unit.DIMENSIONLESS:
+                return left
+            return Unit.UNKNOWN
+        return Unit.UNKNOWN
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        units = [self.unit_of(operand) for operand in operands]
+        for op, left, right in zip(node.ops, units, units[1:]):
+            if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+                                   ast.Eq, ast.NotEq)):
+                continue
+            if left.known and right.known and left != right:
+                self.report(
+                    node, "RPR011",
+                    f"mixed-unit comparison: {left.value} vs "
+                    f"{right.value}")
+
+    # -- driving -------------------------------------------------------
+    def run(self) -> None:
+        """Visit every expression of the body, emitting findings."""
+        for stmt in self._walk_own():
+            if isinstance(stmt, ast.AugAssign) \
+                    and isinstance(stmt.op, (ast.Add, ast.Sub)):
+                target_unit = self.unit_of(stmt.target)
+                value_unit = self.unit_of(stmt.value)
+                if target_unit.known and value_unit.known \
+                        and target_unit != value_unit:
+                    op = "+=" if isinstance(stmt.op, ast.Add) else "-="
+                    self.report(
+                        stmt, "RPR011",
+                        f"mixed-unit arithmetic: {target_unit.value} "
+                        f"{op} {value_unit.value}")
+                continue
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.unit_of(child)
+
+    def return_units(self) -> set:
+        units = set()
+        for stmt in self._walk_own():
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                units.add(self.unit_of(stmt.value))
+        return units
+
+
+# ----------------------------------------------------------------------
+# whole-program driver
+# ----------------------------------------------------------------------
+def build_project(paths: Sequence[Union[str, Path]]) -> Project:
+    """Parse and index every Python file under ``paths``."""
+    modules = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text()
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError):
+            continue  # unreadable/unparseable: RPR000 in the base pass
+        modules.append(_collect_module(path, source, tree))
+    return Project(modules)
+
+
+def _iter_functions(project: Project):
+    for module in project.modules:
+        for fn in module.functions.values():
+            yield module, None, fn
+        for cls in module.classes.values():
+            for fn in cls.methods.values():
+                yield module, cls, fn
+
+
+def _propagate_returns(project: Project, max_rounds: int = 4) -> None:
+    """Fixpoint: infer unannotated return units from return exprs."""
+    for _ in range(max_rounds):
+        changed = False
+        for module, cls, fn in _iter_functions(project):
+            if fn.return_annotated:
+                continue
+            analysis = _Analysis(project, module, cls, fn, emit=False)
+            units = analysis.return_units()
+            units.discard(Unit.UNKNOWN)
+            units.discard(Unit.DIMENSIONLESS)
+            if len(units) == 1:
+                unit = units.pop()
+                if unit != fn.return_unit:
+                    fn.return_unit = unit
+                    changed = True
+        if not changed:
+            break
+
+
+def _check_signatures(project: Project, findings: set) -> None:
+    """RPR012 plus RPR010 on annotated defaults/fields."""
+    for module, cls, fn in _iter_functions(project):
+        analysis = None
+        node = fn.node
+        defaults = list(node.args.defaults)
+        positional = list(node.args.posonlyargs) + list(node.args.args)
+        owners = positional[len(positional) - len(defaults):] \
+            if defaults else []
+        default_of = {arg.arg: default
+                      for arg, default in zip(owners, defaults)}
+        for arg, default in zip(node.args.kwonlyargs,
+                                node.args.kw_defaults):
+            if default is not None:
+                default_of[arg.arg] = default
+        for param in fn.params:
+            ambiguous = (suffix_unit(param.name) != Unit.UNKNOWN
+                         or param.name in TIME_WORDS)
+            if module.units_scope and fn.is_public and ambiguous \
+                    and not param.annotated \
+                    and module.path.name != "__init__.py":
+                findings.add(Finding(
+                    module.display, param.lineno, param.col, "RPR012",
+                    f"public parameter {param.name!r} of "
+                    f"{fn.display}() is time/size-like but lacks a "
+                    f"unit annotation (see repro.core.units)"))
+            default = default_of.get(param.name)
+            if default is not None and param.unit.known:
+                if analysis is None:
+                    analysis = _Analysis(project, module, cls, None,
+                                         emit=True, findings=findings)
+                unit = analysis.unit_of(default)
+                if unit.known and unit != param.unit:
+                    findings.add(Finding(
+                        module.display, default.lineno,
+                        default.col_offset + 1, "RPR010",
+                        f"default for {param.name!r} of {fn.display}() "
+                        f"expects {param.unit.value}, got {unit.value}"))
+    for module in project.modules:
+        for cls in module.classes.values():
+            analysis = None
+            for param, default in cls.fields:
+                ambiguous = (suffix_unit(param.name) != Unit.UNKNOWN
+                             or param.name in TIME_WORDS)
+                if module.units_scope and cls.is_public \
+                        and cls.is_dataclass and ambiguous \
+                        and not param.annotated:
+                    findings.add(Finding(
+                        module.display, param.lineno, param.col,
+                        "RPR012",
+                        f"public field {param.name!r} of {cls.name} is "
+                        f"time/size-like but lacks a unit annotation "
+                        f"(see repro.core.units)"))
+                if default is not None and param.unit.known:
+                    if analysis is None:
+                        analysis = _Analysis(project, module, cls,
+                                             None, emit=True,
+                                             findings=findings)
+                    unit = analysis.unit_of(default)
+                    if unit.known and unit != param.unit:
+                        findings.add(Finding(
+                            module.display, default.lineno,
+                            default.col_offset + 1, "RPR010",
+                            f"default for field {param.name!r} of "
+                            f"{cls.name} expects {param.unit.value}, "
+                            f"got {unit.value}"))
+
+
+def check_units(paths: Sequence[Union[str, Path]],
+                strict: bool = False) -> list:
+    """Run the interprocedural units pass over ``paths``.
+
+    ``strict`` is accepted for interface symmetry with the base pass;
+    the units rules are identical in both modes.
+    """
+    project = build_project(paths)
+    _propagate_returns(project)
+    findings: set = set()
+    _check_signatures(project, findings)
+    for module, cls, fn in _iter_functions(project):
+        _Analysis(project, module, cls, fn, emit=True,
+                  findings=findings).run()
+    for module in project.modules:
+        _Analysis(project, module, None, None, emit=True,
+                  findings=findings).run()
+    by_file: dict = {}
+    for finding in findings:
+        by_file.setdefault(finding.path, []).append(finding)
+    kept = []
+    for module in project.modules:
+        if module.display in by_file:
+            kept.extend(_apply_noqa(by_file[module.display],
+                                    module.source, module.display,
+                                    strict=False))
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept

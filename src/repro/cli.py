@@ -11,7 +11,7 @@
     python -m repro tail --snapshots run.snapshots.jsonl --follow
     python -m repro metrics --file run.live-metrics.json
     python -m repro figure --id 13b --cases 2
-    python -m repro check src/ --strict
+    python -m repro check src/ --strict --units
 
 Every subcommand prints human-readable text and exits 0 on success.
 """
@@ -110,12 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
     chk = sub.add_parser(
         "check",
         help="static analysis: determinism / unit-safety / event-loop "
-             "rules (RPR001-RPR006)")
+             "rules (RPR001-RPR006), plus interprocedural unit "
+             "dataflow with --units (RPR010-RPR013)")
     chk.add_argument("paths", nargs="*", default=["src"],
                      help="files or directories to lint (default: src)")
     chk.add_argument("--strict", action="store_true",
                      help="also flag suppression comments that "
                           "suppress nothing (RPR006)")
+    chk.add_argument("--units", action="store_true",
+                     help="also run the whole-program unit-of-measure "
+                          "dataflow pass (RPR010-RPR013)")
     chk.add_argument("--json", action="store_true",
                      help="emit findings as a JSON array")
 
@@ -242,6 +246,7 @@ def cmd_serve(args) -> int:
     import json
     import time as _time
 
+    from repro.core.units import Microseconds, us_to_ns
     from repro.live import LivePipeline, PipelineConfig
     from repro.live.bus import BusPolicy
     from repro.traces.stream import merged_events, read_header
@@ -254,7 +259,7 @@ def cmd_serve(args) -> int:
     config = PipelineConfig(
         queue_capacity=args.queue,
         policy=BusPolicy(args.policy),
-        lateness_bound_ns=args.lateness_us * 1000.0,
+        lateness_bound_ns=us_to_ns(Microseconds(args.lateness_us)),
         snapshot_every=args.snapshot_every,
     )
     pipeline = LivePipeline.from_header(header, config)
@@ -399,6 +404,11 @@ def cmd_check(args) -> int:
     from repro.checks.lint import check_paths, render_findings
 
     findings = check_paths(args.paths, strict=args.strict)
+    if args.units:
+        from repro.checks.units import check_units
+
+        findings.extend(check_units(args.paths, strict=args.strict))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     if args.json:
         print(json.dumps([f.to_dict() for f in findings], indent=2))
     elif findings:

@@ -1,5 +1,7 @@
 """Vedrfolnir core: the paper's primary contribution.
 
+* :mod:`repro.core.units` — the typed unit-of-measure layer (NewTypes
+  plus checked converters) enforced by ``repro check --units``.
 * :mod:`repro.core.waiting_graph` — the per-step waiting graph (§III-B),
   its pruning and critical-path analysis.
 * :mod:`repro.core.monitor` — host-side performance monitoring with
@@ -16,51 +18,55 @@
   together into structured diagnostic results.
 * :mod:`repro.core.system` — :class:`VedrfolnirSystem`, the deployable
   bundle (monitors + agents + analyzer) applications attach to a run.
+
+Exports resolve lazily (PEP 562) so that leaf modules — in particular
+:mod:`repro.core.units`, which :mod:`repro.simnet` imports at runtime —
+can be imported without dragging in the analyzer stack and its reverse
+dependency on the simulator.
 """
 
-from repro.core.waiting_graph import WaitingGraph, WaitingVertex, EdgeKind
-from repro.core.monitor import HostMonitor, WaitingState
-from repro.core.detection import DetectionAgent, DetectionConfig
-from repro.core.provenance import ProvenanceGraph, build_provenance
-from repro.core.diagnosis import (
-    AnomalyType,
-    AnomalyFinding,
-    DiagnosisResult,
-    diagnose,
-)
-from repro.core.rating import (
-    contribution_to_port,
-    contribution_to_flow,
-    contribution_to_collective,
-)
-from repro.core.analyzer import VedrfolnirAnalyzer
-from repro.core.system import VedrfolnirSystem, VedrfolnirConfig
-from repro.core.incremental import IncrementalWaitingGraph
-from repro.core.replay import replay_pairwise_weights
-from repro.core.reports import render_json, render_text
+import importlib
 
-__all__ = [
-    "WaitingGraph",
-    "WaitingVertex",
-    "EdgeKind",
-    "HostMonitor",
-    "WaitingState",
-    "DetectionAgent",
-    "DetectionConfig",
-    "ProvenanceGraph",
-    "build_provenance",
-    "AnomalyType",
-    "AnomalyFinding",
-    "DiagnosisResult",
-    "diagnose",
-    "contribution_to_port",
-    "contribution_to_flow",
-    "contribution_to_collective",
-    "VedrfolnirAnalyzer",
-    "VedrfolnirSystem",
-    "VedrfolnirConfig",
-    "IncrementalWaitingGraph",
-    "replay_pairwise_weights",
-    "render_text",
-    "render_json",
-]
+#: public name -> defining submodule (resolved on first attribute access)
+_EXPORTS = {
+    "WaitingGraph": "repro.core.waiting_graph",
+    "WaitingVertex": "repro.core.waiting_graph",
+    "EdgeKind": "repro.core.waiting_graph",
+    "HostMonitor": "repro.core.monitor",
+    "WaitingState": "repro.core.monitor",
+    "DetectionAgent": "repro.core.detection",
+    "DetectionConfig": "repro.core.detection",
+    "ProvenanceGraph": "repro.core.provenance",
+    "build_provenance": "repro.core.provenance",
+    "AnomalyType": "repro.core.diagnosis",
+    "AnomalyFinding": "repro.core.diagnosis",
+    "DiagnosisResult": "repro.core.diagnosis",
+    "diagnose": "repro.core.diagnosis",
+    "contribution_to_port": "repro.core.rating",
+    "contribution_to_flow": "repro.core.rating",
+    "contribution_to_collective": "repro.core.rating",
+    "VedrfolnirAnalyzer": "repro.core.analyzer",
+    "VedrfolnirSystem": "repro.core.system",
+    "VedrfolnirConfig": "repro.core.system",
+    "IncrementalWaitingGraph": "repro.core.incremental",
+    "replay_pairwise_weights": "repro.core.replay",
+    "render_json": "repro.core.reports",
+    "render_text": "repro.core.reports",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: resolve each export once
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

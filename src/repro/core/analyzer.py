@@ -14,6 +14,7 @@ reports, then produces a structured diagnosis:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from repro.core.units import Bytes
 from repro.collective.runtime import CollectiveRuntime, StepRecord
 from repro.core.diagnosis import DiagnosisResult, diagnose
 from repro.core.provenance import ProvenanceGraph, build_provenance
@@ -70,7 +71,7 @@ class VedrfolnirDiagnosis:
 class VedrfolnirAnalyzer:
     """Collects monitoring data and produces diagnoses."""
 
-    def __init__(self, pfc_xoff_bytes: int,
+    def __init__(self, pfc_xoff_bytes: Bytes,
                  slowdown_factor: float = 1.5) -> None:
         self.pfc_xoff_bytes = pfc_xoff_bytes
         self.slowdown_factor = slowdown_factor

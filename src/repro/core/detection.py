@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.units import Nanoseconds
 from repro.collective.primitives import SendStep
 from repro.collective.runtime import CollectiveRuntime, StepRecord
 from repro.simnet.packet import Packet
@@ -43,14 +44,14 @@ class DetectionConfig:
     detections_per_step: int = 3
     #: fixed absolute threshold overriding the per-step computation
     #: (Fig. 13a ablation); None = step-aware thresholds
-    fixed_rtt_threshold_ns: Optional[float] = None
+    fixed_rtt_threshold_ns: Optional[Nanoseconds] = None
     #: transfer leftover opportunities via notification packets (Fig. 7)
     adaptive_transfer: bool = True
     #: enforce the even-spacing trigger interval (Fig. 5); False =
     #: unrestricted triggering (Fig. 13b ablation / Hawkeye-like)
     restrict_trigger_interval: bool = True
     #: hard floor between consecutive triggers even when unrestricted
-    min_trigger_gap_ns: float = us(10)
+    min_trigger_gap_ns: Nanoseconds = us(10)
     #: detect stalled flows (no ACK for stall_factor x threshold)
     stall_detection: bool = True
     stall_factor: float = 5.0
@@ -60,11 +61,11 @@ class DetectionConfig:
 class TriggerEvent:
     """One anomaly-detection trigger (for tests and overhead analysis)."""
 
-    time: float
+    time: Nanoseconds
     node: str
     step_index: int
-    rtt_ns: float
-    threshold_ns: float
+    rtt_ns: Nanoseconds
+    threshold_ns: Nanoseconds
     poll_id: str
     stall: bool = False
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.core.units import Bytes
 from repro.simnet.packet import FlowKey
 from repro.simnet.pfc import PauseEvent, PortRef
 from repro.simnet.telemetry import SwitchReport
@@ -126,7 +127,7 @@ class ProvenanceGraph:
 
 def build_provenance(reports: Iterable[SwitchReport],
                      collective_flows: Iterable[FlowKey],
-                     pfc_xoff_bytes: int,
+                     pfc_xoff_bytes: Bytes,
                      window_start: Optional[float] = None
                      ) -> ProvenanceGraph:
     """Assemble the provenance graph from a set of switch reports.

@@ -27,6 +27,7 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro.core.units import Nanoseconds
 from repro.collective.primitives import StepSchedule
 from repro.collective.runtime import StepRecord
 
@@ -60,7 +61,7 @@ class WaitingEdge:
     src: WaitingVertex
     dst: WaitingVertex
     kind: EdgeKind
-    weight_ns: float = 0.0
+    weight_ns: Nanoseconds = 0.0
 
 
 @dataclass

@@ -24,6 +24,7 @@ import enum
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
+from repro.core.units import Nanoseconds
 
 
 class BusPolicy(enum.Enum):
@@ -50,7 +51,7 @@ class TelemetryEvent:
     """
 
     kind: str
-    time: float
+    time: Nanoseconds
     payload: object
     seq: int = 0
 

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.core.units import Bytes, Nanoseconds
 from repro.collective.primitives import StepSchedule
 from repro.collective.runtime import StepRecord
 from repro.core.diagnosis import DiagnosisResult, diagnose
@@ -50,7 +51,7 @@ class PipelineConfig:
     #: what to do when the bus is full
     policy: BusPolicy = BusPolicy.BLOCK
     #: out-of-order tolerance of the watermark (event-time ns)
-    lateness_bound_ns: float = 0.0
+    lateness_bound_ns: Nanoseconds = 0.0
     #: emit a rolling snapshot every N ingested events (0 = final only)
     snapshot_every: int = 0
     #: events pumped off the bus per :meth:`LivePipeline.pump` batch
@@ -63,7 +64,7 @@ class PipelineConfig:
     rate_contributors: bool = True
     #: switch-report staleness before confidence degrades; None = auto
     #: (4x the largest expected step time)
-    report_gap_ns: Optional[float] = None
+    report_gap_ns: Optional[Nanoseconds] = None
 
 
 @dataclass
@@ -72,7 +73,7 @@ class DiagnosisSnapshot:
 
     seq: int
     final: bool
-    watermark_ns: float
+    watermark_ns: Nanoseconds
     step_records_ingested: int
     switch_reports_ingested: int
     critical_path: list[CriticalPathEntry]
@@ -143,7 +144,7 @@ class LivePipeline:
     def __init__(self, schedule: StepSchedule,
                  flow_keys: dict[tuple[str, int], FlowKey],
                  expected_step_times: dict[tuple[str, int], float],
-                 pfc_xoff_bytes: int,
+                 pfc_xoff_bytes: Bytes,
                  config: Optional[PipelineConfig] = None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         self.schedule = schedule

@@ -20,6 +20,7 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass
 from typing import Callable, Optional, TypeVar
+from repro.core.units import Nanoseconds
 
 log = logging.getLogger(__name__)
 
@@ -86,7 +87,7 @@ class DegradationTracker:
     with step records but no switch reports at all sits at the floor.
     """
 
-    def __init__(self, report_gap_ns: float,
+    def __init__(self, report_gap_ns: Nanoseconds,
                  floor: float = 0.25) -> None:
         self.report_gap_ns = max(1.0, report_gap_ns)
         self.floor = floor

@@ -21,6 +21,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterator, Optional
 
+from repro.core.units import Nanoseconds
 from repro.live.bus import TelemetryEvent
 
 
@@ -31,7 +32,7 @@ class WatermarkBuffer:
     order (watermark == max time seen, nothing buffered for long).
     """
 
-    def __init__(self, lateness_bound_ns: float = 0.0) -> None:
+    def __init__(self, lateness_bound_ns: Nanoseconds = 0.0) -> None:
         self.lateness_bound_ns = max(0.0, lateness_bound_ns)
         self._heap: list[tuple[float, int, TelemetryEvent]] = []
         self._max_time_seen = float("-inf")

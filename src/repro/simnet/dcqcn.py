@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.units import BitsPerSecond, Nanoseconds
 from repro.simnet.units import gbps, us
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -33,17 +34,17 @@ class DcqcnConfig:
     #: EWMA gain for alpha
     g: float = 1.0 / 16.0
     #: rate-increase / alpha-decay timer period
-    timer_ns: float = us(50)
+    timer_ns: Nanoseconds = us(50)
     #: consecutive timer ticks spent in fast recovery before additive
     fast_recovery_ticks: int = 5
     #: additive increase step
-    rate_ai_bps: float = gbps(2.5)
+    rate_ai_bps: BitsPerSecond = gbps(2.5)
     #: hyper increase step
-    rate_hai_bps: float = gbps(25)
+    rate_hai_bps: BitsPerSecond = gbps(25)
     #: floor below which the rate is never cut
-    min_rate_bps: float = gbps(0.1)
+    min_rate_bps: BitsPerSecond = gbps(0.1)
     #: NP-side minimum spacing between CNPs for one flow
-    cnp_interval_ns: float = us(50)
+    cnp_interval_ns: Nanoseconds = us(50)
 
 
 class DcqcnState:
@@ -54,7 +55,7 @@ class DcqcnState:
                  "_on_rate_change", "cnps_received", "rate_cuts")
 
     def __init__(self, sim: "Simulator", config: DcqcnConfig,
-                 line_rate_bps: float,
+                 line_rate_bps: BitsPerSecond,
                  on_rate_change: Optional[callable] = None) -> None:
         self.sim = sim
         self.config = config

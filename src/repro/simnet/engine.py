@@ -13,6 +13,7 @@ import itertools
 import os
 from typing import Any, Callable, Optional
 
+from repro.core.units import Nanoseconds
 from repro.checks.sanitizer import SimSanitizer
 
 
@@ -31,7 +32,7 @@ class Event:
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int,
+    def __init__(self, time: Nanoseconds, seq: int,
                  callback: Callable[..., None], args: tuple):
         self.time = time
         self.seq = seq
@@ -80,7 +81,7 @@ class Simulator:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._heap)
 
-    def schedule(self, delay: float, callback: Callable[..., None],
+    def schedule(self, delay: Nanoseconds, callback: Callable[..., None],
                  *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
         if delay < 0:
@@ -94,7 +95,7 @@ class Simulator:
         heapq.heappush(self._heap, event)
         return event
 
-    def schedule_at(self, time: float, callback: Callable[..., None],
+    def schedule_at(self, time: Nanoseconds, callback: Callable[..., None],
                     *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute simulation time."""
         if time < self.now:
@@ -113,7 +114,7 @@ class Simulator:
         """Stop the run loop after the current callback returns."""
         self._stopped = True
 
-    def run(self, until: Optional[float] = None,
+    def run(self, until: Optional[Nanoseconds] = None,
             max_events: Optional[int] = None) -> float:
         """Run events until the heap drains, ``until`` is reached, or
         ``max_events`` callbacks have executed.

@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.core.units import Bytes, Nanoseconds
 from repro.simnet.dcqcn import DcqcnState
 from repro.simnet.packet import (
     FlowKey,
@@ -45,7 +46,7 @@ class FlowStats:
     first_send_time: Optional[float] = None
     complete_time: Optional[float] = None
     rtt_samples: int = 0
-    max_rtt_ns: float = 0.0
+    max_rtt_ns: Nanoseconds = 0.0
     retransmissions: int = 0
 
     @property
@@ -58,7 +59,7 @@ class FlowStats:
 class RdmaFlow:
     """Sender side of one message flow."""
 
-    def __init__(self, network: "Network", key: FlowKey, size_bytes: int,
+    def __init__(self, network: "Network", key: FlowKey, size_bytes: Bytes,
                  start_time: float,
                  on_sender_complete: Optional[Callable] = None,
                  tag: Optional[str] = None) -> None:
@@ -244,7 +245,7 @@ class FlowReceiver:
                  "ack_every", "first_arrival_time", "complete_time")
 
     def __init__(self, network: "Network", host: "HostNode", key: FlowKey,
-                 expected_bytes: Optional[int] = None,
+                 expected_bytes: Optional[Bytes] = None,
                  on_receive_complete: Optional[Callable] = None) -> None:
         self.network = network
         self.host = host

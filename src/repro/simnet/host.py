@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.core.units import Bytes
 from repro.simnet.flow import FlowReceiver, RdmaFlow
 from repro.simnet.node import Node
 from repro.simnet.packet import FlowKey, Packet, PacketKind
@@ -45,7 +46,7 @@ class HostNode(Node):
     def register_receiver(self, receiver: FlowReceiver) -> None:
         self.receivers[receiver.key] = receiver
 
-    def expect_flow(self, key: FlowKey, expected_bytes: Optional[int] = None,
+    def expect_flow(self, key: FlowKey, expected_bytes: Optional[Bytes] = None,
                     on_receive_complete: Optional[Callable] = None
                     ) -> FlowReceiver:
         """Pre-register a receiver (collective runtime does this so the

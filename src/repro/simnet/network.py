@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.core.units import Bytes, Nanoseconds
 from repro.simnet.dcqcn import DcqcnConfig
 from repro.simnet.engine import Simulator
 from repro.simnet.flow import RdmaFlow
@@ -40,25 +41,25 @@ ReportSink = Callable[[SwitchReport], None]
 class NetworkConfig:
     """All data-plane knobs in one place."""
 
-    mtu_payload_bytes: int = 4096
+    mtu_payload_bytes: Bytes = 4096
     #: receiver coalescing: ACK every N data packets (and always the last)
     ack_every: int = 1
     #: sender byte window; None = bdp_multiplier x estimated max BDP
-    window_bytes: Optional[int] = None
+    window_bytes: Optional[Bytes] = None
     bdp_multiplier: float = 1.5
     #: PFC ingress thresholds (shallow commodity buffers, §II-A)
-    pfc_xoff_bytes: int = 256 * KB
-    pfc_xon_bytes: int = 128 * KB
-    pause_quanta_ns: float = us(300)
+    pfc_xoff_bytes: Bytes = 256 * KB
+    pfc_xon_bytes: Bytes = 128 * KB
+    pause_quanta_ns: Nanoseconds = us(300)
     #: ECN / RED marking at egress queues (drives DCQCN)
-    ecn_kmin_bytes: int = 32 * KB
-    ecn_kmax_bytes: int = 128 * KB
+    ecn_kmin_bytes: Bytes = 32 * KB
+    ecn_kmax_bytes: Bytes = 128 * KB
     ecn_pmax: float = 0.25
     dcqcn: DcqcnConfig = field(default_factory=DcqcnConfig)
     #: cap on host NIC data queue (backpressures the sender transport)
-    host_queue_cap_bytes: int = 512 * KB
+    host_queue_cap_bytes: Bytes = 512 * KB
     #: go-back-N retransmission timeout; None disables loss recovery
-    rto_ns: Optional[float] = ms(20)
+    rto_ns: Optional[Nanoseconds] = ms(20)
     seed: int = 1
 
 
@@ -168,7 +169,7 @@ class Network:
         port = next(self._flow_port_counter)
         return FlowKey(src, dst, port, 4791)  # 4791 = RoCEv2 UDP port
 
-    def create_flow(self, src: str, dst: str, size_bytes: int,
+    def create_flow(self, src: str, dst: str, size_bytes: Bytes,
                     start_time: float = 0.0, tag: Optional[str] = None,
                     key: Optional[FlowKey] = None,
                     on_sender_complete: Optional[Callable] = None,
@@ -192,12 +193,12 @@ class Network:
     # ------------------------------------------------------------------
     # PFC frame delivery (link-local, bypasses queues)
     # ------------------------------------------------------------------
-    def deliver_pause(self, event: PauseEvent, delay_ns: float) -> None:
+    def deliver_pause(self, event: PauseEvent, delay_ns: Nanoseconds) -> None:
         victim = self.node(event.victim.node)
         self.sim.schedule(delay_ns, victim.on_pause_frame,
                           event.victim.port, event)
 
-    def deliver_resume(self, event: ResumeEvent, delay_ns: float) -> None:
+    def deliver_resume(self, event: ResumeEvent, delay_ns: Nanoseconds) -> None:
         victim = self.node(event.victim.node)
         self.sim.schedule(delay_ns, victim.on_resume_frame,
                           event.victim.port, event)
@@ -263,7 +264,7 @@ class Network:
     # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------
-    def run(self, until: Optional[float] = None,
+    def run(self, until: Optional[Nanoseconds] = None,
             max_events: Optional[int] = None) -> float:
         return self.sim.run(until=until, max_events=max_events)
 

@@ -12,6 +12,7 @@ import enum
 import itertools
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional
+from repro.core.units import Bytes, Nanoseconds
 
 
 class Priority(enum.IntEnum):
@@ -107,8 +108,8 @@ class Packet:
                 f"size={self.size}, prio={self.priority.name})")
 
 
-def make_data_packet(flow: FlowKey, seq: int, payload_bytes: int,
-                     now: float, ttl: int = 64) -> Packet:
+def make_data_packet(flow: FlowKey, seq: int, payload_bytes: Bytes,
+                     now: Nanoseconds, ttl: int = 64) -> Packet:
     """Build a DATA packet of ``payload_bytes`` plus header overhead."""
     return Packet(
         kind=PacketKind.DATA,
@@ -124,7 +125,7 @@ def make_data_packet(flow: FlowKey, seq: int, payload_bytes: int,
 
 
 def make_control_packet(kind: PacketKind, flow: Optional[FlowKey], src: str,
-                        dst: str, now: float, payload: Optional[dict] = None,
+                        dst: str, now: Nanoseconds, payload: Optional[dict] = None,
                         size: int = CONTROL_PACKET_BYTES) -> Packet:
     """Build a small control-class packet (ACK, CNP, POLL, NOTIFY...)."""
     return Packet(

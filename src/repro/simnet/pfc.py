@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.units import Nanoseconds
 from repro.simnet.units import us
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -46,7 +47,7 @@ class PauseEvent:
     backpressure.
     """
 
-    time: float
+    time: Nanoseconds
     sender: PortRef
     victim: PortRef
     buffer_bytes_at_send: int
@@ -57,7 +58,7 @@ class PauseEvent:
 class ResumeEvent:
     """One RESUME frame observed on the wire."""
 
-    time: float
+    time: Nanoseconds
     sender: PortRef
     victim: PortRef
 
@@ -93,8 +94,8 @@ class PfcStormInjector:
     """
 
     def __init__(self, network: "Network", switch_id: str, port: int,
-                 start_ns: float, duration_ns: float,
-                 refresh_ns: Optional[float] = None) -> None:
+                 start_ns: Nanoseconds, duration_ns: Nanoseconds,
+                 refresh_ns: Optional[Nanoseconds] = None) -> None:
         self.network = network
         self.switch_id = switch_id
         self.port = port

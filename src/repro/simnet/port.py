@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.core.units import BitsPerSecond, Bytes, Nanoseconds
 from repro.simnet.packet import Packet, Priority
 from repro.simnet.units import serialization_delay
 
@@ -46,8 +47,8 @@ class EgressPort:
     )
 
     def __init__(self, sim: "Simulator", node_id: str, port_id: int,
-                 bandwidth_bps: float, delay_ns: float,
-                 data_queue_cap_bytes: Optional[int] = None) -> None:
+                 bandwidth_bps: BitsPerSecond, delay_ns: Nanoseconds,
+                 data_queue_cap_bytes: Optional[Bytes] = None) -> None:
         self.sim = sim
         self.node_id = node_id
         self.port_id = port_id
@@ -156,7 +157,7 @@ class EgressPort:
     # ------------------------------------------------------------------
     # PFC pause state (DATA class only)
     # ------------------------------------------------------------------
-    def pause(self, duration_ns: float) -> None:
+    def pause(self, duration_ns: Nanoseconds) -> None:
         """Halt DATA transmission for ``duration_ns`` (refreshable)."""
         if not self.paused:
             self.paused = True

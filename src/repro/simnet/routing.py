@@ -17,8 +17,10 @@ import collections
 import zlib
 from typing import Optional
 
+from repro.core.units import Bytes, Nanoseconds
 from repro.simnet.packet import FlowKey
 from repro.simnet.topology import Topology
+from repro.simnet.units import serialization_delay
 
 
 class RoutingError(Exception):
@@ -179,9 +181,9 @@ class EcmpRouting:
         return path
 
     def base_rtt_ns(self, src: str, dst: str, flow: Optional[FlowKey] = None,
-                    per_hop_delay_ns: Optional[float] = None,
-                    packet_bytes: int = 4096 + 66,
-                    ack_bytes: int = 64) -> float:
+                    per_hop_delay_ns: Optional[Nanoseconds] = None,
+                    packet_bytes: Bytes = 4096 + 66,
+                    ack_bytes: Bytes = 64) -> Nanoseconds:
         """Unloaded round-trip estimate between two hosts.
 
         Vedrfolnir recomputes RTT thresholds from topology before each
@@ -197,6 +199,6 @@ class EcmpRouting:
             delay = per_hop_delay_ns if per_hop_delay_ns is not None \
                 else link.delay_ns
             total += 2 * delay
-            total += (packet_bytes + ack_bytes) * 8.0 / link.bandwidth_bps \
-                * 1_000_000_000.0
+            total += serialization_delay(packet_bytes + ack_bytes,
+                                         link.bandwidth_bps)
         return total

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.units import Nanoseconds
 from repro.simnet.units import us
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -23,10 +24,10 @@ if TYPE_CHECKING:  # pragma: no cover
 class Series:
     """A sampled time series."""
 
-    times_ns: list[float] = field(default_factory=list)
+    times_ns: list[Nanoseconds] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
 
-    def append(self, time_ns: float, value: float) -> None:
+    def append(self, time_ns: Nanoseconds, value: float) -> None:
         self.times_ns.append(time_ns)
         self.values.append(value)
 
@@ -63,7 +64,7 @@ class FlowThroughputSampler:
     """Samples a flow's goodput (acked bytes per interval) as Gbps."""
 
     def __init__(self, network: "Network", flow: "RdmaFlow",
-                 period_ns: float = us(10)) -> None:
+                 period_ns: Nanoseconds = us(10)) -> None:
         self.network = network
         self.flow = flow
         self.period_ns = period_ns
@@ -91,8 +92,8 @@ class PortQueueSampler:
     """Samples an egress port's DATA queue depth in bytes."""
 
     def __init__(self, network: "Network", port: "EgressPort",
-                 period_ns: float = us(10),
-                 duration_ns: Optional[float] = None) -> None:
+                 period_ns: Nanoseconds = us(10),
+                 duration_ns: Optional[Nanoseconds] = None) -> None:
         self.network = network
         self.port = port
         self.period_ns = period_ns

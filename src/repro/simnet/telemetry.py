@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Optional
 
+from repro.core.units import Bytes, Nanoseconds
 from repro.simnet.packet import FlowKey
 from repro.simnet.pfc import PauseEvent, PauseLog
 from repro.simnet.units import ms, us
@@ -31,18 +32,18 @@ from repro.simnet.units import ms, us
 class TelemetryConfig:
     """Sizing and timing knobs for the telemetry substrate."""
 
-    window_ns: float = ms(1)
+    window_ns: Nanoseconds = ms(1)
     #: how recent a pause must be for a poll to chase its sender
-    pause_recency_ns: float = us(600)
+    pause_recency_ns: Nanoseconds = us(600)
     #: management-plane latency from switch controller to analyzer
-    report_delay_ns: float = us(10)
+    report_delay_ns: Nanoseconds = us(10)
     #: per-record wire sizes used for overhead accounting (bytes)
-    report_header_bytes: int = 64
-    port_entry_bytes: int = 16
-    flow_entry_bytes: int = 32
-    pair_entry_bytes: int = 24
-    meter_entry_bytes: int = 12
-    pause_entry_bytes: int = 16
+    report_header_bytes: Bytes = 64
+    port_entry_bytes: Bytes = 16
+    flow_entry_bytes: Bytes = 32
+    pair_entry_bytes: Bytes = 24
+    meter_entry_bytes: Bytes = 12
+    pause_entry_bytes: Bytes = 16
     #: safety bound on PFC chase recursion
     max_chase_depth: int = 16
 
@@ -56,7 +57,7 @@ class WindowedCounter:
 
     __slots__ = ("window_ns", "_cur", "_prev", "_epoch_start")
 
-    def __init__(self, window_ns: float) -> None:
+    def __init__(self, window_ns: Nanoseconds) -> None:
         self.window_ns = window_ns
         self._cur: dict[Hashable, float] = {}
         self._prev: dict[Hashable, float] = {}
@@ -74,11 +75,11 @@ class WindowedCounter:
             self._cur = {}
         self._epoch_start = now - (elapsed % self.window_ns)
 
-    def add(self, now: float, key: Hashable, delta: float = 1.0) -> None:
+    def add(self, now: Nanoseconds, key: Hashable, delta: float = 1.0) -> None:
         self._rotate(now)
         self._cur[key] = self._cur.get(key, 0.0) + delta
 
-    def snapshot(self, now: float) -> dict[Hashable, float]:
+    def snapshot(self, now: Nanoseconds) -> dict[Hashable, float]:
         self._rotate(now)
         if not self._prev:
             return dict(self._cur)
@@ -94,7 +95,7 @@ class PortTelemetryEntry:
 
     port: int
     qdepth_pkts: int
-    qdepth_bytes: int
+    qdepth_bytes: Bytes
     paused: bool
     #: per-flow packets transmitted through this port in the window
     flow_pkts: dict[FlowKey, float]
@@ -112,7 +113,7 @@ class SwitchReport:
     """One telemetry report from one switch to the analyzer."""
 
     switch_id: str
-    time: float
+    time: Nanoseconds
     poll_id: Optional[str]
     ports: list[PortTelemetryEntry]
     #: (ingress_port, egress_port) -> bytes forwarded in the window
@@ -120,7 +121,7 @@ class SwitchReport:
     pause_received: list[PauseEvent]
     pause_sent: list[PauseEvent]
     ttl_drops: dict[FlowKey, int]
-    size_bytes: int = 0
+    size_bytes: Bytes = 0
 
     def port_entry(self, port: int) -> Optional[PortTelemetryEntry]:
         for entry in self.ports:
@@ -146,7 +147,7 @@ class SwitchTelemetry:
     # ------------------------------------------------------------------
     # data-plane hooks (called by the switch)
     # ------------------------------------------------------------------
-    def on_data_enqueue(self, now: float, egress_port: int,
+    def on_data_enqueue(self, now: Nanoseconds, egress_port: int,
                         flow: FlowKey) -> None:
         """Record a DATA packet entering an egress queue; accumulate the
         packets-ahead weights against every other flow in the queue."""
@@ -157,7 +158,7 @@ class SwitchTelemetry:
                     now, (egress_port, flow, other_flow), count)
         queue[flow] = queue.get(flow, 0) + 1
 
-    def on_data_departure(self, now: float, ingress_port: int,
+    def on_data_departure(self, now: Nanoseconds, ingress_port: int,
                           egress_port: int, flow: FlowKey,
                           size: int) -> None:
         """Record a DATA packet leaving the switch."""
@@ -177,7 +178,7 @@ class SwitchTelemetry:
     # ------------------------------------------------------------------
     # report generation
     # ------------------------------------------------------------------
-    def make_report(self, now: float, ports: dict[int, "object"],
+    def make_report(self, now: Nanoseconds, ports: dict[int, "object"],
                     scope_ports: Optional[set[int]] = None,
                     poll_id: Optional[str] = None,
                     pause_since: Optional[float] = None) -> SwitchReport:
@@ -251,14 +252,14 @@ class SwitchTelemetry:
         size += cfg.flow_entry_bytes * len(report.ttl_drops)
         return size
 
-    def recent_pauses_on_port(self, now: float,
+    def recent_pauses_on_port(self, now: Nanoseconds,
                               port: int) -> list[PauseEvent]:
         """Pause frames that halted local egress ``port`` recently —
         the trigger for chasing the PFC spreading path."""
         since = now - self.config.pause_recency_ns
         return self.pause_log.pauses_received_since(port, since)
 
-    def egress_ports_fed_by(self, now: float, ingress_port: int) -> list[int]:
+    def egress_ports_fed_by(self, now: Nanoseconds, ingress_port: int) -> list[int]:
         """Egress ports that ingress ``ingress_port`` forwarded traffic to
         within the meter window (the continuation of a PFC chase)."""
         meters = self._port_meters.snapshot(now)

@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.core.units import BitsPerSecond, Nanoseconds
 from repro.simnet.units import gbps, us
 
 DEFAULT_BANDWIDTH_BPS = gbps(100)
@@ -36,8 +37,8 @@ class LinkSpec:
 
     a: str
     b: str
-    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS
-    delay_ns: float = DEFAULT_LINK_DELAY_NS
+    bandwidth_bps: BitsPerSecond = DEFAULT_BANDWIDTH_BPS
+    delay_ns: Nanoseconds = DEFAULT_LINK_DELAY_NS
 
     def other(self, node: str) -> str:
         if node == self.a:
@@ -61,8 +62,8 @@ class Topology:
         self.nodes[node_id] = kind
 
     def add_link(self, a: str, b: str,
-                 bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
-                 delay_ns: float = DEFAULT_LINK_DELAY_NS) -> None:
+                 bandwidth_bps: BitsPerSecond = DEFAULT_BANDWIDTH_BPS,
+                 delay_ns: Nanoseconds = DEFAULT_LINK_DELAY_NS) -> None:
         for endpoint in (a, b):
             if endpoint not in self.nodes:
                 raise ValueError(f"unknown node {endpoint!r}")
@@ -110,8 +111,8 @@ class Topology:
 
 
 def build_fat_tree(k: int = 4,
-                   bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
-                   delay_ns: float = DEFAULT_LINK_DELAY_NS) -> Topology:
+                   bandwidth_bps: BitsPerSecond = DEFAULT_BANDWIDTH_BPS,
+                   delay_ns: Nanoseconds = DEFAULT_LINK_DELAY_NS) -> Topology:
     """Standard K-ary fat-tree.
 
     For k=4 (the paper's setup): 16 hosts ``h0..h15``, 8 edge switches
@@ -154,9 +155,9 @@ def build_fat_tree(k: int = 4,
 
 
 def build_dumbbell(hosts_per_side: int = 2,
-                   bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
-                   delay_ns: float = DEFAULT_LINK_DELAY_NS,
-                   bottleneck_bps: float | None = None) -> Topology:
+                   bandwidth_bps: BitsPerSecond = DEFAULT_BANDWIDTH_BPS,
+                   delay_ns: Nanoseconds = DEFAULT_LINK_DELAY_NS,
+                   bottleneck_bps: BitsPerSecond | None = None) -> Topology:
     """Two switches joined by one (optionally slower) bottleneck link,
     with ``hosts_per_side`` hosts hanging off each switch.
 
@@ -180,8 +181,8 @@ def build_dumbbell(hosts_per_side: int = 2,
 
 
 def build_switch_ring(num_switches: int = 3, hosts_per_switch: int = 1,
-                      bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
-                      delay_ns: float = DEFAULT_LINK_DELAY_NS) -> Topology:
+                      bandwidth_bps: BitsPerSecond = DEFAULT_BANDWIDTH_BPS,
+                      delay_ns: Nanoseconds = DEFAULT_LINK_DELAY_NS) -> Topology:
     """A cycle of switches, each with local hosts.
 
     The only topology here on which PFC *deadlock* (§II-B) can form:
@@ -207,8 +208,8 @@ def build_switch_ring(num_switches: int = 3, hosts_per_switch: int = 1,
 
 
 def build_linear(num_switches: int = 3, hosts_per_switch: int = 1,
-                 bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
-                 delay_ns: float = DEFAULT_LINK_DELAY_NS) -> Topology:
+                 bandwidth_bps: BitsPerSecond = DEFAULT_BANDWIDTH_BPS,
+                 delay_ns: Nanoseconds = DEFAULT_LINK_DELAY_NS) -> Topology:
     """A chain of switches, each with local hosts.
 
     Useful for PFC-propagation tests: congestion at the tail switch

@@ -3,9 +3,22 @@
 Internally the simulator measures time in nanoseconds (floats), rates in
 bits per second, and sizes in bytes.  These helpers keep call sites
 readable (``us(2)`` instead of ``2_000.0``).
+
+This module *defines* the raw conversion factors, so it is exempt from
+RPR013; everything else should go through these helpers or the checked
+converters in :mod:`repro.core.units`.
 """
 
 from __future__ import annotations
+from repro.core.units import (
+    BitsPerSecond,
+    Bytes,
+    Gbps,
+    Microseconds,
+    Milliseconds,
+    Nanoseconds,
+    Seconds,
+)
 
 NS = 1.0
 US = 1_000.0
@@ -19,33 +32,34 @@ GB = 1_000_000_000
 GBPS = 1_000_000_000.0
 
 
-def ns(value: float) -> float:
+def ns(value: Nanoseconds) -> Nanoseconds:
     """Nanoseconds (identity; for symmetry with the other helpers)."""
-    return value * NS
+    return Nanoseconds(value * NS)
 
 
-def us(value: float) -> float:
+def us(value: Microseconds) -> Nanoseconds:
     """Microseconds to nanoseconds."""
-    return value * US
+    return Nanoseconds(value * US)
 
 
-def ms(value: float) -> float:
+def ms(value: Milliseconds) -> Nanoseconds:
     """Milliseconds to nanoseconds."""
-    return value * MS
+    return Nanoseconds(value * MS)
 
 
-def sec(value: float) -> float:
+def sec(value: Seconds) -> Nanoseconds:
     """Seconds to nanoseconds."""
-    return value * SEC
+    return Nanoseconds(value * SEC)
 
 
-def gbps(value: float) -> float:
+def gbps(value: Gbps) -> BitsPerSecond:
     """Gigabits per second to bits per second."""
-    return value * GBPS
+    return BitsPerSecond(value * GBPS)
 
 
-def serialization_delay(size_bytes: float, rate_bps: float) -> float:
+def serialization_delay(size_bytes: Bytes,
+                        rate_bps: BitsPerSecond) -> Nanoseconds:
     """Time in nanoseconds to serialize ``size_bytes`` at ``rate_bps``."""
     if rate_bps <= 0:
         raise ValueError(f"rate must be positive, got {rate_bps}")
-    return size_bytes * 8.0 / rate_bps * SEC
+    return Nanoseconds(size_bytes * 8.0 / rate_bps * SEC)

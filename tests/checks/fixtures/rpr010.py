@@ -1,0 +1,41 @@
+"""RPR010 fixture: unit-mismatched call arguments.
+
+Each tagged line passes a microseconds-valued expression where the
+callee's parameter (via annotation, builtin signature, or suffix)
+expects nanoseconds.  The untagged calls route the same values through
+the checked converters and must stay silent.
+"""
+
+from repro.core.units import Nanoseconds, us_to_ns
+
+RETRY_GAP_US = 50.0
+
+
+def arm_timer(deadline_ns: Nanoseconds) -> Nanoseconds:
+    return deadline_ns
+
+
+def poll(timeout_us: float) -> None:
+    arm_timer(timeout_us)  # expect: RPR010
+    arm_timer(deadline_ns=timeout_us)  # expect: RPR010
+    arm_timer(us_to_ns(timeout_us))
+
+
+def convert_wrong(timeout_ns: float) -> Nanoseconds:
+    return us_to_ns(timeout_ns)  # expect: RPR010
+
+
+def retry(delay_ns: Nanoseconds = RETRY_GAP_US) -> None:  # expect: RPR010
+    arm_timer(delay_ns)
+
+
+class Pacer:
+    def __init__(self, gap_ns: Nanoseconds) -> None:
+        self.gap_ns = gap_ns
+
+    def set_gap(self, gap_ns: Nanoseconds) -> None:
+        self.gap_ns = gap_ns
+
+    def widen(self, extra_us: float) -> None:
+        self.set_gap(extra_us)  # expect: RPR010
+        self.set_gap(us_to_ns(extra_us))

@@ -1,0 +1,34 @@
+"""RPR010 near-miss fixture: every call here must stay silent.
+
+Dynamic dispatch the call graph cannot resolve degrades to *unknown*
+— never to a report — and dimensionless literals are compatible with
+any parameter unit.
+"""
+
+from repro.core.units import Nanoseconds
+
+
+def arm_timer(deadline_ns: Nanoseconds) -> Nanoseconds:
+    return deadline_ns
+
+
+def dispatch(handlers: dict, timeout_us: float) -> None:
+    handler = handlers["arm"]
+    handler(timeout_us)  # unresolvable dynamic call: unknown, silent
+
+
+def indirect(timeout_us: float) -> None:
+    for handler in (arm_timer,):
+        handler(timeout_us)  # loop-bound callable: unresolved, silent
+
+
+def spread(pending: list) -> None:
+    arm_timer(*pending)  # starred args: checking stops, silent
+
+
+def correct(deadline_ns: Nanoseconds) -> Nanoseconds:
+    return arm_timer(deadline_ns)
+
+
+def from_literal() -> Nanoseconds:
+    return arm_timer(2000.0)  # dimensionless literal: compatible

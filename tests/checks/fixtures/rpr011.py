@@ -1,0 +1,30 @@
+"""RPR011 fixture: mixed-unit arithmetic and comparisons.
+
+Units here come purely from name suffixes — no annotations needed —
+so the tagged lines add, compare, ``min()`` and ``+=`` values from
+different time scales.  The last function mixes a known unit with an
+unknown one and must stay silent.
+"""
+
+
+def total_latency(queue_ns: float, pace_us: float) -> float:
+    return queue_ns + pace_us  # expect: RPR011
+
+
+def window_open(elapsed_s: float, window_ms: float) -> bool:
+    return elapsed_s < window_ms  # expect: RPR011
+
+
+def first_deadline(left_ns: float, right_us: float) -> float:
+    return min(left_ns, right_us)  # expect: RPR011
+
+
+def accumulate(samples_us: list) -> float:
+    total_ns = 0.0
+    for sample_us in samples_us:
+        total_ns += sample_us  # expect: RPR011
+    return total_ns
+
+
+def padded(queue_ns: float, slack: float) -> float:
+    return queue_ns + slack

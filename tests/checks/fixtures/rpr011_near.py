@@ -1,0 +1,21 @@
+"""RPR011 near-miss fixture: compatible operands must stay silent.
+
+Unknown-unit operands, dimensionless scaling, like-unit ratios and
+same-unit ``max()`` are all legitimate arithmetic.
+"""
+
+
+def padded(total_ns: float, slack: float) -> float:
+    return total_ns + slack  # unknown operand: silent
+
+
+def scaled(total_ns: float, factor: float) -> float:
+    return total_ns * factor
+
+
+def ratio(first_ns: float, second_ns: float) -> float:
+    return first_ns / second_ns  # like units cancel to a ratio
+
+
+def clamped(total_ns: float, floor_ns: float) -> float:
+    return max(total_ns, floor_ns, 0.0)  # one unit + dimensionless

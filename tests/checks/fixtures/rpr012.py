@@ -1,0 +1,44 @@
+# repro: check-scope sim
+"""RPR012 fixture: unit-ambiguous public signatures in sim scope.
+
+Public parameters and dataclass fields whose names promise a magnitude
+(``_ns``/``_us`` suffixes, bare time words) must carry a
+``repro.core.units`` annotation.  Annotated and private declarations
+in between must stay silent.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.units import Nanoseconds
+
+
+def drain(budget_ns, batch: int) -> int:  # expect: RPR012
+    del budget_ns
+    return batch
+
+
+def wait_for(timeout) -> None:  # expect: RPR012
+    del timeout
+
+
+def pace(gap_ns: Nanoseconds) -> Nanoseconds:
+    return gap_ns
+
+
+def _scratch(pad_ns) -> None:
+    del pad_ns
+
+
+class Prober:
+    def rearm(self, interval_us) -> None:  # expect: RPR012
+        self.interval_us = interval_us
+
+    def _tune(self, skew_us) -> None:
+        self.skew_us = skew_us
+
+
+@dataclass
+class Window:
+    retention_us: float = 50.0  # expect: RPR012
+    span_ns: Nanoseconds = Nanoseconds(0.0)
+    label: str = "window"

@@ -1,0 +1,30 @@
+# repro: check-scope sim
+"""RPR012 near-miss fixture: nothing here is reportable.
+
+Annotated public signatures, private helpers, private classes, and
+names that are neither suffixed nor time words all pass.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.units import Microseconds, Nanoseconds
+
+
+def pace(gap_ns: Nanoseconds, batch: int) -> Nanoseconds:
+    del batch
+    return gap_ns
+
+
+def _scratch(pad_ns) -> None:
+    del pad_ns
+
+
+@dataclass
+class Window:
+    span_us: Microseconds = Microseconds(0.0)
+    label: str = "window"
+
+
+class _Hidden:
+    def tune(self, gap_ns) -> None:
+        self.gap_ns = gap_ns

@@ -1,0 +1,30 @@
+# repro: check-scope sim
+"""RPR013 near-miss fixture: no raw-conversion reports here.
+
+Checked converters, non-factor constants, and factors applied to
+unknown-unit values are all silent.
+"""
+
+from repro.core.units import (
+    Bytes,
+    Microseconds,
+    Nanoseconds,
+    bytes_to_bits,
+    us_to_ns,
+)
+
+
+def to_engine_time(window_us: Microseconds) -> Nanoseconds:
+    return us_to_ns(window_us)
+
+
+def frame_bits(size_bytes: Bytes) -> int:
+    return bytes_to_bits(size_bytes)
+
+
+def halved(window_ns: Nanoseconds) -> Nanoseconds:
+    return window_ns / 2.0  # not a conversion factor
+
+
+def scale_opaque(value) -> float:
+    return value * 1000.0  # unknown unit: silent
