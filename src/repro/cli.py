@@ -8,6 +8,8 @@
         --case 3 --scale 0.005 --trace run.jsonl
     python -m repro diagnose --trace run.jsonl
     python -m repro serve --trace run.jsonl --speed 10
+    python -m repro serve --trace run.jsonl --checkpoint-dir ckpt --resume
+    python -m repro chaos --trace run.jsonl --seed 7 --kills 3
     python -m repro tail --snapshots run.snapshots.jsonl --follow
     python -m repro metrics --file run.live-metrics.json
     python -m repro figure --id 13b --cases 2
@@ -91,6 +93,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="contributors to print in the final report")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-snapshot lines")
+    serve.add_argument("--checkpoint-dir",
+                       help="persist atomic pipeline checkpoints here "
+                            "(enables crash-safe resume)")
+    serve.add_argument("--checkpoint-every", type=int, default=512,
+                       help="checkpoint every N published events")
+    serve.add_argument("--checkpoint-retain", type=int, default=3,
+                       help="keep the last K snapshots for fallback")
+    serve.add_argument("--resume", action="store_true",
+                       help="resume from the newest valid checkpoint "
+                            "in --checkpoint-dir")
+    serve.add_argument("--supervise", type=int, default=0,
+                       help="restart a crashed serve loop up to N "
+                            "times (0 = no supervision)")
+    serve.add_argument("--drain-grace", type=float, default=0.0,
+                       help="seconds to linger after a graceful-stop "
+                            "signal before exiting (a second signal "
+                            "force-exits)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded kill/corrupt/resume harness asserting the "
+             "recovery contract: resumed final snapshot bit-equal to "
+             "an uninterrupted run")
+    chaos.add_argument("--trace", required=True,
+                       help="JSONL trace file")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed for kill placement, perturbations "
+                            "and checkpoint damage")
+    chaos.add_argument("--kills", type=int, default=3,
+                       help="number of seeded kill points spread over "
+                            "the stream")
+    chaos.add_argument("--kill-at", type=int, action="append",
+                       help="explicit kill point (published-event "
+                            "count; repeatable, overrides --kills)")
+    chaos.add_argument("--corrupt-checkpoint", action="store_true",
+                       help="flip a byte of the newest checkpoint "
+                            "before each resume")
+    chaos.add_argument("--truncate-checkpoint", action="store_true",
+                       help="truncate (instead of bit-flip) the "
+                            "newest checkpoint before each resume")
+    chaos.add_argument("--duplicate-every", type=int, default=0,
+                       help="deliver every k-th event twice")
+    chaos.add_argument("--reorder-window", type=int, default=0,
+                       help="shuffle events inside a window this wide")
+    chaos.add_argument("--probe-truncation", action="store_true",
+                       help="also probe mid-record trace truncation "
+                            "detection and resume")
+    chaos.add_argument("--workdir",
+                       help="checkpoint/fixture directory (default: a "
+                            "temporary directory)")
+    chaos.add_argument("--snapshot-every", type=int, default=32,
+                       help="pipeline rolling-snapshot cadence")
+    chaos.add_argument("--checkpoint-every", type=int, default=64,
+                       help="checkpoint cadence in published events")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the machine-readable chaos report")
 
     tail = sub.add_parser(
         "tail", help="print diagnosis snapshots as they land")
@@ -247,8 +305,20 @@ def cmd_serve(args) -> int:
     import time as _time
 
     from repro.core.units import Microseconds, us_to_ns
-    from repro.live import LivePipeline, PipelineConfig
+    from repro.live import PipelineConfig
     from repro.live.bus import BusPolicy
+    from repro.live.checkpoint import (
+        CheckpointManager,
+        CheckpointPolicy,
+        TraceReplayer,
+        resume_or_create,
+    )
+    from repro.live.supervisor import (
+        CrashLoopError,
+        GracefulShutdown,
+        RestartPolicy,
+        Supervisor,
+    )
     from repro.traces.stream import merged_events, read_header
 
     try:
@@ -262,48 +332,96 @@ def cmd_serve(args) -> int:
         lateness_bound_ns=us_to_ns(Microseconds(args.lateness_us)),
         snapshot_every=args.snapshot_every,
     )
-    pipeline = LivePipeline.from_header(header, config)
+    manager = None
+    if args.checkpoint_dir:
+        manager = CheckpointManager(
+            args.checkpoint_dir,
+            CheckpointPolicy(interval_events=args.checkpoint_every,
+                             retain=args.checkpoint_retain))
+    shutdown = GracefulShutdown(
+        drain_grace_s=args.drain_grace).install()
     print(f"serving {args.trace}: "
           f"{header.schedule.algorithm} {header.schedule.op.value}, "
           f"{len(header.schedule.nodes)} nodes, speed="
           f"{'max' if args.speed <= 0 else f'{args.speed:g}x'}")
 
-    snapshot_sink = open(args.snapshots, "w") if args.snapshots else None
+    def serve_once(attempt: int):
+        """One (re)start of the serve loop; the supervisor target."""
+        fresh = attempt == 0 and not args.resume
+        pipeline, cursor, resumed = resume_or_create(
+            header, manager, config=config, fresh=fresh)
+        if resumed:
+            print(f"resumed from checkpoint at event "
+                  f"{cursor.published}")
+        append = resumed or attempt > 0
+        snapshot_sink = open(args.snapshots, "a" if append else "w") \
+            if args.snapshots else None
 
-    def on_snapshot(snapshot) -> None:
-        if not args.quiet:
-            print(snapshot.summary_line())
-        if snapshot_sink is not None:
-            snapshot_sink.write(
-                json.dumps(snapshot.to_dict(args.top)) + "\n")
-            snapshot_sink.flush()
+        def on_snapshot(snapshot) -> None:
+            if not args.quiet:
+                print(snapshot.summary_line())
+            if snapshot_sink is not None:
+                snapshot_sink.write(
+                    json.dumps(snapshot.to_dict(args.top)) + "\n")
+                snapshot_sink.flush()
 
-    pipeline.on_snapshot.append(on_snapshot)
+        pipeline.on_snapshot.append(on_snapshot)
 
-    def quarantine_line(line_no: int, reason: str, snippet: str) -> None:
-        pipeline.quarantine.admit(line_no, reason, snippet)
+        def quarantine_line(line_no: int, reason: str,
+                            snippet: str) -> None:
+            pipeline.quarantine.admit(line_no, reason, snippet)
 
-    # drain before the bus can overflow: a queue smaller than the pump
-    # batch would otherwise shed events the consumer had time for
-    pump_at = config.pump_batch if config.queue_capacity <= 0 \
-        else min(config.pump_batch, config.queue_capacity)
-    last_time = None
-    try:
-        for event in merged_events(args.trace,
-                                   on_error=quarantine_line):
-            if args.speed > 0 and last_time is not None \
-                    and event.time > last_time:
-                _time.sleep((event.time - last_time) / 1e9
-                            / args.speed)
-            last_time = event.time if last_time is None \
-                else max(last_time, event.time)
-            pipeline.publish(event)
-            if len(pipeline.bus) >= pump_at:
-                pipeline.pump(config.pump_batch)
-        final = pipeline.finish()
-    finally:
-        if snapshot_sink is not None:
-            snapshot_sink.close()
+        last_time = [None]
+
+        def pacing(event) -> None:
+            last = last_time[0]
+            if args.speed > 0 and last is not None \
+                    and event.time > last:
+                # sleep in short slices so a graceful-stop signal
+                # interrupts replay pacing promptly
+                remaining = (event.time - last) / 1e9 / args.speed
+                while remaining > 0 and not shutdown.requested:
+                    step = min(0.2, remaining)
+                    _time.sleep(step)
+                    remaining -= step
+            last_time[0] = event.time if last is None \
+                else max(last, event.time)
+
+        events = merged_events(args.trace, on_error=quarantine_line,
+                               resume=cursor.resume_map())
+        replayer = TraceReplayer(
+            pipeline, events, manager, cursor, pacing=pacing,
+            should_stop=lambda: shutdown.requested)
+        try:
+            final = replayer.run()
+        finally:
+            if snapshot_sink is not None:
+                snapshot_sink.close()
+        return pipeline, replayer, final
+
+    if args.supervise > 0:
+        supervisor = Supervisor(
+            serve_once,
+            RestartPolicy(max_restarts=args.supervise),
+            should_stop=lambda: shutdown.requested)
+        try:
+            outcome = supervisor.run()
+        except CrashLoopError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if outcome is None:
+            print("stopped between restarts; state is in the last "
+                  "checkpoint")
+            return 0
+        pipeline, replayer, final = outcome
+    else:
+        pipeline, replayer, final = serve_once(0)
+
+    if shutdown.requested:
+        shutdown.wait_out_grace()
+        print("graceful shutdown: drained, final checkpoint flushed"
+              if manager is not None
+              else "graceful shutdown: drained")
 
     print()
     print("final diagnosis")
@@ -329,12 +447,82 @@ def cmd_serve(args) -> int:
           f"{counters['quarantined']} quarantined, "
           f"{counters['graph_pruned']} graph records pruned")
 
+    registry = pipeline.build_metrics()
+    if manager is not None:
+        manager.register_metrics(registry)
     metrics_path = args.metrics or f"{args.trace}.live-metrics.json"
     with open(metrics_path, "w") as handle:
-        handle.write(pipeline.build_metrics().to_json())
+        handle.write(registry.to_json())
         handle.write("\n")
     print(f"metrics written to {metrics_path}")
     return 0
+
+
+def cmd_chaos(args) -> int:
+    import json
+    import tempfile
+
+    from repro.live.chaos import (
+        ChaosPlan,
+        derive_kill_points,
+        run_chaos,
+    )
+    from repro.live.checkpoint import CheckpointPolicy
+    from repro.live.pipeline import PipelineConfig
+
+    try:
+        if args.kill_at:
+            kill_points = tuple(sorted(set(args.kill_at)))
+        else:
+            kill_points = derive_kill_points(
+                args.trace, args.seed, args.kills,
+                args.duplicate_every)
+        plan = ChaosPlan(
+            seed=args.seed,
+            kill_points=kill_points,
+            corrupt_latest=args.corrupt_checkpoint,
+            truncate_checkpoint=args.truncate_checkpoint,
+            duplicate_every=args.duplicate_every,
+            reorder_window=args.reorder_window,
+            probe_truncation=args.probe_truncation,
+        )
+        config = PipelineConfig(snapshot_every=args.snapshot_every)
+        policy = CheckpointPolicy(
+            interval_events=args.checkpoint_every,
+            max_unflushed_events=max(256, 4 * args.checkpoint_every))
+        if args.workdir:
+            report = run_chaos(args.trace, args.workdir, plan,
+                               config=config, policy=policy)
+        else:
+            with tempfile.TemporaryDirectory(
+                    prefix="repro-chaos-") as workdir:
+                report = run_chaos(args.trace, workdir, plan,
+                                   config=config, policy=policy)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(f"chaos over {args.trace}: "
+              f"kill points {list(plan.kill_points)}"
+              + (", corrupting newest checkpoint before each resume"
+                 if plan.corrupt_latest or plan.truncate_checkpoint
+                 else ""))
+        for entry in report.kill_log:
+            damage = f", damaged {entry['damaged']}" \
+                if entry["damaged"] else ""
+            print(f"  killed at event {entry['kill_at']}, resumed "
+                  f"from event {entry['resumed_from']}{damage}")
+        if report.truncation is not None:
+            probe = report.truncation
+            print(f"  truncation probe: detected="
+                  f"{probe['detected']} resume_offset="
+                  f"{probe['resume_offset']} "
+                  f"resumed_ok={probe['resumed_ok']}")
+        print(report.summary_line())
+    return 0 if report.passed else 1
 
 
 def _format_snapshot_dict(entry: dict) -> str:
@@ -463,6 +651,7 @@ COMMANDS = {
     "run-scenario": cmd_run_scenario,
     "diagnose": cmd_diagnose,
     "serve": cmd_serve,
+    "chaos": cmd_chaos,
     "tail": cmd_tail,
     "metrics": cmd_metrics,
     "check": cmd_check,

@@ -159,3 +159,73 @@ class IncrementalWaitingGraph:
 
     def critical_path(self) -> list[CriticalPathEntry]:
         return self.snapshot().critical_path()
+
+    # ------------------------------------------------------------------
+    # checkpoint hooks (the live service's crash-safe snapshots)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the streaming construction state.
+
+        The submit buffer is always empty between :meth:`submit` calls
+        (submission drains synchronously), so only the retained
+        records, the not-yet-arrived step set and the monotonic
+        counters need to persist.  Records are stored **columnar**
+        (one list per field) rather than as per-record objects: the
+        retained set dominates checkpoint size, and the columnar form
+        keeps the serialized payload — and therefore the synchronous
+        checkpoint pause — small.
+        """
+        from repro.traces import serialize
+
+        if self._buffer:
+            raise RuntimeError(
+                "cannot checkpoint mid-submit: buffer not drained")
+        records = [self.records[key] for key in sorted(self.records)]
+        return {
+            "records": {
+                "node": [r.node for r in records],
+                "step": [r.step_index for r in records],
+                "flow": [serialize.encode_flow_key(r.flow_key)
+                         for r in records],
+                "bytes": [r.size_bytes for r in records],
+                "start": [r.start_time for r in records],
+                "end": [r.end_time for r in records],
+                "recv_source": [r.recv_source for r in records],
+                "binding": [r.binding_dependency for r in records],
+            },
+            "expected": [[node, idx]
+                         for node, idx in sorted(self._expected)],
+            "ingested": self._ingested,
+            "pruned_total": self.pruned_total,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output.
+
+        Ingest listeners are *not* replayed — the owning pipeline
+        restores its own aggregates from the same checkpoint.
+        """
+        from repro.traces import serialize
+
+        self.records = {}
+        columns = state["records"]
+        for node, step, flow, size, start, end, recv, binding in zip(
+                columns["node"], columns["step"], columns["flow"],
+                columns["bytes"], columns["start"], columns["end"],
+                columns["recv_source"], columns["binding"]):
+            record = StepRecord(
+                node=node,
+                step_index=int(step),
+                flow_key=serialize.decode_flow_key(flow),
+                size_bytes=int(size),
+                start_time=float(start),
+                end_time=float(end),
+                recv_source=recv,
+                binding_dependency=binding,
+            )
+            self.records[(record.node, record.step_index)] = record
+        self._expected = {(node, int(idx))
+                          for node, idx in state["expected"]}
+        self._buffer = []
+        self._ingested = int(state["ingested"])
+        self.pruned_total = int(state["pruned_total"])

@@ -12,6 +12,14 @@ IncrementalWaitingGraph` and the signature detectors
 itself (:mod:`repro.live.metrics`), and malformed-input quarantine plus
 telemetry-loss degradation (:mod:`repro.live.robustness`).
 
+Durability: the service is crash-safe.  :mod:`repro.live.checkpoint`
+persists atomic, versioned snapshots of the full pipeline state keyed
+to a durable stream cursor, :mod:`repro.live.supervisor` restarts a
+crashed serve loop with capped backoff and drains gracefully on
+SIGTERM, and :mod:`repro.live.chaos` is the seeded kill/corrupt/resume
+harness proving the recovery contract (resumed final snapshot
+bit-equal to an uninterrupted run).
+
     header = read_header("run.jsonl")
     pipeline = LivePipeline.from_header(header)
     for event in merged_events("run.jsonl"):
@@ -24,6 +32,22 @@ from repro.live.bus import (
     BusPolicy,
     EventBus,
     TelemetryEvent,
+)
+from repro.live.chaos import (
+    ChaosPlan,
+    ChaosReport,
+    SimulatedCrash,
+    derive_kill_points,
+    perturbed_events,
+    run_chaos,
+)
+from repro.live.checkpoint import (
+    CheckpointCorrupt,
+    CheckpointManager,
+    CheckpointPolicy,
+    ReplayCursor,
+    TraceReplayer,
+    resume_or_create,
 )
 from repro.live.metrics import (
     Counter,
@@ -38,6 +62,12 @@ from repro.live.pipeline import (
     PipelineConfig,
 )
 from repro.live.robustness import DegradationTracker, Quarantine
+from repro.live.supervisor import (
+    CrashLoopError,
+    GracefulShutdown,
+    RestartPolicy,
+    Supervisor,
+)
 from repro.live.watermark import WatermarkBuffer
 
 __all__ = [
@@ -56,4 +86,20 @@ __all__ = [
     "render_metrics_text",
     "Quarantine",
     "DegradationTracker",
+    "CheckpointCorrupt",
+    "CheckpointManager",
+    "CheckpointPolicy",
+    "ReplayCursor",
+    "TraceReplayer",
+    "resume_or_create",
+    "Supervisor",
+    "RestartPolicy",
+    "CrashLoopError",
+    "GracefulShutdown",
+    "ChaosPlan",
+    "ChaosReport",
+    "SimulatedCrash",
+    "run_chaos",
+    "derive_kill_points",
+    "perturbed_events",
 ]

@@ -18,14 +18,31 @@ from typing import Optional, Union
 
 Number = Union[int, float]
 
+Labels = Optional[dict[str, str]]
+
+
+def full_name(name: str, labels: Labels) -> str:
+    """Prometheus-style exposition name: ``name{key="value",...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{labels[key]}"'
+                     for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
 
 class Counter:
     """Monotonically increasing count."""
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "",
+                 labels: Labels = None) -> None:
         self.name = name
         self.help = help
+        self.labels = dict(labels) if labels else None
         self.value: Number = 0
+
+    @property
+    def exposition_name(self) -> str:
+        return full_name(self.name, self.labels)
 
     def inc(self, amount: Number = 1) -> None:
         if amount < 0:
@@ -33,23 +50,36 @@ class Counter:
         self.value += amount
 
     def to_dict(self) -> dict:
-        return {"type": "counter", "help": self.help,
+        data = {"type": "counter", "help": self.help,
                 "value": self.value}
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        return data
 
 
 class Gauge:
     """A value that goes up and down (queue depth, rates, ratios)."""
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "",
+                 labels: Labels = None) -> None:
         self.name = name
         self.help = help
+        self.labels = dict(labels) if labels else None
         self.value: Number = 0
+
+    @property
+    def exposition_name(self) -> str:
+        return full_name(self.name, self.labels)
 
     def set(self, value: Number) -> None:
         self.value = value
 
     def to_dict(self) -> dict:
-        return {"type": "gauge", "help": self.help, "value": self.value}
+        data = {"type": "gauge", "help": self.help,
+                "value": self.value}
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        return data
 
 
 def default_buckets(start: float = 1e-6, factor: float = 2.0,
@@ -133,16 +163,19 @@ class MetricsRegistry:
 
     def attach(self, metric):
         """Register an externally-owned metric instance."""
-        if metric.name in self._metrics:
-            raise ValueError(f"duplicate metric {metric.name!r}")
-        self._metrics[metric.name] = metric
+        key = getattr(metric, "exposition_name", metric.name)
+        if key in self._metrics:
+            raise ValueError(f"duplicate metric {key!r}")
+        self._metrics[key] = metric
         return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self.attach(Counter(name, help))
+    def counter(self, name: str, help: str = "",
+                labels: Labels = None) -> Counter:
+        return self.attach(Counter(name, help, labels))
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self.attach(Gauge(name, help))
+    def gauge(self, name: str, help: str = "",
+              labels: Labels = None) -> Gauge:
+        return self.attach(Gauge(name, help, labels))
 
     def histogram(self, name: str, help: str = "",
                   buckets: Optional[list[float]] = None) -> Histogram:

@@ -397,6 +397,88 @@ class LivePipeline:
         return self.emit_snapshot(final=True)
 
     # ------------------------------------------------------------------
+    # checkpointing (crash-safe resume; see repro.live.checkpoint)
+    # ------------------------------------------------------------------
+    def state_dict(self, cursor: Optional[dict] = None) -> dict:
+        """JSON-safe snapshot of everything the diagnosis depends on.
+
+        Captures the in-flight bus queue and watermark heap alongside
+        the incremental graph and the O(steps) aggregates, so a resume
+        from this state plus the remaining stream produces a final
+        :class:`DiagnosisSnapshot` bit-equal to an uninterrupted run
+        (the recovery contract, tested by ``repro chaos``).  Wall-clock
+        observability (latency histograms, arrival stamps) is excluded
+        — it describes the dead process, not the diagnosis.
+        """
+        from repro.traces import serialize
+
+        return {
+            "cursor": dict(cursor) if cursor else {},
+            "seq": self._seq,
+            "ingested": dict(self._ingested),
+            "since_snapshot": self._since_snapshot,
+            "snapshot_seq": self._snapshot_seq,
+            "dupes": self._dupes,
+            "windows": {str(idx): list(window)
+                        for idx, window in sorted(self._windows.items())},
+            "durations": [[node, idx, duration]
+                          for (node, idx), duration
+                          in sorted(self._durations.items())],
+            "slowest": [[idx, duration, node]
+                        for idx, (duration, node)
+                        in sorted(self._slowest.items())],
+            "reports": [serialize.encode_switch_report(r)
+                        for r in self.reports],
+            "bus": self.bus.state_dict(),
+            "watermark": self.watermark.state_dict(),
+            "graph": self.graph.state_dict(),
+            "quarantine": self.quarantine.state_dict(),
+            "degradation": self.degradation.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> dict:
+        """Restore :meth:`state_dict` output; returns the cursor."""
+        from repro.traces import serialize
+
+        self._seq = int(state["seq"])
+        self._ingested = {str(k): int(v)
+                          for k, v in state["ingested"].items()}
+        self._since_snapshot = int(state["since_snapshot"])
+        self._snapshot_seq = int(state["snapshot_seq"])
+        self._dupes = int(state["dupes"])
+        self._windows = {int(idx): [float(low), float(high)]
+                         for idx, (low, high)
+                         in state["windows"].items()}
+        self._durations = {(node, int(idx)): float(duration)
+                           for node, idx, duration
+                           in state["durations"]}
+        self._slowest = {int(idx): (float(duration), node)
+                         for idx, duration, node in state["slowest"]}
+        self.reports = [serialize.decode_switch_report(r)
+                        for r in state["reports"]]
+        self.bus.load_state(state["bus"])
+        self.watermark.load_state(state["watermark"])
+        self.graph.load_state(state["graph"])
+        self.quarantine.load_state(state["quarantine"])
+        self.degradation.load_state(state["degradation"])
+        # wall-clock bookkeeping restarts with the new process
+        self._arrival_wall.clear()
+        self._pending_arrivals.clear()
+        self._started_wall = None
+        self.snapshots.clear()
+        return dict(state.get("cursor") or {})
+
+    @classmethod
+    def restore(cls, header: TraceHeader, state: dict,
+                config: Optional[PipelineConfig] = None,
+                clock: Callable[[], float] = time.monotonic
+                ) -> tuple["LivePipeline", dict]:
+        """Rebuild a pipeline from a trace header + checkpoint state."""
+        pipeline = cls.from_header(header, config=config, clock=clock)
+        cursor = pipeline.load_state(state)
+        return pipeline, cursor
+
+    # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
     def counters(self) -> dict:
@@ -442,6 +524,14 @@ class LivePipeline:
         counter("live_bus_dropped_total",
                 "events shed by drop-oldest/drop-newest",
                 stats.dropped)
+        registry.counter(
+            "live_bus_dropped_events_total",
+            "events shed by the drop-oldest policy",
+            labels={"policy": "drop-oldest"}).inc(stats.dropped_oldest)
+        registry.counter(
+            "live_bus_dropped_events_total",
+            "events shed by the drop-newest policy",
+            labels={"policy": "drop-newest"}).inc(stats.dropped_newest)
         counter("live_bus_backpressure_total",
                 "publishes that stalled on a full bus",
                 stats.backpressure_stalls)
@@ -450,6 +540,12 @@ class LivePipeline:
                 self.watermark.late_discarded)
         counter("live_quarantined_total",
                 "malformed inputs quarantined", self.quarantine.count)
+        for reason in sorted(self.quarantine.by_reason):
+            registry.counter(
+                "live_quarantined_by_reason_total",
+                "malformed inputs quarantined, by normalized reason",
+                labels={"reason": reason}
+            ).inc(self.quarantine.by_reason[reason])
         counter("live_duplicate_records_total",
                 "step records seen more than once", self._dupes)
         counter("live_snapshots_total",

@@ -18,6 +18,7 @@ without crashing:
 from __future__ import annotations
 
 import logging
+import math
 from dataclasses import dataclass
 from typing import Callable, Optional, TypeVar
 from repro.core.units import Nanoseconds
@@ -45,10 +46,24 @@ class Quarantine:
         self.by_reason: dict[str, int] = {}
         self.entries: list[QuarantinedEntry] = []
 
+    @staticmethod
+    def label_for(reason: str) -> str:
+        """Normalize a free-form reason to a stable aggregation label.
+
+        Leading whitespace and colons are stripped before the label is
+        cut at the first remaining colon, so ``": EOFError: x"``,
+        ``"EOFError: x"`` and ``"  EOFError : x"`` all aggregate under
+        ``"EOFError"``; anything that normalizes to the empty string
+        (all-whitespace, bare colons) lands under ``"unknown"``.
+        """
+        return reason.strip().lstrip(":").split(":", 1)[0].strip() \
+            or "unknown"
+
     def admit(self, line_no: int, reason: str, snippet: str = "") -> None:
         """Record one rejected input."""
         self.count += 1
-        label = reason.split(":")[0].strip() or "unknown"
+        reason = reason.strip()
+        label = self.label_for(reason)
         self.by_reason[label] = self.by_reason.get(label, 0) + 1
         if len(self.entries) < self.keep:
             self.entries.append(QuarantinedEntry(
@@ -75,6 +90,22 @@ class Quarantine:
                  "snippet": e.snippet}
                 for e in self.entries],
         }
+
+    # -- checkpoint hooks ----------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "by_reason": dict(sorted(self.by_reason.items())),
+            "entries": [[e.line_no, e.reason, e.snippet]
+                        for e in self.entries],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.count = int(state["count"])
+        self.by_reason = {str(k): int(v)
+                          for k, v in state["by_reason"].items()}
+        self.entries = [QuarantinedEntry(int(line), reason, snippet)
+                        for line, reason, snippet in state["entries"]]
 
 
 class DegradationTracker:
@@ -140,3 +171,26 @@ class DegradationTracker:
             "step_events": self.step_events,
             "report_events": self.report_events,
         }
+
+    # -- checkpoint hooks ----------------------------------------------
+    def state_dict(self) -> dict:
+        # -inf (nothing seen yet) is not valid JSON; use None sentinels
+        return {
+            "last_step_time": None if math.isinf(self.last_step_time)
+            else self.last_step_time,
+            "last_report_time":
+                None if math.isinf(self.last_report_time)
+                else self.last_report_time,
+            "step_events": self.step_events,
+            "report_events": self.report_events,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.last_step_time = float("-inf") \
+            if state["last_step_time"] is None \
+            else float(state["last_step_time"])
+        self.last_report_time = float("-inf") \
+            if state["last_report_time"] is None \
+            else float(state["last_report_time"])
+        self.step_events = int(state["step_events"])
+        self.report_events = int(state["report_events"])

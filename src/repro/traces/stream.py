@@ -17,6 +17,17 @@ Every reader takes an optional quarantine callback
 ``on_error(line_no, reason, snippet)``; with it, malformed lines are
 reported and skipped instead of raising, so one truncated line cannot
 take down a tailing pipeline.
+
+Resumability: every :class:`TraceEvent` carries the byte offset of its
+record (``byte_offset``) and of the byte just past its terminating
+newline (``end_offset``).  A consumer that remembers, per kind, the
+``(end_offset, line_no + 1)`` of the last event it fully processed can
+restart :func:`merged_events` from exactly that point via ``resume=``
+— the durable cursor the live service's checkpoints are keyed to.  A
+file that ends mid-record (a crashed writer, a live tail racing the
+recorder) raises :class:`TraceTruncated`, whose ``byte_offset`` is the
+first byte of the partial record — i.e. the position to resume reading
+from once the writer completes the line.
 """
 
 from __future__ import annotations
@@ -39,6 +50,22 @@ ErrorSink = Callable[[int, str, str], None]
 DATA_KINDS = ("step_record", "switch_report")
 
 
+class TraceTruncated(TraceFormatError):
+    """The file ends in the middle of a record.
+
+    ``byte_offset`` is the offset of the partial record's first byte —
+    everything before it is intact, so it doubles as the resume cursor
+    once the writer finishes (or the operator chops) the broken tail.
+    """
+
+    def __init__(self, message: str, line_no: Optional[int] = None,
+                 byte_offset: Optional[int] = None) -> None:
+        if byte_offset is not None:
+            message = f"{message} (resume at byte {byte_offset})"
+        super().__init__(message, line_no)
+        self.byte_offset = byte_offset
+
+
 @dataclass
 class TraceHeader:
     """Everything the analyzer needs *before* the stream starts."""
@@ -58,35 +85,69 @@ class TraceEvent:
 
     ``time`` is the event's completion/emission time in simulation
     nanoseconds — a step record's ``end_time``, a switch report's
-    ``time``.
+    ``time``.  ``byte_offset``/``end_offset`` bracket the record's
+    bytes in the source file (-1 for synthetic, non-file events).
     """
 
     kind: str
     time: float
     payload: object
     line_no: int
+    byte_offset: int = -1
+    end_offset: int = -1
 
 
-def _lines(path: Union[str, Path]) -> Iterator[tuple[int, str]]:
-    with Path(path).open() as handle:
-        for line_no, line in enumerate(handle, 1):
-            line = line.strip()
-            if line:
-                yield line_no, line
+@dataclass(frozen=True)
+class _Line:
+    """One physical line with its position and completeness."""
+
+    line_no: int
+    start: int
+    end: int
+    text: str
+    complete: bool  # had a terminating newline
 
 
-def _parse(line_no: int, line: str,
+def _lines(path: Union[str, Path], start_offset: int = 0,
+           start_line: int = 1) -> Iterator[_Line]:
+    with Path(path).open("rb") as handle:
+        if start_offset > 0:
+            handle.seek(start_offset)
+        offset = start_offset
+        line_no = start_line - 1
+        for raw in handle:
+            line_no += 1
+            start = offset
+            offset += len(raw)
+            complete = raw.endswith(b"\n")
+            text = raw.decode("utf-8", errors="replace").strip()
+            if text:
+                yield _Line(line_no, start, offset, text, complete)
+
+
+def _parse(line: _Line,
            on_error: Optional[ErrorSink]) -> Optional[dict]:
     try:
-        entry = json.loads(line)
+        entry = json.loads(line.text)
         if not isinstance(entry, dict):
             raise TraceFormatError(
                 f"expected a JSON object, got {type(entry).__name__}")
         return entry
     except (ValueError, TraceFormatError) as error:
+        if not line.complete:
+            # the file stops mid-record: not corruption but an
+            # incomplete write; surface the resume offset
+            truncated = TraceTruncated(
+                "file ends mid-record", line.line_no, line.start)
+            if on_error is None:
+                raise truncated from error
+            on_error(line.line_no,
+                     f"TraceTruncated: {truncated}", line.text)
+            return None
         if on_error is None:
-            raise TraceFormatError(str(error), line_no) from error
-        on_error(line_no, f"{type(error).__name__}: {error}", line)
+            raise TraceFormatError(str(error), line.line_no) from error
+        on_error(line.line_no,
+                 f"{type(error).__name__}: {error}", line.text)
         return None
 
 
@@ -100,8 +161,8 @@ def read_header(path: Union[str, Path],
     flow_keys: dict[tuple[str, int], FlowKey] = {}
     expected: dict[tuple[str, int], float] = {}
     meta: dict = {}
-    for line_no, line in _lines(path):
-        entry = _parse(line_no, line, on_error)
+    for line in _lines(path):
+        entry = _parse(line, on_error)
         if entry is None:
             continue
         kind = entry.get("kind")
@@ -113,7 +174,7 @@ def read_header(path: Union[str, Path],
                 raise TraceFormatError(
                     f"unsupported trace version: found "
                     f"{entry.get('version')!r}, expected "
-                    f"{FORMAT_VERSION!r}", line_no)
+                    f"{FORMAT_VERSION!r}", line.line_no)
         elif kind == "schedule":
             schedule = serialize.decode_schedule(entry["schedule"])
         elif kind == "flow_key":
@@ -136,43 +197,49 @@ def read_header(path: Union[str, Path],
 # ----------------------------------------------------------------------
 # data stream
 # ----------------------------------------------------------------------
-def _decode_event(entry: dict, line_no: int) -> Optional[TraceEvent]:
+def _decode_event(entry: dict, line: _Line) -> Optional[TraceEvent]:
     kind = entry.get("kind")
     if kind == "step_record":
         record = serialize.decode_step_record(entry)
         return TraceEvent("step_record", record.end_time, record,
-                          line_no)
+                          line.line_no, line.start, line.end)
     if kind == "switch_report":
         report = serialize.decode_switch_report(entry)
         return TraceEvent("switch_report", report.time, report,
-                          line_no)
+                          line.line_no, line.start, line.end)
     return None
 
 
 def stream_events(path: Union[str, Path],
                   on_error: Optional[ErrorSink] = None,
-                  kinds: tuple[str, ...] = DATA_KINDS
-                  ) -> Iterator[TraceEvent]:
-    """Yield monitoring-stream events one at a time, in file order."""
-    for line_no, line in _lines(path):
-        entry = _parse(line_no, line, on_error)
+                  kinds: tuple[str, ...] = DATA_KINDS,
+                  start_offset: int = 0,
+                  start_line: int = 1) -> Iterator[TraceEvent]:
+    """Yield monitoring-stream events one at a time, in file order.
+
+    ``start_offset``/``start_line`` resume the scan mid-file — pass the
+    ``end_offset`` and ``line_no + 1`` of the last event consumed.
+    """
+    for line in _lines(path, start_offset, start_line):
+        entry = _parse(line, on_error)
         if entry is None or entry.get("kind") not in kinds:
             continue
         if on_error is None:
-            event = _decode_event(entry, line_no)
+            event = _decode_event(entry, line)
         else:
             try:
-                event = _decode_event(entry, line_no)
+                event = _decode_event(entry, line)
             except Exception as error:  # noqa: BLE001 - quarantine
-                on_error(line_no,
-                         f"{type(error).__name__}: {error}", line)
+                on_error(line.line_no,
+                         f"{type(error).__name__}: {error}", line.text)
                 continue
         if event is not None:
             yield event
 
 
 def merged_events(path: Union[str, Path],
-                  on_error: Optional[ErrorSink] = None
+                  on_error: Optional[ErrorSink] = None,
+                  resume: Optional[dict[str, tuple[int, int]]] = None
                   ) -> Iterator[TraceEvent]:
     """Yield data events in completion-time order.
 
@@ -181,6 +248,12 @@ def merged_events(path: Union[str, Path],
     arrival order a live analyzer would have seen, without loading the
     capture.  Ties break toward step records (hosts report a step's
     end before switches report the window that contained it).
+
+    ``resume`` maps a kind to its ``(start_offset, start_line)`` — the
+    per-kind positions of a checkpoint cursor.  Each per-kind scan
+    restarts there; because both runs are individually time-sorted the
+    merge order of the remaining events is identical to the order an
+    uninterrupted run would have produced.
     """
     rank = {"step_record": 0, "switch_report": 1}
     # both per-kind streams parse every line; report each bad line once
@@ -193,10 +266,30 @@ def merged_events(path: Union[str, Path],
                 reported.add(line_no)
                 original(line_no, reason, snippet)
 
-    streams = [
-        ((e.time, rank[e.kind], e.line_no, e)
-         for e in stream_events(path, on_error, kinds=(kind,)))
-        for kind in DATA_KINDS
-    ]
+    positions = resume or {}
+    streams = []
+    for kind in DATA_KINDS:
+        offset, line_no = positions.get(kind, (0, 1))
+        streams.append(
+            ((e.time, rank[e.kind], e.line_no, e)
+             for e in stream_events(path, on_error, kinds=(kind,),
+                                    start_offset=offset,
+                                    start_line=line_no)))
     for *_ignored, event in heapq.merge(*streams):
         yield event
+
+
+def scan_resume_offset(path: Union[str, Path]) -> int:
+    """The byte offset after the last *complete* record in ``path``.
+
+    A tailing reader that hits :class:`TraceTruncated` (writer still
+    mid-line, or crashed mid-write) can poll this to learn where the
+    intact prefix ends and resume from there.
+    """
+    last_end = 0
+    for line in _lines(path):
+        if line.complete:
+            last_end = line.end
+        else:
+            break
+    return last_end

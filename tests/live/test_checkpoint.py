@@ -1,0 +1,258 @@
+"""Checkpoint subsystem: atomic writes, checksum validation, fallback,
+retention, cursor round-trips, and mid-stream resume equivalence."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.anomalies.scenarios import ScenarioConfig, make_cases
+from repro.experiments.harness import make_system
+from repro.live import LivePipeline, PipelineConfig
+from repro.live.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointCorrupt,
+    CheckpointManager,
+    CheckpointPolicy,
+    ReplayCursor,
+    TraceReplayer,
+    resume_or_create,
+)
+from repro.traces import TraceRecorder
+from repro.traces.stream import TraceEvent, merged_events, read_header
+
+
+def record_scenario_trace(path):
+    """A flow-contention scenario capture: a few hundred data events,
+    enough for multi-checkpoint cadences and spread-out kill points."""
+    config = ScenarioConfig(scale=0.002, base_seed=42)
+    case = make_cases("flow_contention", 1, config)[0]
+    system = make_system("vedrfolnir")
+    network, runtime = case.build_network()
+    system.attach(network, runtime)
+    recorder = TraceRecorder.attach(network, runtime)
+    runtime.start()
+    case.inject(network, runtime)
+    network.run_until_quiet(max_time=config.run_deadline_ns())
+    assert runtime.completed
+    recorder.write(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    return record_scenario_trace(
+        tmp_path_factory.mktemp("ckpt") / "run.jsonl")
+
+
+def final_json(snapshot) -> str:
+    return json.dumps(snapshot.to_dict(), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# ReplayCursor
+# ----------------------------------------------------------------------
+def test_cursor_tracks_per_kind_positions():
+    cursor = ReplayCursor()
+    cursor.advance(TraceEvent("step_record", 1.0, None, 10, 100, 150))
+    cursor.advance(TraceEvent("switch_report", 2.0, None, 11, 150, 260))
+    cursor.advance(TraceEvent("step_record", 3.0, None, 12, 260, 300))
+    assert cursor.published == 3
+    assert cursor.resume_map() == {"step_record": (300, 13),
+                                   "switch_report": (260, 12)}
+    clone = ReplayCursor.from_dict(cursor.to_dict())
+    assert clone == cursor
+
+
+def test_cursor_ignores_synthetic_events():
+    cursor = ReplayCursor()
+    cursor.advance(TraceEvent("step_record", 1.0, None, 0))
+    assert cursor.published == 1
+    assert cursor.resume_map() is None
+
+
+# ----------------------------------------------------------------------
+# CheckpointManager
+# ----------------------------------------------------------------------
+def make_state(published: int, filler: str = "x") -> dict:
+    return {"cursor": {"published": published, "positions": {}},
+            "filler": filler}
+
+
+def test_save_load_roundtrip(tmp_path):
+    manager = CheckpointManager(tmp_path)
+    path = manager.save(make_state(42))
+    assert path.name == "ckpt-0000000042.json"
+    assert manager.load(path) == make_state(42)
+    assert manager.load_latest() == make_state(42)
+    assert manager.written == 1
+    assert manager.last_bytes == path.stat().st_size
+
+
+def test_no_tmp_files_survive(tmp_path):
+    manager = CheckpointManager(tmp_path)
+    manager.save(make_state(1))
+    manager.save(make_state(2))
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_corrupt_latest_falls_back(tmp_path):
+    manager = CheckpointManager(tmp_path)
+    manager.save(make_state(10))
+    newest = manager.save(make_state(20))
+    data = bytearray(newest.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    newest.write_bytes(bytes(data))
+
+    assert manager.load_latest() == make_state(10)
+    assert manager.corrupt_skipped == 1
+    assert manager.fallbacks == 1
+
+
+def test_truncated_latest_falls_back(tmp_path):
+    manager = CheckpointManager(tmp_path)
+    manager.save(make_state(10))
+    newest = manager.save(make_state(20))
+    newest.write_bytes(newest.read_bytes()[: newest.stat().st_size // 2])
+    assert manager.load_latest() == make_state(10)
+
+
+def test_all_corrupt_returns_none(tmp_path):
+    manager = CheckpointManager(tmp_path)
+    for published in (10, 20):
+        path = manager.save(make_state(published))
+        path.write_bytes(b"not json at all")
+    assert manager.load_latest() is None
+    assert manager.corrupt_skipped == 2
+
+
+def test_version_mismatch_is_corrupt(tmp_path):
+    manager = CheckpointManager(tmp_path)
+    path = manager.save(make_state(5))
+    document = json.loads(path.read_text())
+    document["version"] = CHECKPOINT_VERSION + 1
+    path.write_text(json.dumps(document))
+    with pytest.raises(CheckpointCorrupt, match="version"):
+        manager.load(path)
+
+
+def test_checksum_guards_state_tamper(tmp_path):
+    manager = CheckpointManager(tmp_path)
+    path = manager.save(make_state(5))
+    document = json.loads(path.read_text())
+    document["state"]["filler"] = "tampered"
+    path.write_text(json.dumps(document))
+    with pytest.raises(CheckpointCorrupt, match="checksum"):
+        manager.load(path)
+
+
+def test_retention_keeps_last_k(tmp_path):
+    manager = CheckpointManager(
+        tmp_path, CheckpointPolicy(retain=2))
+    for published in (1, 2, 3, 4):
+        manager.save(make_state(published))
+    names = [p.name for p in manager.snapshot_paths()]
+    assert names == ["ckpt-0000000003.json", "ckpt-0000000004.json"]
+    assert manager.pruned == 2
+
+
+def test_register_metrics(tmp_path):
+    from repro.live.metrics import MetricsRegistry
+
+    manager = CheckpointManager(tmp_path)
+    manager.save(make_state(1))
+    manager.load_latest()
+    registry = MetricsRegistry()
+    manager.register_metrics(registry)
+    data = registry.to_dict()
+    assert data["live_checkpoints_written_total"]["value"] == 1
+    assert data["live_checkpoints_loaded_total"]["value"] == 1
+    assert data["live_checkpoint_bytes"]["value"] > 0
+    assert "live_checkpoint_write_seconds" in data
+
+
+# ----------------------------------------------------------------------
+# pipeline state round-trip + resume equivalence
+# ----------------------------------------------------------------------
+def test_pipeline_state_roundtrip_mid_stream(trace_path):
+    header = read_header(trace_path)
+    config = PipelineConfig(snapshot_every=16)
+    pipeline = LivePipeline.from_header(header, config)
+    events = list(merged_events(trace_path))
+    cut = len(events) // 2
+    for event in events[:cut]:
+        pipeline.publish(event)
+        if len(pipeline.bus) >= 32:
+            pipeline.pump(32)
+
+    state = pipeline.state_dict({"published": cut, "positions": {}})
+    # the state must survive a JSON round-trip bit-exactly
+    state = json.loads(json.dumps(state))
+    restored, cursor = LivePipeline.restore(header, state,
+                                            config=config)
+    assert cursor["published"] == cut
+
+    for original in (pipeline, restored):
+        for event in events[cut:]:
+            original.publish(event)
+            if len(original.bus) >= 32:
+                original.pump(32)
+    assert final_json(pipeline.finish()) == \
+        final_json(restored.finish())
+
+
+def test_replayer_checkpoints_and_resumes(trace_path, tmp_path):
+    header = read_header(trace_path)
+    config = PipelineConfig(snapshot_every=16)
+
+    baseline = LivePipeline.from_header(header, config)
+    expected = TraceReplayer(
+        baseline, merged_events(trace_path)).run()
+
+    manager = CheckpointManager(
+        tmp_path, CheckpointPolicy(interval_events=32))
+    pipeline = LivePipeline.from_header(header, config)
+    total = sum(1 for _ in merged_events(trace_path))
+    stop_at = total // 2
+
+    partial = TraceReplayer(
+        pipeline, itertools.islice(merged_events(trace_path), stop_at),
+        manager)
+    partial.run(finish=False)
+    partial.checkpoint()
+
+    resumed, cursor, was_resumed = resume_or_create(header, manager,
+                                                    config=config)
+    assert was_resumed
+    assert cursor.published == stop_at
+    rest = merged_events(trace_path, resume=cursor.resume_map())
+    final = TraceReplayer(resumed, rest, manager, cursor).run()
+    assert final_json(final) == final_json(expected)
+    assert manager.written >= 2
+
+
+def test_resume_or_create_fresh_skips_checkpoints(trace_path,
+                                                  tmp_path):
+    header = read_header(trace_path)
+    manager = CheckpointManager(tmp_path)
+    pipeline = LivePipeline.from_header(header)
+    TraceReplayer(pipeline, merged_events(trace_path), manager).run()
+    assert manager.snapshot_paths()
+
+    _fresh, cursor, resumed = resume_or_create(header, manager,
+                                               fresh=True)
+    assert not resumed
+    assert cursor.published == 0
+
+
+def test_checkpoint_policy_max_unflushed_forces_save(trace_path,
+                                                     tmp_path):
+    header = read_header(trace_path)
+    manager = CheckpointManager(
+        tmp_path, CheckpointPolicy(interval_events=10 ** 9,
+                                   max_unflushed_events=16))
+    pipeline = LivePipeline.from_header(header)
+    TraceReplayer(pipeline, merged_events(trace_path), manager).run()
+    # every 16 events the unflushed bound forces a checkpoint even
+    # though the normal cadence would never fire
+    assert manager.written >= 3

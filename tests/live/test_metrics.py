@@ -89,3 +89,57 @@ def test_render_text_view():
     assert "counter" in text
     assert "p99" in text
     assert "all events" in text
+
+
+# ----------------------------------------------------------------------
+# labeled metrics (Prometheus-style exposition names)
+# ----------------------------------------------------------------------
+def test_full_name_formats_sorted_labels():
+    from repro.live.metrics import full_name
+
+    assert full_name("x_total", None) == "x_total"
+    assert full_name("x_total", {"b": "2", "a": "1"}) == \
+        'x_total{a="1",b="2"}'
+
+
+def test_labeled_counters_coexist_in_registry():
+    registry = MetricsRegistry()
+    oldest = registry.counter("dropped_total", "d",
+                              labels={"policy": "drop-oldest"})
+    newest = registry.counter("dropped_total", "d",
+                              labels={"policy": "drop-newest"})
+    oldest.inc(3)
+    newest.inc(4)
+    data = registry.to_dict()
+    assert data['dropped_total{policy="drop-oldest"}']["value"] == 3
+    assert data['dropped_total{policy="drop-newest"}']["value"] == 4
+    assert data['dropped_total{policy="drop-oldest"}']["labels"] == \
+        {"policy": "drop-oldest"}
+    # same name + same labels is still a duplicate
+    with pytest.raises(ValueError):
+        registry.counter("dropped_total",
+                         labels={"policy": "drop-oldest"})
+
+
+def test_pipeline_exports_drop_and_quarantine_breakdowns():
+    from repro.collective.ring import ring_allgather
+    from repro.live import LivePipeline, PipelineConfig
+    from repro.live.bus import BusPolicy
+
+    pipeline = LivePipeline(
+        ring_allgather(["h0", "h1"], 1024), {}, {}, 0,
+        PipelineConfig(queue_capacity=2,
+                       policy=BusPolicy.DROP_OLDEST))
+    pipeline.quarantine.admit(1, "ValueError: bad")
+    pipeline.quarantine.admit(2, "  : odd reason")
+    data = pipeline.build_metrics().to_dict()
+    assert 'live_bus_dropped_events_total{policy="drop-oldest"}' \
+        in data
+    assert 'live_bus_dropped_events_total{policy="drop-newest"}' \
+        in data
+    assert data[
+        'live_quarantined_by_reason_total{reason="ValueError"}'
+    ]["value"] == 1
+    assert data[
+        'live_quarantined_by_reason_total{reason="odd reason"}'
+    ]["value"] == 1

@@ -177,3 +177,64 @@ def test_degradation_tracker_profile():
     data = tracker.to_dict()
     assert data["degraded"] is True
     assert data["report_staleness_ns"] == pytest.approx(4010.0)
+
+
+# ----------------------------------------------------------------------
+# reason-label normalization (quarantine aggregation keys)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("reason,label", [
+    ("EOFError: unexpected end", "EOFError"),
+    (":EOFError: unexpected end", "EOFError"),
+    ("  : weird input", "weird input"),
+    ("  EOFError : colon spacing", "EOFError"),
+    ("   ", "unknown"),
+    ("", "unknown"),
+    ("::", "unknown"),
+    ("no colon here", "no colon here"),
+])
+def test_label_for_normalizes(reason, label):
+    assert Quarantine.label_for(reason) == label
+
+
+def test_admit_aggregates_equivalent_reasons_once():
+    quarantine = Quarantine()
+    quarantine.admit(1, "ValueError: bad json")
+    quarantine.admit(2, ":ValueError: other bad json")
+    quarantine.admit(3, "  ValueError : yet another")
+    quarantine.admit(4, "   ")
+    assert quarantine.by_reason == {"ValueError": 3, "unknown": 1}
+    assert quarantine.count == 4
+    # retained samples keep the stripped full reason, not the label
+    assert quarantine.entries[1].reason == ":ValueError: other bad json"
+
+
+def test_quarantine_state_roundtrip():
+    quarantine = Quarantine(keep=2)
+    quarantine.admit(1, "A: x", "snippet-1")
+    quarantine.admit(2, "B: y", "snippet-2")
+    quarantine.admit(3, "A: z", "snippet-3")  # beyond keep
+
+    restored = Quarantine(keep=2)
+    restored.load_state(quarantine.state_dict())
+    assert restored.count == 3
+    assert restored.by_reason == {"A": 2, "B": 1}
+    assert [e.snippet for e in restored.entries] == \
+        ["snippet-1", "snippet-2"]
+
+
+def test_degradation_state_roundtrip_with_infinities():
+    tracker = DegradationTracker(report_gap_ns=1000.0)
+    # nothing observed: both watermarks are -inf -> None sentinels
+    state = tracker.state_dict()
+    assert state["last_step_time"] is None
+    restored = DegradationTracker(report_gap_ns=1000.0)
+    restored.load_state(state)
+    assert restored.last_step_time == float("-inf")
+    assert restored.confidence() == tracker.confidence()
+
+    tracker.observe_step(5000.0)
+    restored = DegradationTracker(report_gap_ns=1000.0)
+    restored.load_state(tracker.state_dict())
+    assert restored.last_step_time == 5000.0
+    assert restored.last_report_time == float("-inf")
+    assert restored.confidence() == tracker.confidence()

@@ -1,0 +1,177 @@
+"""Supervisor: deterministic backoff, crash-loop breaker, graceful
+shutdown bookkeeping — all under injected clocks and seeded RNG."""
+
+import random
+import signal
+
+import pytest
+
+from repro.live.supervisor import (
+    CrashLoopError,
+    GracefulShutdown,
+    RestartPolicy,
+    Supervisor,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_success_passes_through():
+    supervisor = Supervisor(lambda attempt: ("ok", attempt))
+    assert supervisor.run() == ("ok", 0)
+    assert supervisor.crashes == []
+
+
+def test_restarts_until_success():
+    clock = FakeClock()
+
+    def flaky(attempt: int):
+        if attempt < 3:
+            raise RuntimeError(f"boom {attempt}")
+        return attempt
+
+    supervisor = Supervisor(flaky, RestartPolicy(max_restarts=5),
+                            clock=clock, sleep=clock.sleep)
+    assert supervisor.run() == 3
+    assert len(supervisor.crashes) == 3
+    assert [c.attempt for c in supervisor.crashes] == [0, 1, 2]
+    assert "boom 0" in supervisor.crashes[0].error
+
+
+def test_backoff_is_deterministic_and_exponential():
+    policy = RestartPolicy(backoff_base_s=0.5, backoff_factor=2.0,
+                           backoff_cap_s=30.0, jitter_frac=0.1,
+                           seed=1234)
+    supervisor = Supervisor(lambda a: None, policy)
+    delays = [supervisor.backoff_delay(i) for i in range(6)]
+
+    rng = random.Random(1234)
+    expected = []
+    for i in range(6):
+        raw = 0.5 * 2.0 ** i
+        expected.append(min(raw + raw * 0.1 * rng.random(), 30.0))
+    assert delays == expected
+    # exponential up to the cap, then capped
+    assert delays[:5] == sorted(delays[:5])
+    for raw, delay in zip((0.5, 1.0, 2.0, 4.0, 8.0, 16.0), delays):
+        assert raw <= delay <= min(raw * 1.1, 30.0)
+
+
+def test_backoff_cap_applies():
+    supervisor = Supervisor(
+        lambda a: None,
+        RestartPolicy(backoff_base_s=1.0, backoff_cap_s=4.0))
+    assert supervisor.backoff_delay(10) == 4.0
+
+
+def test_crash_loop_breaker_trips():
+    clock = FakeClock()
+
+    def always_dies(attempt: int):
+        raise ValueError("persistent bug")
+
+    supervisor = Supervisor(always_dies,
+                            RestartPolicy(max_restarts=3,
+                                          window_s=60.0),
+                            clock=clock, sleep=clock.sleep)
+    with pytest.raises(CrashLoopError) as info:
+        supervisor.run()
+    # max_restarts crashes restarted, the next one trips the breaker
+    assert len(supervisor.crashes) == 4
+    assert info.value.crashes == 4
+    assert isinstance(info.value.__cause__, ValueError)
+
+
+def test_breaker_window_slides():
+    clock = FakeClock()
+    calls = [0]
+
+    def dies_slowly(attempt: int):
+        calls[0] += 1
+        if calls[0] > 6:
+            return "recovered"
+        # outside the window, old crashes stop counting
+        clock.now += 100.0
+        raise RuntimeError("slow burn")
+
+    supervisor = Supervisor(dies_slowly,
+                            RestartPolicy(max_restarts=2,
+                                          window_s=60.0),
+                            clock=clock, sleep=clock.sleep)
+    assert supervisor.run() == "recovered"
+    assert len(supervisor.crashes) == 6
+
+
+def test_should_stop_prevents_restart():
+    stop = [False]
+
+    def dies_then_stop(attempt: int):
+        stop[0] = True
+        raise RuntimeError("dying during shutdown")
+
+    supervisor = Supervisor(dies_then_stop,
+                            RestartPolicy(max_restarts=5),
+                            sleep=lambda s: None,
+                            should_stop=lambda: stop[0])
+    assert supervisor.run() is None
+    assert len(supervisor.crashes) == 1
+
+
+def test_on_crash_callback_sees_records():
+    seen = []
+    clock = FakeClock()
+
+    def flaky(attempt: int):
+        if attempt == 0:
+            raise RuntimeError("once")
+        return "done"
+
+    Supervisor(flaky, clock=clock, sleep=clock.sleep,
+               on_crash=seen.append).run()
+    assert len(seen) == 1
+    assert seen[0].backoff_s > 0
+
+
+# ----------------------------------------------------------------------
+# GracefulShutdown
+# ----------------------------------------------------------------------
+def test_graceful_shutdown_first_signal_requests_drain():
+    shutdown = GracefulShutdown()
+    previous_term = signal.getsignal(signal.SIGTERM)
+    previous_int = signal.getsignal(signal.SIGINT)
+    try:
+        shutdown.install()
+        assert not shutdown.requested
+        shutdown._handle(signal.SIGTERM, None)
+        assert shutdown.requested
+        assert shutdown.signals_seen == 1
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        signal.signal(signal.SIGINT, previous_int)
+
+
+def test_graceful_shutdown_second_signal_forces_exit(monkeypatch):
+    exited = []
+    monkeypatch.setattr("os._exit", exited.append)
+    shutdown = GracefulShutdown(force_exit_code=99)
+    shutdown._handle(signal.SIGINT, None)
+    assert not exited
+    shutdown._handle(signal.SIGINT, None)
+    assert exited == [99]
+
+
+def test_wait_out_grace_slices_sleep():
+    slept = []
+    shutdown = GracefulShutdown(drain_grace_s=0.2)
+    shutdown.wait_out_grace(sleep=slept.append, slice_s=0.05)
+    assert len(slept) == 4
+    assert sum(slept) == pytest.approx(0.2)

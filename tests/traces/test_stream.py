@@ -111,3 +111,73 @@ def test_header_stops_at_first_data_record(trace_path, tmp_path):
         "\n".join(lines[:first_data + 1]) + "\nTRAILING GARBAGE\n")
     header = read_header(clipped)
     assert header.schedule.nodes == NODES
+
+
+# ----------------------------------------------------------------------
+# resumability: byte offsets, truncation detection, mid-file restart
+# ----------------------------------------------------------------------
+def test_events_carry_byte_offsets(trace_path):
+    data = trace_path.read_bytes()
+    for event in stream_events(trace_path):
+        assert 0 <= event.byte_offset < event.end_offset <= len(data)
+        line = data[event.byte_offset:event.end_offset]
+        entry = json.loads(line)
+        assert entry["kind"] == event.kind
+
+
+def test_truncated_tail_raises_with_resume_offset(trace_path,
+                                                  tmp_path):
+    from repro.traces.stream import TraceTruncated
+
+    data = trace_path.read_bytes()
+    body = data.rstrip(b"\n")
+    last_start = body.rfind(b"\n") + 1
+    cut = last_start + (len(body) - last_start) // 2
+    broken = tmp_path / "truncated.jsonl"
+    broken.write_bytes(data[:cut])
+
+    with pytest.raises(TraceTruncated) as info:
+        list(stream_events(broken))
+    assert info.value.byte_offset == last_start
+    assert "resume at byte" in str(info.value)
+    assert isinstance(info.value, TraceFormatError)
+
+
+def test_truncated_tail_quarantined_with_callback(trace_path,
+                                                  tmp_path):
+    data = trace_path.read_bytes()
+    broken = tmp_path / "truncated.jsonl"
+    broken.write_bytes(data[:-5])
+
+    errors = []
+    events = list(stream_events(
+        broken, on_error=lambda n, r, s: errors.append(r)))
+    assert len(errors) == 1
+    assert "TraceTruncated" in errors[0]
+    assert len(events) == sum(1 for _ in stream_events(trace_path)) - 1
+
+
+def test_scan_resume_offset(trace_path, tmp_path):
+    from repro.traces.stream import scan_resume_offset
+
+    data = trace_path.read_bytes()
+    # a complete file resumes at its end
+    assert scan_resume_offset(trace_path) == len(data)
+    broken = tmp_path / "truncated.jsonl"
+    broken.write_bytes(data[:-5])
+    offset = scan_resume_offset(broken)
+    assert 0 < offset < len(data) - 5
+    assert data[offset - 1:offset] == b"\n"
+
+
+def test_merged_resume_yields_identical_tail(trace_path):
+    full = list(merged_events(trace_path))
+    cut = len(full) // 2
+    # a checkpoint cursor: per kind, (end_offset, next line) of the
+    # last event consumed before the cut
+    resume = {}
+    for event in full[:cut]:
+        resume[event.kind] = (event.end_offset, event.line_no + 1)
+    tail = list(merged_events(trace_path, resume=resume))
+    assert [(e.kind, e.time, e.line_no) for e in tail] == \
+        [(e.kind, e.time, e.line_no) for e in full[cut:]]
