@@ -14,12 +14,20 @@ Fidelity is controlled by environment variables (see
 
 from __future__ import annotations
 
+import os
 import re
 from pathlib import Path
 
 #: every table is also written here, so figure outputs survive pytest's
 #: stdout capture and can be cited in EXPERIMENTS.md
 RESULTS_DIR = Path(__file__).parent / "results"
+
+# Figure matrices run through the content-addressed result cache
+# (repro.experiments.runner): a second `pytest benchmarks/` replays
+# recorded results instead of re-simulating.  The directory is
+# gitignored; delete it (or point REPRO_CACHE_DIR elsewhere) to force
+# fresh runs.
+os.environ.setdefault("REPRO_CACHE_DIR", str(RESULTS_DIR / "cache"))
 
 
 def print_rows(title: str, rows: list[dict]) -> None:

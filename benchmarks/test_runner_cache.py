@@ -1,0 +1,71 @@
+"""Warm vs. cold figure regeneration through the result cache.
+
+The Fig. 9-14 matrices run through
+:func:`repro.experiments.runner.run_matrix_parallel`; with a cache
+directory configured (the benchmarks' conftest points
+``REPRO_CACHE_DIR`` at ``results/cache`` by default) a repeated
+``pytest benchmarks/`` replays recorded results instead of
+re-simulating.  This benchmark measures that ratio explicitly against a
+fresh cache and records it under ``results/``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import print_rows, run_once
+
+from repro.experiments import figures
+from repro.experiments.runner import ResultCache, run_matrix_parallel
+
+
+def test_cache_warm_cold_ratio(benchmark, tmp_path):
+    from repro.anomalies.scenarios import ScenarioConfig, make_cases
+
+    cache = ResultCache(tmp_path / "cache")
+    cases = []
+    for scenario in ("flow_contention", "incast"):
+        cases.extend(make_cases(scenario, 1, ScenarioConfig(scale=0.002)))
+    systems = ("vedrfolnir",)
+
+    cold_start = time.perf_counter()
+    cold = run_matrix_parallel(cases, systems, cache=cache)
+    cold_s = time.perf_counter() - cold_start
+
+    warm = run_once(benchmark, run_matrix_parallel, cases, systems,
+                    cache=cache)
+    warm_s = benchmark.stats.stats.mean
+
+    assert [r.outcome for r in warm] == [r.outcome for r in cold]
+    assert cache.hits == len(cases) * len(systems)
+
+    ratio = warm_s / cold_s if cold_s else 0.0
+    print_rows(
+        "cache warm-cold — figure-matrix replay from the result cache",
+        [
+            {"pass": "cold", "wall_s": round(cold_s, 4),
+             "cache_hits": 0, "runs": len(cases) * len(systems)},
+            {"pass": "warm", "wall_s": round(warm_s, 4),
+             "cache_hits": cache.hits, "runs": 0},
+            {"pass": "warm/cold ratio", "wall_s": f"{ratio:.6f}",
+             "cache_hits": "-", "runs": "-"},
+        ])
+
+
+def test_fig9_matrix_uses_env_cache(tmp_path, monkeypatch):
+    """The figure entry points honour REPRO_CACHE_DIR end to end."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "figcache"))
+    figures._matrix_cache.clear()
+    first = figures.fig9_fig10_matrix(
+        cases_per_scenario=1, scale=0.002, systems=("vedrfolnir",),
+        scenarios=("flow_contention",))
+    figures._matrix_cache.clear()
+    start = time.perf_counter()
+    second = figures.fig9_fig10_matrix(
+        cases_per_scenario=1, scale=0.002, systems=("vedrfolnir",),
+        scenarios=("flow_contention",))
+    warm_s = time.perf_counter() - start
+    figures._matrix_cache.clear()
+    assert [r.outcome for r in second] == [r.outcome for r in first]
+    # the warm pass must be a cache replay, not a re-simulation
+    assert warm_s < 1.0

@@ -14,6 +14,7 @@
     python -m repro metrics --file run.live-metrics.json
     python -m repro figure --id 13b --cases 2
     python -m repro check src/ --strict --units
+    python -m repro bench --quick --baseline benchmarks/results/BENCH_simcore.json
 
 Every subcommand prints human-readable text and exits 0 on success.
 """
@@ -180,6 +181,30 @@ def build_parser() -> argparse.ArgumentParser:
                           "dataflow pass (RPR010-RPR013)")
     chk.add_argument("--json", action="store_true",
                      help="emit findings as a JSON array")
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure the simulator fast path + runner cache and "
+             "append one entry to the BENCH_simcore.json perf "
+             "trajectory")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workload for CI smoke runs")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="gate-scenario repetitions (best counts)")
+    bench.add_argument("--label", default="dev",
+                       help="trajectory entry label (e.g. a git ref)")
+    bench.add_argument("--workers", type=int, default=2,
+                       help="process-pool size for the matrix phase")
+    bench.add_argument("--out",
+                       help="append the entry to this trajectory file")
+    bench.add_argument("--baseline",
+                       help="trajectory to regression-check against "
+                            "(exit 1 beyond --max-regression-pct)")
+    bench.add_argument("--max-regression-pct", type=float, default=20.0,
+                       help="allowed events/sec drop vs. the newest "
+                            "comparable baseline entry")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the entry as JSON")
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("--id", required=True,
@@ -612,6 +637,21 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.perf.bench import bench_main
+
+    return bench_main(
+        quick=args.quick,
+        repeats=args.repeats,
+        label=args.label,
+        workers=args.workers,
+        out=args.out,
+        baseline=args.baseline,
+        max_regression_pct=args.max_regression_pct,
+        as_json=args.json,
+    )
+
+
 def cmd_figure(args) -> int:
     from repro.experiments import figures
 
@@ -655,6 +695,7 @@ COMMANDS = {
     "tail": cmd_tail,
     "metrics": cmd_metrics,
     "check": cmd_check,
+    "bench": cmd_bench,
     "figure": cmd_figure,
 }
 

@@ -11,7 +11,12 @@ Fidelity knobs (environment variables):
   but the benchmarks pass small defaults; export e.g. ``REPRO_CASES=60``
   for full fidelity);
 * ``REPRO_SCALE`` — size/time scale factor (default 0.005; 1.0 = the
-  paper's actual 360 MB flows).
+  paper's actual 360 MB flows);
+* ``REPRO_WORKERS`` — fan the scenario matrix across this many worker
+  processes (0/unset = serial);
+* ``REPRO_CACHE_DIR`` — content-addressed result cache directory; a
+  warm cache makes figure regeneration skip re-simulation entirely
+  (see :mod:`repro.experiments.runner`).
 """
 
 from __future__ import annotations
@@ -30,8 +35,12 @@ from repro.core.system import VedrfolnirConfig, VedrfolnirSystem
 from repro.experiments.harness import (
     CaseResult,
     DEFAULT_SYSTEMS,
-    run_case,
-    run_matrix,
+)
+from repro.experiments.runner import (
+    cache_from_env,
+    cached_run_case,
+    run_matrix_parallel,
+    workers_from_env,
 )
 from repro.experiments.metrics import aggregate
 from repro.simnet.network import Network
@@ -68,10 +77,13 @@ def fig9_fig10_matrix(cases_per_scenario: int = 4,
     key = (cases_per_scenario, scale, tuple(systems), tuple(scenarios))
     if key not in _matrix_cache:
         cfg = scenario_config(scale)
+        cache = cache_from_env()
+        workers = workers_from_env()
         results: list[CaseResult] = []
         for scenario in scenarios:
             cases = make_cases(scenario, cases_per_scenario, cfg)
-            results.extend(run_matrix(cases, tuple(systems)))
+            results.extend(run_matrix_parallel(
+                cases, tuple(systems), max_workers=workers, cache=cache))
         _matrix_cache[key] = results
     return _matrix_cache[key]
 
@@ -182,6 +194,7 @@ def fig12_param_sweep(cases_per_scenario: int = 3,
     from repro.baselines.vedrfolnir_adapter import VedrfolnirAdapter
 
     cfg = scenario_config(scale)
+    cache = cache_from_env()
     rows = []
     for scenario in scenarios:
         cases = make_cases(scenario, cases_per_scenario, cfg)
@@ -193,8 +206,11 @@ def fig12_param_sweep(cases_per_scenario: int = 3,
                         detection=DetectionConfig(
                             rtt_threshold_factor=factor,
                             detections_per_step=count)))
-                    results.append(run_case(case, "vedrfolnir",
-                                            system=adapter))
+                    results.append(cached_run_case(
+                        case, "vedrfolnir", system=adapter, cache=cache,
+                        key_extra={"fig": "12",
+                                   "rtt_threshold_factor": factor,
+                                   "detections_per_step": count}))
                 m = aggregate(results)[(scenario, "vedrfolnir")]
                 rows.append({
                     "figure": "12",
@@ -231,6 +247,7 @@ def fig13a_threshold_ablation(cases: int = 3,
     settings: list[tuple[str, Optional[float]]] = [("step-aware", None)]
     settings += [(f"fixed-{int(f * 100)}%", f * max_base)
                  for f in fixed_factors]
+    cache = cache_from_env()
     rows = []
     for label, fixed in settings:
         results = []
@@ -239,7 +256,10 @@ def fig13a_threshold_ablation(cases: int = 3,
                 detection=DetectionConfig(
                     detections_per_step=3,
                     fixed_rtt_threshold_ns=fixed)))
-            results.append(run_case(case, "vedrfolnir", system=adapter))
+            results.append(cached_run_case(
+                case, "vedrfolnir", system=adapter, cache=cache,
+                key_extra={"fig": "13a", "detections_per_step": 3,
+                           "fixed_rtt_threshold_ns": fixed}))
         m = aggregate(results)[("flow_contention", "vedrfolnir")]
         rows.append({
             "figure": "13a",
@@ -266,12 +286,18 @@ def fig13b_count_ablation(cases: int = 3,
         for count in counts]
     settings.append(("unrestricted", DetectionConfig(
         detections_per_step=10_000, restrict_trigger_interval=False)))
+    cache = cache_from_env()
     rows = []
     for label, det in settings:
         results = []
         for case in case_list:
             adapter = VedrfolnirAdapter(VedrfolnirConfig(detection=det))
-            results.append(run_case(case, "vedrfolnir", system=adapter))
+            results.append(cached_run_case(
+                case, "vedrfolnir", system=adapter, cache=cache,
+                key_extra={"fig": "13b",
+                           "detections_per_step": det.detections_per_step,
+                           "restrict_trigger_interval":
+                               det.restrict_trigger_interval}))
         m = aggregate(results)[("flow_contention", "vedrfolnir")]
         rows.append({
             "figure": "13b",

@@ -1,0 +1,23 @@
+"""Performance instrumentation: golden digests and the simcore bench.
+
+* :mod:`repro.perf.golden` — SHA-256 digests of the executed event
+  stream and recorded traces; pins the engine's externally observable
+  behaviour so the fast-path optimisations are provably
+  order-preserving.
+* :mod:`repro.perf.bench` — the ``repro bench`` measurement harness
+  behind ``BENCH_simcore.json``, the repo's machine-readable perf
+  trajectory.
+"""
+
+from repro.perf.bench import (  # noqa: F401
+    BENCH_SCHEMA_VERSION,
+    append_entry,
+    check_regression,
+    load_trajectory,
+    run_bench,
+)
+from repro.perf.golden import (  # noqa: F401
+    GOLDEN_SCALE,
+    StreamHasher,
+    capture_digests,
+)

@@ -1,0 +1,258 @@
+"""The ``repro bench`` harness behind ``BENCH_simcore.json``.
+
+One bench run measures three things and appends them as one entry to
+the repo's machine-readable perf trajectory:
+
+* **simcore** — events/second of the packet core on the gate scenario
+  (ring-allgather on a fat-tree k=4 plus one background flow), with a
+  per-phase wall-time breakdown (network build vs. simulation);
+* **matrix** — the parallel experiment runner over a small scenario
+  matrix, run twice against one cache: the cold pass measures fan-out
+  cost, the warm pass measures cache-hit replay, and their ratio is the
+  figure-regeneration speedup a warm cache buys;
+* **environment** — interpreter and platform, so trajectory entries
+  from different machines are never compared blindly.
+
+``check_regression`` compares a fresh entry against the committed
+trajectory (``benchmarks/results/BENCH_simcore.json``) and fails when
+events/second drops by more than the allowed percentage against the
+newest comparable entry — comparable meaning same quick/full mode *and*
+same Python major.minor on the same machine kind; with no comparable
+entry the check passes with a note rather than punishing a slower CI
+runner for not being the maintainer's workstation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.core.units import Bytes, Nanoseconds
+
+BENCH_SCHEMA_VERSION = 1
+
+#: the ISSUE gate scenario: ring-allgather fat-tree k=4 + background
+FULL_CHUNK_BYTES: Bytes = 400_000
+FULL_BACKGROUND_BYTES: Bytes = 2_000_000
+QUICK_CHUNK_BYTES: Bytes = 100_000
+QUICK_BACKGROUND_BYTES: Bytes = 500_000
+
+
+def _simcore_once(chunk_bytes: Bytes, background_bytes: Bytes,
+                  deadline_ns: Nanoseconds) -> dict:
+    """One gate-scenario run with a build/simulate phase split."""
+    from repro.collective.ring import ring_allgather
+    from repro.collective.runtime import CollectiveRuntime
+    from repro.simnet.network import Network
+    from repro.simnet.topology import build_fat_tree
+
+    build_start = time.perf_counter()
+    network = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(
+        network, ring_allgather(["h0", "h4", "h8", "h12"], chunk_bytes))
+    runtime.start()
+    network.create_flow("h1", "h4", background_bytes,
+                        tag="background").start()
+    sim_start = time.perf_counter()
+    network.run_until_quiet(max_time=deadline_ns)
+    end = time.perf_counter()
+    return {
+        "events": network.sim.events_processed,
+        "build_s": sim_start - build_start,
+        "simulate_s": end - sim_start,
+        "completed": runtime.completed,
+    }
+
+
+def _bench_simcore(quick: bool, repeats: int) -> dict:
+    from repro.simnet.units import ms
+
+    chunk = QUICK_CHUNK_BYTES if quick else FULL_CHUNK_BYTES
+    background = QUICK_BACKGROUND_BYTES if quick else FULL_BACKGROUND_BYTES
+    runs = [_simcore_once(chunk, background, ms(200))
+            for _ in range(max(1, repeats))]
+    best = min(runs, key=lambda r: r["simulate_s"])
+    return {
+        "events": best["events"],
+        "completed": best["completed"],
+        "wall_s_best": round(best["build_s"] + best["simulate_s"], 4),
+        "events_per_sec": round(best["events"] / best["simulate_s"]),
+        "phases": {
+            "build_s": round(best["build_s"], 4),
+            "simulate_s": round(best["simulate_s"], 4),
+            "simulate_s_all": [round(r["simulate_s"], 4) for r in runs],
+        },
+    }
+
+
+def _bench_matrix(quick: bool, workers: int) -> dict:
+    """Cold vs. warm runner pass over one small scenario matrix."""
+    from repro.anomalies.scenarios import ScenarioConfig, make_cases
+    from repro.experiments.runner import ResultCache, run_matrix_parallel
+
+    case_count = 2 if quick else 4
+    systems = ("vedrfolnir",) if quick \
+        else ("vedrfolnir", "hawkeye-maxr")
+    cases = make_cases("flow_contention", case_count,
+                       ScenarioConfig(scale=0.002))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as root:
+        cache = ResultCache(Path(root))
+        cold_start = time.perf_counter()
+        cold = run_matrix_parallel(cases, systems, max_workers=workers,
+                                   cache=cache)
+        cold_s = time.perf_counter() - cold_start
+        warm_start = time.perf_counter()
+        warm = run_matrix_parallel(cases, systems, max_workers=workers,
+                                   cache=cache)
+        warm_s = time.perf_counter() - warm_start
+        if [r.outcome for r in cold] != [r.outcome for r in warm]:
+            raise RuntimeError("cache replay diverged from the cold run")
+        return {
+            "cases": case_count,
+            "systems": list(systems),
+            "workers": workers,
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "warm_cold_ratio": round(warm_s / cold_s, 6) if cold_s else 0.0,
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": round(cache.hit_rate, 4),
+            },
+        }
+
+
+def run_bench(quick: bool = False, repeats: int = 3,
+              label: str = "dev", workers: int = 2) -> dict:
+    """Measure one perf-trajectory entry (see module docstring)."""
+    entry = {
+        "label": label,
+        "quick": quick,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": f"{platform.system()}-{platform.machine()}",
+        "unix_time": round(time.time(), 1),
+        "simcore": _bench_simcore(quick, repeats),
+        "matrix": _bench_matrix(quick, workers),
+    }
+    return entry
+
+
+# ----------------------------------------------------------------------
+# trajectory file
+# ----------------------------------------------------------------------
+def load_trajectory(path) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != BENCH_SCHEMA_VERSION:
+        raise ValueError(f"unsupported BENCH schema in {path}: "
+                         f"{doc.get('schema')!r}")
+    return doc
+
+
+def append_entry(path, entry: dict) -> dict:
+    """Append ``entry`` to the trajectory at ``path`` (created empty if
+    missing) and write it back atomically."""
+    path = Path(path)
+    if path.exists():
+        doc = load_trajectory(path)
+    else:
+        doc = {"schema": BENCH_SCHEMA_VERSION, "benchmark": "simcore",
+               "scenario": "ring-allgather fat-tree k=4 + background "
+                           "flow", "entries": []}
+    doc["entries"].append(entry)
+    fd, tmp = tempfile.mkstemp(dir=path.parent or Path("."),
+                               suffix=".tmp")
+    with os.fdopen(fd, "w") as handle:
+        json.dump(doc, handle, indent=1)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return doc
+
+
+def _comparable(entry: dict, candidate: dict) -> bool:
+    """Same mode, interpreter line and machine kind — the only entries
+    whose events/sec are meaningfully comparable."""
+    return (candidate.get("quick") == entry.get("quick")
+            and candidate.get("machine") == entry.get("machine")
+            and str(candidate.get("python", "")).rsplit(".", 1)[0]
+            == str(entry.get("python", "")).rsplit(".", 1)[0])
+
+
+def check_regression(entry: dict, baseline: dict,
+                     max_regression_pct: float = 20.0
+                     ) -> tuple[bool, str]:
+    """Compare ``entry`` against the newest comparable baseline entry."""
+    candidates = [e for e in baseline.get("entries", [])
+                  if _comparable(entry, e)]
+    if not candidates:
+        return True, ("no comparable baseline entry (machine/python/"
+                      "mode differ) - regression check skipped")
+    ref = candidates[-1]
+    ref_eps = ref["simcore"]["events_per_sec"]
+    new_eps = entry["simcore"]["events_per_sec"]
+    floor = ref_eps * (1.0 - max_regression_pct / 100.0)
+    delta_pct = 100.0 * (new_eps - ref_eps) / ref_eps
+    message = (f"{new_eps:,} ev/s vs baseline '{ref.get('label')}' "
+               f"{ref_eps:,} ev/s ({delta_pct:+.1f}%)")
+    if new_eps < floor:
+        return False, (f"REGRESSION beyond {max_regression_pct:.0f}%: "
+                       + message)
+    return True, message
+
+
+def render_entry(entry: dict) -> str:
+    """Human-readable summary of one trajectory entry."""
+    sim = entry["simcore"]
+    matrix = entry["matrix"]
+    cache = matrix["cache"]
+    lines = [
+        f"bench '{entry['label']}' "
+        f"({'quick' if entry['quick'] else 'full'}, "
+        f"python {entry['python']}, {entry['machine']})",
+        f"  simcore: {sim['events']:,} events in "
+        f"{sim['phases']['simulate_s']:.4f}s "
+        f"(+{sim['phases']['build_s']:.4f}s build) = "
+        f"{sim['events_per_sec']:,} events/sec",
+        f"  matrix:  {matrix['cases']} cases x "
+        f"{len(matrix['systems'])} systems, {matrix['workers']} workers: "
+        f"cold {matrix['cold_s']:.3f}s, warm {matrix['warm_s']:.3f}s "
+        f"(ratio {matrix['warm_cold_ratio']:.4f})",
+        f"  cache:   {cache['hits']} hits / {cache['misses']} misses "
+        f"(hit rate {cache['hit_rate']:.2f})",
+    ]
+    return "\n".join(lines)
+
+
+def bench_main(quick: bool = False, repeats: int = 3, label: str = "dev",
+               workers: int = 2, out: Optional[str] = None,
+               baseline: Optional[str] = None,
+               max_regression_pct: float = 20.0,
+               as_json: bool = False) -> int:
+    """CLI body for ``repro bench`` (exit status semantics included)."""
+    entry = run_bench(quick=quick, repeats=repeats, label=label,
+                      workers=workers)
+    if as_json:
+        print(json.dumps(entry, indent=2))
+    else:
+        print(render_entry(entry))
+    status = 0
+    if baseline:
+        try:
+            doc = load_trajectory(baseline)
+        except (OSError, ValueError) as error:
+            print(f"baseline unreadable: {error}", file=sys.stderr)
+            return 2
+        ok, message = check_regression(entry, doc, max_regression_pct)
+        print(f"regression check: {message}")
+        if not ok:
+            status = 1
+    if out:
+        append_entry(out, entry)
+        print(f"trajectory entry appended to {out}")
+    return status

@@ -1,9 +1,33 @@
 """Deterministic discrete-event simulation engine.
 
-The engine is a classic calendar-queue-on-a-binary-heap design: callers
-schedule callbacks at absolute or relative times, and :meth:`Simulator.run`
-pops them in timestamp order.  Ties are broken by insertion order, which
-makes every run bit-for-bit deterministic for a given seed and input.
+The engine is a calendar queue on a binary heap plus a same-time FIFO
+fast lane: callers schedule callbacks at absolute or relative times, and
+:meth:`Simulator.run` pops them in timestamp order.  Ties are broken by
+insertion order, which makes every run bit-for-bit deterministic for a
+given seed and input.
+
+Fast-path design (see docs/PERFORMANCE.md for the full contract):
+
+* Heap entries are ``(time, seq, event)`` tuples so ``heapq`` compares
+  them in C instead of calling a Python ``__lt__`` per comparison.
+* Events scheduled for *exactly* the current clock reading — zero-delay
+  callbacks and back-to-back link transmissions — go to a plain deque
+  (``_fifo``) and never touch the heap.  The ordering invariant: any
+  heap entry with ``time == now`` was pushed while the clock was still
+  behind ``now`` and therefore carries a strictly smaller ``seq`` than
+  every FIFO entry, so the loop drains same-time heap entries before
+  the FIFO and global (time, seq) order is preserved exactly.
+* Retired :class:`Event` objects are recycled through a freelist, but
+  only when the engine holds the last reference (callers may retain
+  events to ``cancel()`` them later — recycling those would cancel an
+  unrelated future event).
+* ``run()`` pre-binds one of two loops: a minimal fast loop when no
+  sanitizer, observer, or ``max_events`` bound is active, and a checked
+  loop with identical event ordering otherwise.
+* Cancelled events are lazily deleted but *accounted*: the queue is
+  compacted in place once they exceed half of the pending entries, so
+  retransmit/timeout churn cannot grow the heap without bound and
+  :attr:`Simulator.pending_events` reports live events only.
 """
 
 from __future__ import annotations
@@ -11,10 +35,19 @@ from __future__ import annotations
 import heapq
 import itertools
 import os
+import sys
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.core.units import Nanoseconds
 from repro.checks.sanitizer import SimSanitizer
+
+#: compaction only kicks in above this many pending entries; below it the
+#: dead fraction is noise and rebuilding would cost more than it saves
+_COMPACT_MIN_PENDING = 64
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 def _env_sanitize() -> bool:
@@ -26,11 +59,15 @@ def _env_sanitize() -> bool:
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
 
-    Events support cancellation; a cancelled event stays in the heap but is
-    skipped when popped (lazy deletion), which keeps cancel O(1).
+    Events support cancellation; a cancelled event stays in the queue but
+    is skipped when popped (lazy deletion), which keeps cancel O(1).  The
+    owning :class:`Simulator` counts cancellations so it can compact the
+    queue when dead entries pile up; ``_sim`` is cleared once the event
+    has fired or been discarded, making late ``cancel()`` calls (common
+    in ``stop()`` paths) free and accounting-neutral.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(self, time: Nanoseconds, seq: int,
                  callback: Callable[..., None], args: tuple):
@@ -39,10 +76,15 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will never fire."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time < other.time:
@@ -61,10 +103,19 @@ class Simulator:
 
     def __init__(self, sanitize: Optional[bool] = None) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        # heap of (time, seq, Event): tuple keys compare in C
+        self._heap: list[tuple] = []
+        # events scheduled at exactly `now`; drained before later times
+        self._fifo: deque = deque()
+        self._free: list[Event] = []
+        self._cancelled_pending = 0
         self._seq = itertools.count()
         self._events_processed = 0
         self._stopped = False
+        #: optional hook called as ``observer(time, seq, callback)`` just
+        #: before each callback executes (golden-digest capture, tracing)
+        self.event_observer: Optional[Callable[[float, int, Callable],
+                                               None]] = None
         if sanitize is None:
             sanitize = _env_sanitize()
         #: invariant checker, or None (the default: zero overhead)
@@ -78,8 +129,23 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._heap) + len(self._fifo) - self._cancelled_pending
+
+    def _make_event(self, time: float, callback: Callable[..., None],
+                    args: tuple) -> Event:
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = next(self._seq)
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, next(self._seq), callback, args)
+        event._sim = self
+        return event
 
     def schedule(self, delay: Nanoseconds, callback: Callable[..., None],
                  *args: Any) -> Event:
@@ -91,8 +157,25 @@ class Simulator:
                     f"schedule() called with negative delay {delay}",
                     delay=delay)
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self.now + delay, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        time = self.now + delay
+        # freelist reuse, inlined: this is the hottest allocation site
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            seq = event.seq = next(self._seq)
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, seq := next(self._seq), callback, args)
+        event._sim = self
+        # exact same-time events take the FIFO lane (seq stays monotone,
+        # so draining heap ties first preserves global (time, seq) order)
+        if time == self.now:  # repro: noqa RPR003 - exact-tie detection
+            self._fifo.append(event)
+        else:
+            _heappush(self._heap, (time, seq, event))
         return event
 
     def schedule_at(self, time: Nanoseconds, callback: Callable[..., None],
@@ -106,49 +189,204 @@ class Simulator:
                     target_time=time, clock=self.now)
             raise ValueError(
                 f"cannot schedule at {time} before current time {self.now}")
-        event = Event(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        event = self._make_event(time, callback, args)
+        if time == self.now:  # repro: noqa RPR003 - exact-tie detection
+            self._fifo.append(event)
+        else:
+            heapq.heappush(self._heap, (time, event.seq, event))
         return event
 
     def stop(self) -> None:
         """Stop the run loop after the current callback returns."""
         self._stopped = True
 
+    # -- cancelled-event accounting -----------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
+        pending = len(self._heap) + len(self._fifo)
+        if pending >= _COMPACT_MIN_PENDING \
+                and self._cancelled_pending * 2 > pending:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In-place mutation matters: the run loop holds local references
+        to ``_heap`` and ``_fifo``, and compaction can trigger from a
+        ``cancel()`` inside a running callback.
+        """
+        heap = self._heap
+        live = [entry for entry in heap if not entry[2].cancelled]
+        if len(live) != len(heap):
+            for entry in heap:
+                event = entry[2]
+                if event.cancelled:
+                    event._sim = None
+            heap[:] = live
+            heapq.heapify(heap)
+        fifo = self._fifo
+        if fifo:
+            live_fifo = [event for event in fifo if not event.cancelled]
+            if len(live_fifo) != len(fifo):
+                for event in fifo:
+                    if event.cancelled:
+                        event._sim = None
+                fifo.clear()
+                fifo.extend(live_fifo)
+        self._cancelled_pending = 0
+
+    def _retire(self, event: Event) -> None:
+        """Recycle ``event`` if the engine holds the last reference.
+
+        ``getrefcount == 2`` means: the ``event`` argument binding plus
+        the caller's local.  Any third reference is a caller that may
+        still ``cancel()`` the object, so it must not be reused.
+        """
+        event._sim = None
+        if sys.getrefcount(event) == 2:
+            event.callback = None  # type: ignore[assignment]
+            event.args = ()
+            self._free.append(event)
+
+    # -- run loops ------------------------------------------------------
+
     def run(self, until: Optional[Nanoseconds] = None,
             max_events: Optional[int] = None) -> float:
-        """Run events until the heap drains, ``until`` is reached, or
+        """Run events until the queue drains, ``until`` is reached, or
         ``max_events`` callbacks have executed.
 
         Returns the simulation clock when the loop exits.  When ``until``
-        is given, the clock is advanced to ``until`` even if the heap
+        is given, the clock is advanced to ``until`` even if the queue
         drained earlier, so back-to-back ``run(until=...)`` calls behave
         like a continuous timeline.
         """
         self._stopped = False
+        if self.sanitizer is None and self.event_observer is None \
+                and max_events is None:
+            self._run_fast(until)
+        else:
+            self._run_checked(until, max_events)
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+        return self.now
+
+    def _next_event(self, until: Optional[float]) -> Optional[Event]:
+        """Pop the globally next event, or None at a boundary.
+
+        Heap entries tied with the current clock precede FIFO entries
+        (they were scheduled earlier — smaller seq); otherwise the FIFO
+        holds the earliest possible time (== now).
+        """
         heap = self._heap
-        sanitizer = self.sanitizer
-        while heap and not self._stopped:
-            event = heap[0]
-            if until is not None and event.time > until:
+        fifo = self._fifo
+        if fifo:
+            if heap and heap[0][0] == self.now:  # repro: noqa RPR003
+                time = self.now
+                from_heap = True
+            else:
+                time = fifo[0].time
+                from_heap = False
+            if until is not None and time > until:
+                return None
+            return heapq.heappop(heap)[2] if from_heap else fifo.popleft()
+        if heap:
+            time = heap[0][0]
+            if until is not None and time > until:
+                return None
+            return heapq.heappop(heap)[2]
+        return None
+
+    def _run_fast(self, until: Optional[float]) -> None:
+        """Inner loop with no sanitizer/observer/max_events overhead."""
+        heap = self._heap
+        fifo = self._fifo
+        free = self._free
+        heappop = heapq.heappop
+        getrefcount = sys.getrefcount
+        while not self._stopped:
+            # inline _next_event: this is the hottest code in the repo
+            if fifo:
+                if heap and heap[0][0] == self.now:  # repro: noqa RPR003
+                    if until is not None and self.now > until:
+                        break
+                    event = heappop(heap)[2]
+                else:
+                    if until is not None and fifo[0].time > until:
+                        break
+                    event = fifo.popleft()
+            elif heap:
+                if until is not None and heap[0][0] > until:
+                    break
+                event = heappop(heap)[2]
+            else:
                 break
-            heapq.heappop(heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
+                event._sim = None
+                if getrefcount(event) == 2:
+                    event.callback = None  # type: ignore[assignment]
+                    event.args = ()
+                    free.append(event)
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event._sim = None
+            event.callback(*event.args)
+            if getrefcount(event) == 2:
+                event.callback = None  # type: ignore[assignment]
+                event.args = ()
+                free.append(event)
+
+    def _run_checked(self, until: Optional[float],
+                     max_events: Optional[int]) -> None:
+        """Loop with sanitizer hooks, observer, and event bound.
+
+        Event ordering and clock behaviour are identical to
+        :meth:`_run_fast`; only instrumentation differs.
+        """
+        sanitizer = self.sanitizer
+        observer = self.event_observer
+        while not self._stopped:
+            event = self._next_event(until)
+            if event is None:
+                break
+            if event.cancelled:
+                self._cancelled_pending -= 1
+                self._retire(event)
                 continue
             if sanitizer is not None:
                 sanitizer.before_event(event)
             self.now = event.time
             self._events_processed += 1
+            if observer is not None:
+                observer(event.time, event.seq, event.callback)
+            event._sim = None
             event.callback(*event.args)
             if sanitizer is not None:
                 sanitizer.after_event(event)
-            if max_events is not None and self._events_processed >= max_events:
+            if max_events is not None \
+                    and self._events_processed >= max_events:
                 break
-        if until is not None and self.now < until and not self._stopped:
-            self.now = until
-        return self.now
 
     def peek_next_time(self) -> Optional[float]:
-        """Timestamp of the next pending event, or None if drained."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        """Timestamp of the next pending event, or None if drained.
+
+        Cancelled entries encountered at the front are discarded with
+        full accounting (same bookkeeping as the run loop), so a peek
+        never changes which events ``run`` will execute.
+        """
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            event = heapq.heappop(heap)[2]
+            self._cancelled_pending -= 1
+            self._retire(event)
+        fifo = self._fifo
+        while fifo and fifo[0].cancelled:
+            event = fifo.popleft()
+            self._cancelled_pending -= 1
+            self._retire(event)
+        if fifo:
+            # FIFO entries sit at the current clock, <= any heap entry
+            return fifo[0].time
+        return heap[0][0] if heap else None

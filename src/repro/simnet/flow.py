@@ -24,7 +24,7 @@ from repro.simnet.packet import (
     make_control_packet,
     make_data_packet,
 )
-from repro.simnet.units import serialization_delay
+from repro.simnet.units import SEC
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.host import HostNode
@@ -162,15 +162,19 @@ class RdmaFlow:
             if not self.port.data_queue_has_room(payload + 66):
                 return  # NIC queue full; resumed by host on_space
             packet = make_data_packet(self.key, self._next_seq, payload, now)
-            packet.payload["msg_bytes"] = self.size_bytes
+            if packet.seq == 0:
+                # receivers learn the message size from the first packet
+                # (in-order acceptance means later packets never need it)
+                packet.payload["msg_bytes"] = self.size_bytes
             if self.stats.first_send_time is None:
                 self.stats.first_send_time = now
             self._send_times[self._next_seq] = now
             self._next_seq += 1
             self._inflight_bytes += payload
             self.stats.packets_sent += 1
-            self._next_pace_time = now + serialization_delay(
-                packet.size, self.dcqcn.rc)
+            # inlined serialization_delay(), identical operation order
+            self._next_pace_time = now + (
+                packet.size * 8.0 / self.dcqcn.rc * SEC)
             self.port.enqueue(packet)
         # all packets queued; completion happens on final ACK
 
@@ -242,7 +246,8 @@ class FlowReceiver:
     __slots__ = ("network", "host", "key", "expected_bytes",
                  "received_bytes", "received_packets", "highest_seq",
                  "_last_cnp_time", "on_receive_complete", "_done",
-                 "ack_every", "first_arrival_time", "complete_time")
+                 "ack_every", "first_arrival_time", "complete_time",
+                 "_rev_key")
 
     def __init__(self, network: "Network", host: "HostNode", key: FlowKey,
                  expected_bytes: Optional[Bytes] = None,
@@ -250,6 +255,7 @@ class FlowReceiver:
         self.network = network
         self.host = host
         self.key = key
+        self._rev_key = key.reversed()  # per-ACK alloc hoisted here
         self.expected_bytes = expected_bytes
         self.received_bytes = 0
         self.received_packets = 0
@@ -301,7 +307,7 @@ class FlowReceiver:
     def _send_ack(self, ack_seq: int, data_send_time: float,
                   now: float) -> None:
         ack = make_control_packet(
-            PacketKind.ACK, self.key.reversed(), self.key.dst, self.key.src,
+            PacketKind.ACK, self._rev_key, self.key.dst, self.key.src,
             now, payload={"ack_seq": ack_seq,
                           "data_send_time": data_send_time,
                           "orig_flow": self.key})
@@ -313,6 +319,6 @@ class FlowReceiver:
             return
         self._last_cnp_time = now
         cnp = make_control_packet(
-            PacketKind.CNP, self.key.reversed(), self.key.dst, self.key.src,
+            PacketKind.CNP, self._rev_key, self.key.dst, self.key.src,
             now, payload={"orig_flow": self.key})
         self.host.send_packet(cnp)

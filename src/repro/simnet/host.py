@@ -64,7 +64,15 @@ class HostNode(Node):
 
     def on_port_space(self, port) -> None:
         """NIC dequeued a packet: give blocked senders another chance."""
-        for flow in list(self.active_senders.values()):
+        senders = self.active_senders
+        if not senders:
+            return
+        if len(senders) == 1:
+            # fast path: skip the defensive copy (kick() may unregister
+            # the flow, but we have already fetched it)
+            next(iter(senders.values())).kick()
+            return
+        for flow in list(senders.values()):
             flow.kick()
 
     def receive(self, packet: Packet, ingress_port: int) -> None:

@@ -10,6 +10,7 @@ overhead figures (Fig. 10) are computed.
 
 from __future__ import annotations
 
+import functools
 import itertools
 import random
 from dataclasses import dataclass, field
@@ -24,6 +25,7 @@ from repro.simnet.packet import (
     FlowKey,
     Packet,
     PacketKind,
+    intern_flow_key,
     make_control_packet,
 )
 from repro.simnet.pfc import PauseEvent, ResumeEvent
@@ -138,8 +140,10 @@ class Network:
         if is_host:
             port.on_space = node.on_port_space
         else:
-            port.on_departure = (
-                lambda pkt, n=node, i=index: n.on_packet_departed(i, pkt))
+            # functools.partial dispatches in C — this hook runs once
+            # per DATA packet per switch hop
+            port.on_departure = functools.partial(
+                node.on_packet_departed, index)
         return port
 
     # ------------------------------------------------------------------
@@ -167,7 +171,9 @@ class Network:
 
     def new_flow_key(self, src: str, dst: str) -> FlowKey:
         port = next(self._flow_port_counter)
-        return FlowKey(src, dst, port, 4791)  # 4791 = RoCEv2 UDP port
+        # 4791 = RoCEv2 UDP port; interned so flow-keyed dict lookups
+        # take the identity fast path
+        return intern_flow_key(FlowKey(src, dst, port, 4791))
 
     def create_flow(self, src: str, dst: str, size_bytes: Bytes,
                     start_time: float = 0.0, tag: Optional[str] = None,

@@ -22,10 +22,12 @@ class Node:
 
     def __init__(self, network: "Network", node_id: str) -> None:
         self.network = network
+        self.sim = network.sim  # hot-path alias (never reassigned)
         self.node_id = node_id
         self.ports: dict[int, EgressPort] = {}
         self.neighbor_port: dict[str, int] = {}
         self.port_neighbor: dict[int, str] = {}
+        self._pseudo_flows: dict[str, object] = {}
 
     def attach_port(self, port: EgressPort, neighbor: str) -> None:
         self.ports[port.port_id] = port
@@ -64,6 +66,14 @@ class Node:
             port.resume()
 
     def pseudo_flow(self, dst: str) -> "object":
-        """A throwaway flow key for routing flowless control packets."""
-        from repro.simnet.packet import FlowKey
-        return FlowKey(self.node_id, dst, 0, 0, "CTRL")
+        """An interned flow key for routing flowless control packets.
+
+        Cached per destination: control packets traverse this on every
+        switch hop, and an allocation per hop shows up in profiles.
+        """
+        key = self._pseudo_flows.get(dst)
+        if key is None:
+            from repro.simnet.packet import FlowKey, intern_flow_key
+            key = intern_flow_key(FlowKey(self.node_id, dst, 0, 0, "CTRL"))
+            self._pseudo_flows[dst] = key
+        return key

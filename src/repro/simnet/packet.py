@@ -4,13 +4,19 @@ A :class:`FlowKey` is the classic 5-tuple.  Hosts are addressed by their
 topology node id; "ports" in the 5-tuple sense are transport ports (queue
 pair numbers in RDMA terms), distinct from the physical switch ports
 modelled in :mod:`repro.simnet.switch`.
+
+Packets are the highest-volume allocation in the simulator, so
+:class:`Packet` is a ``__slots__`` class (not a dataclass) with lazy
+``payload``/``hops`` containers: the dict and list only materialise when
+first touched, which most data packets never do.  :func:`intern_flow_key`
+deduplicates equal 5-tuples so flow-keyed dict lookups hit the identity
+fast path.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import NamedTuple, Optional
 from repro.core.units import Bytes, Nanoseconds
 
@@ -60,6 +66,25 @@ class FlowKey(NamedTuple):
         return f"{self.src}:{self.src_port}->{self.dst}:{self.dst_port}"
 
 
+#: intern table mapping each distinct 5-tuple to its canonical instance
+_FLOW_KEYS: dict[FlowKey, FlowKey] = {}
+
+
+def intern_flow_key(key: FlowKey) -> FlowKey:
+    """Return the canonical instance equal to ``key``.
+
+    Interning makes repeated dict operations on flow keys cheaper (the
+    ``is``-shortcut in dict lookup short-circuits tuple comparison) and
+    collapses the per-hop pseudo-flow allocations for control traffic.
+    The table grows with the number of *distinct* flows, which is small
+    and bounded per scenario.
+    """
+    canonical = _FLOW_KEYS.get(key)
+    if canonical is None:
+        canonical = _FLOW_KEYS.setdefault(key, key)
+    return canonical
+
+
 _packet_ids = itertools.count()
 
 #: Fixed header overhead applied to every packet (Ethernet+IP+UDP+BTH).
@@ -69,38 +94,68 @@ HEADER_BYTES = 66
 CONTROL_PACKET_BYTES = 64
 
 
-@dataclass
 class Packet:
     """A simulated packet.
 
     ``size`` is the on-wire size in bytes including headers.  ``payload``
     carries kind-specific metadata (e.g. polling scope, notification
     budget) and never affects the wire size accounting beyond ``size``.
+    ``payload`` and ``hops`` allocate lazily on first access.
     """
 
-    kind: PacketKind
-    flow: Optional[FlowKey]
-    src: str
-    dst: str
-    size: int
-    priority: Priority = Priority.DATA
-    seq: int = 0
-    ecn_capable: bool = True
-    ecn_marked: bool = False
-    ttl: int = 64
-    create_time: float = 0.0
-    payload: dict = field(default_factory=dict)
-    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
-    hops: list = field(default_factory=list)
+    __slots__ = ("kind", "flow", "src", "dst", "size", "priority", "seq",
+                 "ecn_capable", "ecn_marked", "ttl", "create_time",
+                 "pkt_id", "_payload", "_hops")
 
-    def __post_init__(self) -> None:
-        if self.size <= 0:
-            raise ValueError(f"packet size must be positive, got {self.size}")
+    def __init__(self, kind: PacketKind, flow: Optional[FlowKey],
+                 src: str, dst: str, size: int,
+                 priority: Priority = Priority.DATA, seq: int = 0,
+                 ecn_capable: bool = True, ecn_marked: bool = False,
+                 ttl: int = 64, create_time: float = 0.0,
+                 payload: Optional[dict] = None,
+                 pkt_id: Optional[int] = None,
+                 hops: Optional[list] = None) -> None:
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.kind = kind
+        self.flow = flow
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.priority = priority
+        self.seq = seq
+        self.ecn_capable = ecn_capable
+        self.ecn_marked = ecn_marked
+        self.ttl = ttl
+        self.create_time = create_time
+        self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
+        self._payload = payload
+        self._hops = hops
+
+    @property
+    def payload(self) -> dict:
+        """Kind-specific metadata dict (created on first access)."""
+        payload = self._payload
+        if payload is None:
+            payload = self._payload = {}
+        return payload
+
+    @property
+    def hops(self) -> list:
+        """Node-id hop trace (created on first access)."""
+        hops = self._hops
+        if hops is None:
+            hops = self._hops = []
+        return hops
 
     def record_hop(self, node_id: str) -> None:
         """Append a node to the packet's hop trace (loop detection uses
         this; it is also handy in tests)."""
-        self.hops.append(node_id)
+        hops = self._hops
+        if hops is None:
+            self._hops = [node_id]
+        else:
+            hops.append(node_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         fk = self.flow.short() if self.flow else "-"
@@ -136,6 +191,6 @@ def make_control_packet(kind: PacketKind, flow: Optional[FlowKey], src: str,
         size=size,
         priority=Priority.CONTROL,
         create_time=now,
-        payload=payload or {},
+        payload=payload,
         ecn_capable=False,
     )

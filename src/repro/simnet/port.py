@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.units import BitsPerSecond, Bytes, Nanoseconds
 from repro.simnet.packet import Packet, Priority
-from repro.simnet.units import serialization_delay
+from repro.simnet.units import SEC
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.engine import Simulator
@@ -104,7 +104,8 @@ class EgressPort:
             self._control_queue.append(packet)
             self.control_queue_bytes += packet.size
         else:
-            if not self.data_queue_has_room(packet.size):
+            cap = self.data_queue_cap_bytes
+            if cap is not None and self.data_queue_bytes + packet.size > cap:
                 self.dropped_packets += 1
                 return False
             self._data_queue.append(packet)
@@ -115,14 +116,34 @@ class EgressPort:
     def _try_transmit(self) -> None:
         if self.busy:
             return
-        packet = self._pop_next()
-        if packet is None:
+        # inlined _pop_next(): two calls per transmitted packet add up
+        if self._control_queue:
+            packet = self._control_queue.popleft()
+            self.control_queue_bytes -= packet.size
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.check_occupancy(
+                    self.node_id, self.port_id, "control queue bytes",
+                    self.control_queue_bytes)
+        elif self._data_queue and not self.paused:
+            packet = self._data_queue.popleft()
+            self.data_queue_bytes -= packet.size
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.check_occupancy(
+                    self.node_id, self.port_id, "data queue bytes",
+                    self.data_queue_bytes)
+        else:
             return
         self.busy = True
-        tx_time = serialization_delay(packet.size, self.bandwidth_bps)
+        # inlined serialization_delay() — identical operation order, so
+        # timestamps stay bit-identical while skipping the call overhead
+        tx_time = packet.size * 8.0 / self.bandwidth_bps * SEC
         self.sim.schedule(tx_time, self._finish_transmit, packet)
 
     def _pop_next(self) -> Optional[Packet]:
+        """Dequeue the next serviceable packet (CONTROL before DATA).
+
+        Kept for tests/introspection; the transmit path inlines this.
+        """
         if self._control_queue:
             packet = self._control_queue.popleft()
             self.control_queue_bytes -= packet.size

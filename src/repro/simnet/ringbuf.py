@@ -1,0 +1,94 @@
+"""Columnar ring buffers for high-rate telemetry samples.
+
+Per-sample dict/object records are the classic Python telemetry
+anti-pattern: one heap allocation plus hashing per sample.  The samplers
+instead append to parallel ``array('d')`` columns — contiguous C doubles
+— and analyzers read them **zero-copy** through :meth:`ColumnarRing.view`
+(memoryviews over the storage, no per-sample boxing until a float is
+actually touched).
+
+With ``capacity=None`` the buffer grows without bound (the default for
+samplers, which preserves historical behaviour).  With a capacity it
+becomes a true ring: appends overwrite the oldest samples and ``view``
+returns the retained window in chronological order.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, Optional, Tuple
+
+from repro.core.units import Nanoseconds
+
+
+class ColumnarRing:
+    """Two parallel float columns (time, value), optionally bounded.
+
+    The columns are ``array('d')``: eight bytes per sample instead of a
+    ~200-byte dict, and contiguous for cache-friendly scans.
+    """
+
+    __slots__ = ("capacity", "_times", "_values", "_start", "dropped")
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._times = array("d")
+        self._values = array("d")
+        # index of the oldest sample (ring head once wrapped)
+        self._start = 0
+        #: samples overwritten because the ring was full
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time_ns: Nanoseconds, value: float) -> None:
+        capacity = self.capacity
+        if capacity is None or len(self._times) < capacity:
+            self._times.append(time_ns)
+            self._values.append(value)
+            return
+        # full ring: overwrite the oldest slot and advance the head
+        slot = self._start
+        self._times[slot] = time_ns
+        self._values[slot] = value
+        self._start = (slot + 1) % capacity
+        self.dropped += 1
+
+    def view(self) -> Tuple[memoryview, memoryview, memoryview, memoryview]:
+        """Zero-copy chronological views: ``(t1, v1, t2, v2)``.
+
+        A wrapped ring is two contiguous runs (oldest run first); an
+        unwrapped buffer returns empty second halves.  No sample is
+        copied — these are memoryviews over the backing arrays.
+        """
+        times, values, start = self._times, self._values, self._start
+        mt, mv = memoryview(times), memoryview(values)
+        if start == 0:
+            return mt, mv, mt[:0], mv[:0]
+        return mt[start:], mv[start:], mt[:start], mv[:start]
+
+    def iter_samples(self) -> Iterator[Tuple[float, float]]:
+        """Chronological (time, value) pairs (boxes floats lazily)."""
+        t1, v1, t2, v2 = self.view()
+        yield from zip(t1, v1)
+        yield from zip(t2, v2)
+
+    def iter_values(self) -> Iterator[float]:
+        _, v1, _, v2 = self.view()
+        yield from v1
+        yield from v2
+
+    def last(self) -> Tuple[float, float]:
+        """The newest (time, value) sample."""
+        if not self._times:
+            raise IndexError("empty ring")
+        slot = (self._start - 1) % len(self._times)
+        return self._times[slot], self._values[slot]
+
+    def clear(self) -> None:
+        self._times = array("d")
+        self._values = array("d")
+        self._start = 0

@@ -100,9 +100,10 @@ class EcmpRouting:
         ``dst`` defaults to the flow's destination; control packets that
         travel toward arbitrary nodes pass it explicitly.
         """
-        override = self._overrides.get((node_id, flow))
-        if override is not None:
-            return override
+        if self._overrides:
+            override = self._overrides.get((node_id, flow))
+            if override is not None:
+                return override
         destination = dst if dst is not None else flow.dst
         cache_key = (node_id, flow, destination)
         cached = self._next_hop_cache.get(cache_key)

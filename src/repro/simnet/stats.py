@@ -4,14 +4,20 @@ Diagnosis consumes event-driven telemetry; humans debugging the
 simulator (or writing tests about transient behaviour) want uniform
 time series.  Samplers piggyback on the event loop: they schedule
 themselves at a fixed period and record the deltas/depths they see.
+
+Samples land in columnar storage (:mod:`repro.simnet.ringbuf`) — two
+``array('d')`` columns instead of per-sample records — so long-running
+samplers cost eight bytes per sample and analyzers can scan the columns
+zero-copy.  Pass ``capacity`` to bound a sampler's memory; the columns
+then behave as a ring that keeps the newest samples.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.core.units import Nanoseconds
+from repro.simnet.ringbuf import ColumnarRing
 from repro.simnet.units import us
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -20,41 +26,75 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.port import EgressPort
 
 
-@dataclass
 class Series:
-    """A sampled time series."""
+    """A sampled time series over columnar storage."""
 
-    times_ns: list[Nanoseconds] = field(default_factory=list)
-    values: list[float] = field(default_factory=list)
+    __slots__ = ("_ring",)
+
+    def __init__(self, times_ns: Optional[Iterable[Nanoseconds]] = None,
+                 values: Optional[Iterable[float]] = None,
+                 capacity: Optional[int] = None) -> None:
+        self._ring = ColumnarRing(capacity)
+        if times_ns is not None or values is not None:
+            for time_ns, value in zip(times_ns or (), values or ()):
+                self._ring.append(time_ns, value)
+
+    @property
+    def ring(self) -> ColumnarRing:
+        """The backing columnar ring (zero-copy access for analyzers)."""
+        return self._ring
+
+    @property
+    def times_ns(self):
+        """Sample times in chronological order (columnar, no boxing)."""
+        t1, _, t2, _ = self._ring.view()
+        if not len(t2):
+            return t1
+        result = t1.tolist()
+        result.extend(t2)
+        return result
+
+    @property
+    def values(self):
+        """Sample values in chronological order (columnar, no boxing)."""
+        _, v1, _, v2 = self._ring.view()
+        if not len(v2):
+            return v1
+        result = v1.tolist()
+        result.extend(v2)
+        return result
 
     def append(self, time_ns: Nanoseconds, value: float) -> None:
-        self.times_ns.append(time_ns)
-        self.values.append(value)
+        self._ring.append(time_ns, value)
 
     def __len__(self) -> int:
-        return len(self.values)
+        return len(self._ring)
 
     @property
     def max(self) -> float:
-        return max(self.values) if self.values else 0.0
+        values = self.values
+        return max(values) if len(values) else 0.0
 
     @property
     def mean(self) -> float:
-        return sum(self.values) / len(self.values) if self.values else 0.0
+        values = self.values
+        return sum(values) / len(values) if len(values) else 0.0
 
     def above(self, threshold: float) -> float:
         """Fraction of samples above the threshold."""
-        if not self.values:
+        values = self.values
+        if not len(values):
             return 0.0
-        return sum(1 for v in self.values if v > threshold) / len(self.values)
+        return sum(1 for v in values if v > threshold) / len(values)
 
     def sparkline(self, width: int = 60) -> str:
         """Terminal-friendly rendering (8-level block characters)."""
-        if not self.values:
+        values = self.values
+        if not len(values):
             return ""
         blocks = " ▁▂▃▄▅▆▇█"
-        stride = max(1, len(self.values) // width)
-        sampled = self.values[::stride][:width]
+        stride = max(1, len(values) // width)
+        sampled = list(values[::stride][:width])
         top = max(sampled) or 1.0
         return "".join(
             blocks[min(8, int(value / top * 8))] for value in sampled)
@@ -64,11 +104,12 @@ class FlowThroughputSampler:
     """Samples a flow's goodput (acked bytes per interval) as Gbps."""
 
     def __init__(self, network: "Network", flow: "RdmaFlow",
-                 period_ns: Nanoseconds = us(10)) -> None:
+                 period_ns: Nanoseconds = us(10),
+                 capacity: Optional[int] = None) -> None:
         self.network = network
         self.flow = flow
         self.period_ns = period_ns
-        self.series = Series()
+        self.series = Series(capacity=capacity)
         self._last_bytes = 0
         self._event = network.sim.schedule(period_ns, self._sample)
 
@@ -93,12 +134,13 @@ class PortQueueSampler:
 
     def __init__(self, network: "Network", port: "EgressPort",
                  period_ns: Nanoseconds = us(10),
-                 duration_ns: Optional[Nanoseconds] = None) -> None:
+                 duration_ns: Optional[Nanoseconds] = None,
+                 capacity: Optional[int] = None) -> None:
         self.network = network
         self.port = port
         self.period_ns = period_ns
-        self.series = Series()
-        self.pause_series = Series()
+        self.series = Series(capacity=capacity)
+        self.pause_series = Series(capacity=capacity)
         self._deadline = None if duration_ns is None \
             else network.sim.now + duration_ns
         self._event = network.sim.schedule(period_ns, self._sample)

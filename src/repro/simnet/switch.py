@@ -37,6 +37,10 @@ class SwitchNode(Node):
 
     def __init__(self, network: "Network", node_id: str) -> None:
         super().__init__(network, node_id)
+        # hot-path aliases: these objects are created once per network
+        # and never replaced, only mutated
+        self._routing = network.routing
+        self._cfg = network.config
         self.telemetry = SwitchTelemetry(node_id, network.telemetry_config)
         #: bytes buffered in this switch per ingress port (PFC accounting)
         self.ingress_usage: dict[int, int] = {}
@@ -68,21 +72,21 @@ class SwitchNode(Node):
             return
         flow = packet.flow or self.pseudo_flow(packet.dst)
         try:
-            next_hop = self.network.routing.next_hop(
+            next_hop = self._routing.next_hop(
                 self.node_id, flow, dst=packet.dst)
         except RoutingError:
             self.network.count_routing_drop(self.node_id, packet)
             return
-        egress = self.port_toward(next_hop)
+        egress = self.ports[self.neighbor_port[next_hop]]
         if packet.priority is Priority.DATA:
             self._maybe_mark_ecn(packet, egress)
             self._account_ingress(packet, ingress_port)
             self.telemetry.on_data_enqueue(
-                self.network.sim.now, egress.port_id, packet.flow)
+                self.sim.now, egress.port_id, packet.flow)
         egress.enqueue(packet)
 
     def _maybe_mark_ecn(self, packet: Packet, egress) -> None:
-        cfg = self.network.config
+        cfg = self._cfg
         if not packet.ecn_capable or cfg.ecn_kmax_bytes <= 0:
             return
         qbytes = egress.data_queue_bytes
@@ -103,9 +107,9 @@ class SwitchNode(Node):
         usage = self.ingress_usage.get(ingress_port, 0) + packet.size
         self.ingress_usage[ingress_port] = usage
         self._pkt_ingress[packet.pkt_id] = ingress_port
-        cfg = self.network.config
+        cfg = self._cfg
         if usage >= cfg.pfc_xoff_bytes:
-            now = self.network.sim.now
+            now = self.sim.now
             if not self.upstream_paused.get(ingress_port):
                 self.upstream_paused[ingress_port] = True
                 self._last_pause_sent[ingress_port] = now
@@ -126,16 +130,16 @@ class SwitchNode(Node):
         if ingress_port is None:
             return
         usage = self.ingress_usage.get(ingress_port, 0) - packet.size
-        sanitizer = self.network.sim.sanitizer
+        sanitizer = self.sim.sanitizer
         if sanitizer is not None:
             sanitizer.check_occupancy(
                 self.node_id, ingress_port, "PFC ingress accounting",
                 usage)
         self.ingress_usage[ingress_port] = max(0, usage)
         self.telemetry.on_data_departure(
-            self.network.sim.now, ingress_port, egress_port_id,
+            self.sim.now, ingress_port, egress_port_id,
             packet.flow, packet.size)
-        cfg = self.network.config
+        cfg = self._cfg
         if self.upstream_paused.get(ingress_port) \
                 and usage <= cfg.pfc_xon_bytes:
             self.upstream_paused[ingress_port] = False

@@ -76,8 +76,10 @@ class WindowedCounter:
         self._epoch_start = now - (elapsed % self.window_ns)
 
     def add(self, now: Nanoseconds, key: Hashable, delta: float = 1.0) -> None:
-        self._rotate(now)
-        self._cur[key] = self._cur.get(key, 0.0) + delta
+        if now - self._epoch_start >= self.window_ns:
+            self._rotate(now)
+        cur = self._cur
+        cur[key] = cur.get(key, 0.0) + delta
 
     def snapshot(self, now: Nanoseconds) -> dict[Hashable, float]:
         self._rotate(now)
@@ -87,6 +89,78 @@ class WindowedCounter:
         for key, value in self._cur.items():
             merged[key] = merged.get(key, 0.0) + value
         return merged
+
+
+class WindowedGroupCounter:
+    """Windowed counters partitioned by a primary group key.
+
+    Same rotation semantics as :class:`WindowedCounter` (one shared
+    epoch clock), but entries are stored two-level — ``group -> {key:
+    value}`` — so per-group reads are O(group's own entries) instead of
+    a scan over every group's keys.  Report assembly reads one port's
+    counters at a time, which made the flat layout quadratic-ish in
+    ports; this is the columnar replacement.
+
+    Merge order in :meth:`snapshot_group` reproduces the flat layout's
+    dict insertion order restricted to the group (previous-epoch keys
+    first, then current-epoch-only keys, each in first-touch order), so
+    serialized reports are byte-identical to the historical format.
+    """
+
+    __slots__ = ("window_ns", "_cur", "_prev", "_epoch_start")
+
+    def __init__(self, window_ns: Nanoseconds) -> None:
+        self.window_ns = window_ns
+        self._cur: dict[Hashable, dict] = {}
+        self._prev: dict[Hashable, dict] = {}
+        self._epoch_start = 0.0
+
+    def _rotate(self, now: float) -> None:
+        elapsed = now - self._epoch_start
+        if elapsed < self.window_ns:
+            return
+        if elapsed >= 2 * self.window_ns:
+            self._prev = {}
+            self._cur = {}
+        else:
+            self._prev = self._cur
+            self._cur = {}
+        self._epoch_start = now - (elapsed % self.window_ns)
+
+    def add(self, now: Nanoseconds, group: Hashable, key: Hashable,
+            delta: float = 1.0) -> None:
+        if now - self._epoch_start >= self.window_ns:
+            self._rotate(now)
+        bucket = self._cur.get(group)
+        if bucket is None:
+            bucket = self._cur[group] = {}
+        bucket[key] = bucket.get(key, 0.0) + delta
+
+    def snapshot_group(self, now: Nanoseconds,
+                       group: Hashable) -> dict[Hashable, float]:
+        """Merged previous+current counters for one group."""
+        self._rotate(now)
+        prev = self._prev.get(group)
+        cur = self._cur.get(group)
+        if not prev:
+            return dict(cur) if cur else {}
+        merged = dict(prev)
+        if cur:
+            for key, value in cur.items():
+                merged[key] = merged.get(key, 0.0) + value
+        return merged
+
+    def snapshot(self, now: Nanoseconds) -> dict[Hashable, float]:
+        """Flat view keyed ``(group, *key)`` — debugging/tests only."""
+        self._rotate(now)
+        flat: dict[Hashable, float] = {}
+        for epoch in (self._prev, self._cur):
+            for group, bucket in epoch.items():
+                for key, value in bucket.items():
+                    full = (group, *key) if isinstance(key, tuple) \
+                        else (group, key)
+                    flat[full] = flat.get(full, 0.0) + value
+        return flat
 
 
 @dataclass
@@ -136,9 +210,9 @@ class SwitchTelemetry:
     def __init__(self, switch_id: str, config: TelemetryConfig) -> None:
         self.switch_id = switch_id
         self.config = config
-        self._flow_pkts = WindowedCounter(config.window_ns)        # (port, flow)
-        self._wait_weights = WindowedCounter(config.window_ns)     # (port, fi, fj)
-        self._port_meters = WindowedCounter(config.window_ns)      # (in, out)
+        self._flow_pkts = WindowedGroupCounter(config.window_ns)    # port -> flow
+        self._wait_weights = WindowedGroupCounter(config.window_ns)  # port -> (fi, fj)
+        self._port_meters = WindowedCounter(config.window_ns)       # (in, out)
         self._ttl_drops: dict[FlowKey, int] = {}
         self.pause_log = PauseLog()
         #: live per-port, per-flow in-queue packet counts
@@ -155,14 +229,14 @@ class SwitchTelemetry:
         for other_flow, count in queue.items():
             if other_flow != flow and count > 0:
                 self._wait_weights.add(
-                    now, (egress_port, flow, other_flow), count)
+                    now, egress_port, (flow, other_flow), count)
         queue[flow] = queue.get(flow, 0) + 1
 
     def on_data_departure(self, now: Nanoseconds, ingress_port: int,
                           egress_port: int, flow: FlowKey,
                           size: int) -> None:
         """Record a DATA packet leaving the switch."""
-        self._flow_pkts.add(now, (egress_port, flow), 1)
+        self._flow_pkts.add(now, egress_port, flow, 1)
         self._port_meters.add(now, (ingress_port, egress_port), size)
         queue = self._inqueue.get(egress_port)
         if queue is not None:
@@ -190,8 +264,6 @@ class SwitchTelemetry:
         """
         if pause_since is None:
             pause_since = now - self.config.pause_recency_ns
-        flow_pkts = self._flow_pkts.snapshot(now)
-        wait_weights = self._wait_weights.snapshot(now)
         meters = self._port_meters.snapshot(now)
 
         selected = sorted(scope_ports) if scope_ports is not None \
@@ -201,11 +273,8 @@ class SwitchTelemetry:
             port = ports.get(port_idx)
             if port is None:
                 continue
-            per_flow = {key[1]: count for key, count in flow_pkts.items()
-                        if key[0] == port_idx}
-            weights = {(key[1], key[2]): weight
-                       for key, weight in wait_weights.items()
-                       if key[0] == port_idx}
+            per_flow = self._flow_pkts.snapshot_group(now, port_idx)
+            weights = self._wait_weights.snapshot_group(now, port_idx)
             entries.append(PortTelemetryEntry(
                 port=port_idx,
                 qdepth_pkts=port.data_queue_depth,

@@ -19,12 +19,12 @@ def fake_result(scenario, system, outcome="tp"):
 def stubbed_matrix(monkeypatch):
     calls = []
 
-    def fake_run_matrix(cases, systems):
+    def fake_run_matrix(cases, systems, max_workers=0, cache=None):
         calls.append((len(cases), tuple(systems)))
         return [fake_result(case.scenario, system)
                 for case in cases for system in systems]
 
-    monkeypatch.setattr(figures, "run_matrix", fake_run_matrix)
+    monkeypatch.setattr(figures, "run_matrix_parallel", fake_run_matrix)
     figures._matrix_cache.clear()
     yield calls
     figures._matrix_cache.clear()

@@ -1,0 +1,150 @@
+"""The perf-trajectory file format and regression gate (repro.perf)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.perf.bench as bench
+from repro.cli import main as cli_main
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    append_entry,
+    check_regression,
+    load_trajectory,
+    render_entry,
+)
+
+
+def make_entry(events_per_sec: int = 300_000, *, label: str = "dev",
+               quick: bool = False, python: str = "3.11.7",
+               machine: str = "Linux-x86_64") -> dict:
+    return {
+        "label": label,
+        "quick": quick,
+        "python": python,
+        "implementation": "CPython",
+        "machine": machine,
+        "unix_time": 0.0,
+        "simcore": {
+            "events": 41733,
+            "completed": True,
+            "wall_s_best": 0.14,
+            "events_per_sec": events_per_sec,
+            "phases": {"build_s": 0.002, "simulate_s": 0.138,
+                       "simulate_s_all": [0.138]},
+        },
+        "matrix": {
+            "cases": 2, "systems": ["vedrfolnir"], "workers": 2,
+            "cold_s": 2.0, "warm_s": 0.001, "warm_cold_ratio": 0.0005,
+            "cache": {"hits": 2, "misses": 2, "hit_rate": 0.5},
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# trajectory file
+# ----------------------------------------------------------------------
+def test_append_creates_then_extends(tmp_path):
+    path = tmp_path / "BENCH_simcore.json"
+    doc = append_entry(path, make_entry(label="first"))
+    assert doc["schema"] == BENCH_SCHEMA_VERSION
+    assert [e["label"] for e in doc["entries"]] == ["first"]
+    doc = append_entry(path, make_entry(label="second"))
+    assert [e["label"] for e in doc["entries"]] == ["first", "second"]
+    assert load_trajectory(path) == doc
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": 99, "entries": []}))
+    with pytest.raises(ValueError):
+        load_trajectory(path)
+
+
+# ----------------------------------------------------------------------
+# regression gate
+# ----------------------------------------------------------------------
+def baseline_with(*entries) -> dict:
+    return {"schema": BENCH_SCHEMA_VERSION, "entries": list(entries)}
+
+
+def test_regression_passes_within_allowance():
+    baseline = baseline_with(make_entry(300_000, label="base"))
+    ok, message = check_regression(make_entry(250_000), baseline,
+                                   max_regression_pct=20.0)
+    assert ok
+    assert "base" in message
+
+
+def test_regression_fails_beyond_allowance():
+    baseline = baseline_with(make_entry(300_000, label="base"))
+    ok, message = check_regression(make_entry(200_000), baseline,
+                                   max_regression_pct=20.0)
+    assert not ok
+    assert "REGRESSION" in message
+
+
+def test_regression_compares_newest_comparable_entry():
+    baseline = baseline_with(make_entry(500_000, label="old"),
+                             make_entry(250_000, label="new"))
+    ok, _ = check_regression(make_entry(210_000), baseline)
+    assert ok, "must compare against the newest entry, not the fastest"
+
+
+@pytest.mark.parametrize("other", [
+    make_entry(300_000, quick=True),
+    make_entry(300_000, python="3.12.1"),
+    make_entry(300_000, machine="Darwin-arm64"),
+])
+def test_regression_skips_incomparable_baselines(other):
+    ok, message = check_regression(make_entry(100_000),
+                                   baseline_with(other))
+    assert ok
+    assert "skipped" in message
+
+
+def test_patch_releases_are_comparable():
+    baseline = baseline_with(make_entry(300_000, python="3.11.2"))
+    ok, _ = check_regression(make_entry(200_000, python="3.11.9"),
+                             baseline)
+    assert not ok, "same major.minor must be compared"
+
+
+def test_render_entry_mentions_key_numbers():
+    text = render_entry(make_entry(314_159))
+    assert "314,159 events/sec" in text
+    assert "hit rate 0.50" in text
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing (measurement stubbed out)
+# ----------------------------------------------------------------------
+def test_cli_bench_appends_and_gates(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(bench, "run_bench",
+                        lambda **kwargs: make_entry(
+                            200_000, label=kwargs.get("label", "dev")))
+    out = tmp_path / "BENCH_simcore.json"
+    baseline = tmp_path / "baseline.json"
+    append_entry(baseline, make_entry(210_000, label="committed"))
+
+    status = cli_main(["bench", "--quick", "--label", "ci",
+                       "--out", str(out),
+                       "--baseline", str(baseline)])
+    assert status == 0
+    assert "regression check" in capsys.readouterr().out
+    assert [e["label"] for e in load_trajectory(out)["entries"]] == ["ci"]
+
+    # beyond the allowance the command must fail loudly
+    append_entry(baseline, make_entry(400_000, label="fast"))
+    status = cli_main(["bench", "--baseline", str(baseline)])
+    assert status == 1
+
+
+def test_cli_bench_unreadable_baseline(tmp_path, monkeypatch):
+    monkeypatch.setattr(bench, "run_bench",
+                        lambda **kwargs: make_entry(200_000))
+    status = cli_main(["bench", "--baseline",
+                       str(tmp_path / "missing.json")])
+    assert status == 2

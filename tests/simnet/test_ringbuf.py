@@ -1,0 +1,92 @@
+"""Columnar ring buffer semantics (repro.simnet.ringbuf)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet.ringbuf import ColumnarRing
+from repro.simnet.stats import Series
+
+
+def test_unbounded_append_and_views():
+    ring = ColumnarRing()
+    for i in range(5):
+        ring.append(float(i), float(i * 10))
+    assert len(ring) == 5
+    t1, v1, t2, v2 = ring.view()
+    assert list(t1) == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert list(v1) == [0.0, 10.0, 20.0, 30.0, 40.0]
+    assert len(t2) == 0 and len(v2) == 0
+    assert ring.dropped == 0
+
+
+def test_views_are_zero_copy():
+    ring = ColumnarRing()
+    ring.append(1.0, 2.0)
+    t1, v1, _, _ = ring.view()
+    assert isinstance(t1, memoryview)
+    assert isinstance(v1, memoryview)
+
+
+def test_bounded_ring_wraps_chronologically():
+    ring = ColumnarRing(capacity=4)
+    for i in range(10):
+        ring.append(float(i), float(-i))
+    assert len(ring) == 4
+    assert ring.dropped == 6
+    assert [t for t, _ in ring.iter_samples()] == [6.0, 7.0, 8.0, 9.0]
+    assert list(ring.iter_values()) == [-6.0, -7.0, -8.0, -9.0]
+    t1, v1, t2, v2 = ring.view()
+    # wrapped: two contiguous runs, oldest run first
+    assert list(t1) + list(t2) == [6.0, 7.0, 8.0, 9.0]
+    assert list(v1) + list(v2) == [-6.0, -7.0, -8.0, -9.0]
+
+
+def test_last_before_and_after_wrap():
+    ring = ColumnarRing(capacity=3)
+    with pytest.raises(IndexError):
+        ring.last()
+    ring.append(1.0, 10.0)
+    assert ring.last() == (1.0, 10.0)
+    for i in range(2, 6):
+        ring.append(float(i), float(i * 10))
+    assert ring.last() == (5.0, 50.0)
+
+
+def test_clear_resets_ring():
+    ring = ColumnarRing(capacity=2)
+    ring.append(1.0, 1.0)
+    ring.append(2.0, 2.0)
+    ring.append(3.0, 3.0)
+    ring.clear()
+    assert len(ring) == 0
+    assert list(ring.iter_samples()) == []
+    ring.append(9.0, 9.0)
+    assert ring.last() == (9.0, 9.0)
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        ColumnarRing(capacity=0)
+    with pytest.raises(ValueError):
+        ColumnarRing(capacity=-3)
+
+
+def test_series_over_bounded_ring_keeps_newest():
+    series = Series(capacity=3)
+    for i in range(6):
+        series.append(float(i), float(i))
+    assert len(series) == 3
+    assert list(series.times_ns) == [3.0, 4.0, 5.0]
+    assert list(series.values) == [3.0, 4.0, 5.0]
+    assert series.max == 5.0
+    assert series.mean == 4.0
+    assert series.above(3.5) == pytest.approx(2 / 3)
+    assert series.sparkline()  # renders from the wrapped columns
+
+
+def test_series_seeded_from_iterables():
+    series = Series([1.0, 2.0], [10.0, 20.0])
+    assert list(series.times_ns) == [1.0, 2.0]
+    assert list(series.values) == [10.0, 20.0]
+    assert series.ring.dropped == 0
