@@ -15,6 +15,9 @@
     python -m repro figure --id 13b --cases 2
     python -m repro check src/ --strict --units
     python -m repro bench --quick --baseline benchmarks/results/BENCH_simcore.json
+    python -m repro fleet serve --trace run.jsonl --replicate 8 --shards 4
+    python -m repro fleet chaos --trace run.jsonl --kills 2 --corrupt-checkpoint
+    python -m repro bench --fleet --tenants 1024 --out benchmarks/results/BENCH_fleet.json
 
 Every subcommand prints human-readable text and exits 0 on success.
 """
@@ -205,6 +208,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "comparable baseline entry")
     bench.add_argument("--json", action="store_true",
                        help="emit the entry as JSON")
+    bench.add_argument("--fleet", action="store_true",
+                       help="benchmark the sharded fleet service "
+                            "instead (appends to BENCH_fleet.json "
+                            "via --out)")
+    bench.add_argument("--tenants", type=int, default=1024,
+                       help="concurrent monitored collectives for "
+                            "--fleet")
+    bench.add_argument("--fleet-shards", type=int, default=8,
+                       help="shard count for --fleet")
+    bench.add_argument("--max-lateness-p99", type=float, default=0.0,
+                       help="fail --fleet when p99 snapshot lateness "
+                            "exceeds this many seconds (0 = report "
+                            "only)")
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("--id", required=True,
@@ -212,6 +228,102 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--cases", type=int, default=3,
                      help="cases per scenario/setting")
     fig.add_argument("--scale", type=float, default=None)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="sharded multi-tenant diagnosis fleet (serve / status / "
+             "chaos)")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command",
+                                     required=True)
+
+    fserve = fleet_sub.add_parser(
+        "serve",
+        help="replay traces as fleet tenants across supervised shard "
+             "workers, with a scrapeable /metrics endpoint")
+    fserve.add_argument("--trace", action="append", required=True,
+                        help="JSONL trace file (repeatable; each "
+                             "becomes one tenant)")
+    fserve.add_argument("--replicate", type=int, default=1,
+                        help="clone each trace into N logical tenants")
+    fserve.add_argument("--shards", type=int, default=4,
+                        help="shard count tenants are hashed across")
+    fserve.add_argument("--vnodes", type=int, default=64,
+                        help="virtual ring points per shard")
+    fserve.add_argument("--in-process", action="store_true",
+                        help="run every shard inside this process "
+                             "(default: one supervised worker process "
+                             "per shard)")
+    fserve.add_argument("--budget", type=int, default=0,
+                        help="per-tenant event budget (0 = unlimited)")
+    fserve.add_argument("--snapshot-every", type=int, default=32,
+                        help="per-tenant rolling-snapshot cadence")
+    fserve.add_argument("--checkpoint-every", type=int, default=64,
+                        help="per-tenant checkpoint cadence "
+                             "(0 disables durability)")
+    fserve.add_argument("--workdir",
+                        help="fleet state root (checkpoints, reports, "
+                             "status); default: a temporary directory")
+    fserve.add_argument("--status",
+                        help="write the newest fleet snapshot JSON "
+                             "here (the repro fleet status input)")
+    fserve.add_argument("--port", type=int, default=0,
+                        help="metrics exporter port (0 = ephemeral, "
+                             "printed on startup)")
+    fserve.add_argument("--no-http", action="store_true",
+                        help="disable the /metrics exporter")
+    fserve.add_argument("--scrape-out",
+                        help="also write the final Prometheus text "
+                             "exposition to this file")
+    fserve.add_argument("--poll", type=float, default=0.2,
+                        help="seconds between fan-in merges while "
+                             "workers run")
+    fserve.add_argument("--linger", type=float, default=0.0,
+                        help="keep serving /metrics this many seconds "
+                             "after the fleet finishes")
+    fserve.add_argument("--quiet", action="store_true",
+                        help="suppress rolling fleet summary lines")
+
+    fstatus = fleet_sub.add_parser(
+        "status", help="summarize a fleet status file")
+    fstatus.add_argument("--status", required=True,
+                         help="status JSON written by repro fleet "
+                              "serve --status")
+    fstatus.add_argument("--json", action="store_true",
+                         help="print the raw snapshot JSON")
+
+    fchaos = fleet_sub.add_parser(
+        "chaos",
+        help="SIGKILL real shard workers mid-replay and assert the "
+             "fleet recovery contract (final diagnosis bit-equal to "
+             "an uninterrupted run)")
+    fchaos.add_argument("--trace", action="append", required=True,
+                        help="JSONL trace file (repeatable)")
+    fchaos.add_argument("--replicate", type=int, default=1,
+                        help="clone each trace into N logical tenants")
+    fchaos.add_argument("--shards", type=int, default=4,
+                        help="shard count")
+    fchaos.add_argument("--seed", type=int, default=0,
+                        help="seed for victim choice and damage")
+    fchaos.add_argument("--kills", type=int, default=1,
+                        help="shard workers to SIGKILL")
+    fchaos.add_argument("--kill-frac", type=float, default=0.5,
+                        help="kill point as a fraction of the victim "
+                             "shard's event stream")
+    fchaos.add_argument("--corrupt-checkpoint", action="store_true",
+                        help="also damage one victim tenant's newest "
+                             "checkpoint between kill and restart")
+    fchaos.add_argument("--truncate-checkpoint", action="store_true",
+                        help="truncate (instead of bit-flip) that "
+                             "checkpoint")
+    fchaos.add_argument("--snapshot-every", type=int, default=32,
+                        help="per-tenant rolling-snapshot cadence")
+    fchaos.add_argument("--checkpoint-every", type=int, default=64,
+                        help="per-tenant checkpoint cadence")
+    fchaos.add_argument("--workdir",
+                        help="experiment directory (default: a "
+                             "temporary directory)")
+    fchaos.add_argument("--json", action="store_true",
+                        help="emit the machine-readable chaos report")
     return parser
 
 
@@ -638,6 +750,17 @@ def cmd_check(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.fleet:
+        from repro.fleet.bench import fleet_bench_main
+
+        return fleet_bench_main(
+            tenants=args.tenants,
+            shards=args.fleet_shards,
+            label=args.label,
+            out=args.out,
+            max_lateness_p99_s=args.max_lateness_p99,
+            as_json=args.json,
+        )
     from repro.perf.bench import bench_main
 
     return bench_main(
@@ -685,6 +808,228 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def _fleet_config(args, workdir):
+    from repro.fleet import FleetConfig, TenantPolicy
+
+    policy = TenantPolicy(
+        event_budget=getattr(args, "budget", 0),
+        snapshot_every=args.snapshot_every,
+        checkpoint_every=args.checkpoint_every)
+    return FleetConfig(shards=args.shards,
+                       vnodes=getattr(args, "vnodes", 64),
+                       policy=policy,
+                       workdir=str(workdir) if workdir else None)
+
+
+def _print_fleet_snapshot(snapshot_dict: dict) -> None:
+    totals = snapshot_dict.get("totals", {})
+    wm = snapshot_dict.get("watermark_ns")
+    tag = "FINAL" if snapshot_dict.get("final") \
+        else f"#{snapshot_dict.get('seq')}"
+    stale = snapshot_dict.get("stale_shards") or []
+    print(f"[{tag}] fleet "
+          f"wm={'-' if wm is None else f'{wm / 1e6:.3f}ms'} "
+          f"shards={len(snapshot_dict.get('shards', []))} "
+          f"tenants={totals.get('tenants', 0)} "
+          f"final={totals.get('tenants_final', 0)} "
+          f"anomalous={totals.get('tenants_with_findings', 0)} "
+          f"degraded={totals.get('tenants_degraded', 0)} "
+          f"shed={totals.get('events_shed', 0)}"
+          + (f" stale={stale}" if stale else ""))
+
+
+def cmd_fleet_serve(args) -> int:
+    import tempfile
+    import threading
+    import time as _time
+    from pathlib import Path
+
+    from repro.fleet import (
+        FleetAggregator,
+        FleetService,
+        MetricsExporter,
+        plan_shards,
+        registry_from_snapshot,
+        render_prometheus,
+        replicate_tenants,
+    )
+    from repro.fleet.service import write_status
+    from repro.fleet.worker import read_report, run_fleet_multiprocess
+
+    specs = replicate_tenants(args.trace, args.replicate)
+    tmp = None
+    if args.workdir:
+        workdir = Path(args.workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+    else:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-fleet-")
+        workdir = Path(tmp.name)
+    config = _fleet_config(args, workdir / "state")
+    print(f"fleet: {len(specs)} tenants over {config.shards} shards "
+          f"({'in-process' if args.in_process else 'worker processes'}"
+          f", budget="
+          f"{config.policy.event_budget or 'unlimited'})")
+
+    latest = {"snapshot": None, "service": None}
+
+    def registry_fn():
+        service = latest["service"]
+        if service is not None:
+            return service.build_registry()
+        snapshot = latest["snapshot"]
+        if snapshot is None:
+            from repro.live.metrics import MetricsRegistry
+
+            return MetricsRegistry()
+        return registry_from_snapshot(snapshot)
+
+    exporter = None
+    if not args.no_http:
+        exporter = MetricsExporter(
+            registry_fn, port=args.port,
+            status_fn=lambda: latest["snapshot"].to_dict()
+            if latest["snapshot"] else None)
+        port = exporter.start()
+        print(f"metrics: http://127.0.0.1:{port}/metrics")
+
+    def publish(snapshot) -> None:
+        latest["snapshot"] = snapshot
+        if args.status:
+            write_status(args.status, snapshot)
+        if not args.quiet:
+            print(snapshot.summary_line())
+
+    try:
+        if args.in_process:
+            service = FleetService(config, specs)
+            latest["service"] = service
+            final = service.run(on_merge=publish)
+        else:
+            plan = plan_shards(specs, config.shards, config.vnodes)
+            aggregator = FleetAggregator(sorted(plan))
+            report_dir = workdir / "reports"
+            results = {}
+            errors = []
+
+            def run_workers() -> None:
+                try:
+                    results.update(run_fleet_multiprocess(
+                        config, plan, str(report_dir)))
+                except Exception as error:  # noqa: BLE001 - surfaced
+                    errors.append(error)
+
+            runner = threading.Thread(target=run_workers,
+                                      name="fleet-workers")
+            runner.start()
+            while runner.is_alive():
+                runner.join(max(0.05, args.poll))
+                for shard_id in sorted(plan):
+                    report = read_report(
+                        str(report_dir / f"shard-{shard_id:03d}.json"))
+                    if report is not None:
+                        aggregator.offer(report)
+                publish(aggregator.merge())
+            if errors:
+                print(f"error: {errors[0]}", file=sys.stderr)
+                return 1
+            for report in results.values():
+                aggregator.offer(report)
+            final = aggregator.merge(final=True)
+            publish(final)
+
+        if args.scrape_out:
+            with open(args.scrape_out, "w") as handle:
+                handle.write(render_prometheus(registry_fn()))
+            print(f"exposition written to {args.scrape_out}")
+        _print_fleet_snapshot(final.to_dict())
+        if args.linger > 0 and exporter is not None:
+            _time.sleep(args.linger)
+        return 0
+    finally:
+        if exporter is not None:
+            exporter.stop()
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def cmd_fleet_status(args) -> int:
+    import json
+
+    from repro.fleet.service import read_status
+
+    snapshot = read_status(args.status)
+    if snapshot is None:
+        print(f"error: no readable fleet status at {args.status}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    _print_fleet_snapshot(snapshot)
+    width = max((len(t["tenant"]) for t in snapshot["tenants"]),
+                default=6)
+    for tenant in snapshot["tenants"]:
+        findings = ",".join(tenant["findings"]) or "none"
+        flags = []
+        if tenant["budget_exhausted"]:
+            flags.append("budget")
+        if tenant["degraded"]:
+            flags.append("degraded")
+        note = f" [{','.join(flags)}]" if flags else ""
+        print(f"  shard {tenant['shard']} "
+              f"{tenant['tenant']:<{width}} "
+              f"{'FINAL' if tenant['final'] else '#' + str(tenant['seq']):<6} "
+              f"anomalies={findings} "
+              f"top={tenant['top_contributor'] or '-'}{note}")
+    return 0
+
+
+def cmd_fleet_chaos(args) -> int:
+    import json
+    import tempfile
+
+    from repro.fleet import replicate_tenants
+    from repro.fleet.chaos import FleetChaosPlan, run_fleet_chaos
+
+    specs = replicate_tenants(args.trace, args.replicate)
+    plan = FleetChaosPlan(
+        seed=args.seed,
+        kills=args.kills,
+        kill_event_frac=args.kill_frac,
+        corrupt_checkpoint=args.corrupt_checkpoint,
+        truncate_checkpoint=args.truncate_checkpoint,
+    )
+    config = _fleet_config(args, None)
+    try:
+        if args.workdir:
+            report = run_fleet_chaos(specs, args.workdir, plan,
+                                     config=config)
+        else:
+            with tempfile.TemporaryDirectory(
+                    prefix="repro-fleet-chaos-") as workdir:
+                report = run_fleet_chaos(specs, workdir, plan,
+                                         config=config)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary_line())
+    return 0 if report.passed else 1
+
+
+FLEET_COMMANDS = {
+    "serve": cmd_fleet_serve,
+    "status": cmd_fleet_status,
+    "chaos": cmd_fleet_chaos,
+}
+
+
+def cmd_fleet(args) -> int:
+    return FLEET_COMMANDS[args.fleet_command](args)
+
+
 COMMANDS = {
     "scenarios": cmd_scenarios,
     "topology": cmd_topology,
@@ -697,6 +1042,7 @@ COMMANDS = {
     "check": cmd_check,
     "bench": cmd_bench,
     "figure": cmd_figure,
+    "fleet": cmd_fleet,
 }
 
 

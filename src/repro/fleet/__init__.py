@@ -1,0 +1,71 @@
+"""repro.fleet — sharded multi-tenant diagnosis fleet.
+
+One :class:`~repro.live.pipeline.LivePipeline` diagnoses one
+collective.  This package scales that to a *fleet*: tenants
+(monitored collectives) are consistent-hashed across N shards
+(:mod:`~repro.fleet.sharding`), each shard replays its tenants under
+per-tenant isolation budgets (:mod:`~repro.fleet.tenancy`) — in
+process (:mod:`~repro.fleet.service`) or as supervised worker
+processes (:mod:`~repro.fleet.worker`) — and per-shard reports fan in
+through bounded mailboxes into deterministic fleet snapshots
+(:mod:`~repro.fleet.aggregator`), scrapeable over HTTP in Prometheus
+text format (:mod:`~repro.fleet.exporter`).
+
+The load-bearing contract, proven by :mod:`~repro.fleet.chaos`
+(``repro fleet chaos``): SIGKILL any shard worker mid-replay, let
+supervision resume it from its tenants' checkpoints, and the final
+fleet snapshot's diagnosis content is bit-equal to an uninterrupted
+run — with surviving shards' tenants untouched.
+"""
+
+from repro.fleet.aggregator import (
+    FleetAggregator,
+    FleetSnapshot,
+    ShardMailbox,
+    ShardReport,
+    TenantDigest,
+    merge_reports,
+)
+from repro.fleet.exporter import MetricsExporter, render_prometheus
+from repro.fleet.service import (
+    FleetConfig,
+    FleetService,
+    ShardRuntime,
+    build_shard_runtime,
+    registry_from_snapshot,
+)
+from repro.fleet.sharding import (
+    HashRing,
+    TenantSpec,
+    key_for_flow,
+    moved_tenants,
+    plan_shards,
+    replicate_tenants,
+    stable_hash,
+)
+from repro.fleet.tenancy import TenantPolicy, TenantRuntime
+
+__all__ = [
+    "FleetAggregator",
+    "FleetConfig",
+    "FleetService",
+    "FleetSnapshot",
+    "HashRing",
+    "MetricsExporter",
+    "ShardMailbox",
+    "ShardReport",
+    "ShardRuntime",
+    "TenantDigest",
+    "TenantPolicy",
+    "TenantRuntime",
+    "TenantSpec",
+    "build_shard_runtime",
+    "key_for_flow",
+    "merge_reports",
+    "moved_tenants",
+    "plan_shards",
+    "registry_from_snapshot",
+    "render_prometheus",
+    "replicate_tenants",
+    "stable_hash",
+]

@@ -1,0 +1,385 @@
+"""Fan-in aggregation: per-shard reports merged into fleet snapshots.
+
+The merge is a *pure, deterministic* function of its inputs:
+
+* tenants are ordered by ``(shard_id, tenant)`` — the shard id is the
+  tie-break for any cross-shard ordering decision, so two merges over
+  the same reports produce byte-identical output regardless of
+  arrival order;
+* the fleet watermark is the **minimum** over the reporting shards'
+  watermarks (each shard's watermark is the minimum over its tenants)
+  — the fleet never claims event-time progress a straggler has not
+  reached;
+* totals are plain sums over tenant digests.
+
+Shard reports arrive through bounded :class:`ShardMailbox`\\ es
+(drop-oldest): a slow or dead shard can stale *its own* tenants'
+entries in the fleet snapshot (it appears in ``stale_shards``) but
+never blocks the other shards' fan-in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.live.metrics import Histogram
+from repro.live.pipeline import DiagnosisSnapshot
+
+
+def _json_time(value: float) -> Optional[float]:
+    """inf/-inf watermarks (nothing seen yet) are not valid JSON."""
+    if math.isinf(value):
+        return None
+    return value
+
+
+@dataclass(frozen=True)
+class TenantDigest:
+    """The fleet-visible summary of one tenant's latest snapshot."""
+
+    shard_id: int
+    tenant: str
+    final: bool
+    seq: int
+    watermark_ns: Optional[float]
+    step_records: int
+    switch_reports: int
+    confidence: float
+    degraded: bool
+    findings: tuple[str, ...]
+    top_contributor: Optional[str]
+    top_score: float
+    events_admitted: int
+    events_shed: int
+    budget_exhausted: bool
+    snapshot_digest: str
+
+    @classmethod
+    def from_snapshot(cls, shard_id: int, tenant: str,
+                      snapshot: DiagnosisSnapshot,
+                      events_admitted: int = 0,
+                      events_shed: int = 0,
+                      budget_exhausted: bool = False
+                      ) -> "TenantDigest":
+        ranked = snapshot.top_contributors(1)
+        top_flow, top_score = (ranked[0][0].short(), ranked[0][1]) \
+            if ranked and ranked[0][1] > 0 else (None, 0.0)
+        digest = hashlib.sha256(
+            snapshot.canonical_json().encode("utf-8")).hexdigest()
+        return cls(
+            shard_id=shard_id,
+            tenant=tenant,
+            final=snapshot.final,
+            seq=snapshot.seq,
+            watermark_ns=_json_time(snapshot.watermark_ns),
+            step_records=snapshot.step_records_ingested,
+            switch_reports=snapshot.switch_reports_ingested,
+            confidence=snapshot.confidence,
+            degraded=snapshot.degraded,
+            findings=tuple(sorted({f.type.value
+                                   for f in snapshot.result.findings})),
+            top_contributor=top_flow,
+            top_score=top_score,
+            events_admitted=events_admitted,
+            events_shed=events_shed,
+            budget_exhausted=budget_exhausted,
+            snapshot_digest=digest,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard_id,
+            "tenant": self.tenant,
+            "final": self.final,
+            "seq": self.seq,
+            "watermark_ns": self.watermark_ns,
+            "step_records": self.step_records,
+            "switch_reports": self.switch_reports,
+            "confidence": self.confidence,
+            "degraded": self.degraded,
+            "findings": list(self.findings),
+            "top_contributor": self.top_contributor,
+            "top_score": self.top_score,
+            "events_admitted": self.events_admitted,
+            "events_shed": self.events_shed,
+            "budget_exhausted": self.budget_exhausted,
+            "snapshot_digest": self.snapshot_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantDigest":
+        return cls(
+            shard_id=int(data["shard"]),
+            tenant=str(data["tenant"]),
+            final=bool(data["final"]),
+            seq=int(data["seq"]),
+            watermark_ns=None if data["watermark_ns"] is None
+            else float(data["watermark_ns"]),
+            step_records=int(data["step_records"]),
+            switch_reports=int(data["switch_reports"]),
+            confidence=float(data["confidence"]),
+            degraded=bool(data["degraded"]),
+            findings=tuple(str(f) for f in data["findings"]),
+            top_contributor=data["top_contributor"],
+            top_score=float(data["top_score"]),
+            events_admitted=int(data["events_admitted"]),
+            events_shed=int(data["events_shed"]),
+            budget_exhausted=bool(data["budget_exhausted"]),
+            snapshot_digest=str(data["snapshot_digest"]),
+        )
+
+
+@dataclass
+class ShardReport:
+    """One shard's contribution to a fleet merge."""
+
+    shard_id: int
+    final: bool
+    tenants: list[TenantDigest] = field(default_factory=list)
+    restarts: int = 0
+    checkpoints_written: int = 0
+    events_consumed: int = 0
+
+    @property
+    def watermark_ns(self) -> Optional[float]:
+        """Min over the shard's tenants; None when nothing reported."""
+        marks = [t.watermark_ns for t in self.tenants
+                 if t.watermark_ns is not None]
+        if not marks or len(marks) < len(self.tenants):
+            return None
+        return min(marks)
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard_id,
+            "final": self.final,
+            "watermark_ns": self.watermark_ns,
+            "restarts": self.restarts,
+            "checkpoints_written": self.checkpoints_written,
+            "events_consumed": self.events_consumed,
+            "tenants": [t.to_dict()
+                        for t in sorted(self.tenants,
+                                        key=lambda t: t.tenant)],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardReport":
+        return cls(
+            shard_id=int(data["shard"]),
+            final=bool(data["final"]),
+            tenants=[TenantDigest.from_dict(t)
+                     for t in data["tenants"]],
+            restarts=int(data.get("restarts", 0)),
+            checkpoints_written=int(
+                data.get("checkpoints_written", 0)),
+            events_consumed=int(data.get("events_consumed", 0)),
+        )
+
+
+@dataclass
+class FleetSnapshot:
+    """One deterministic fleet-level merge of per-shard reports."""
+
+    seq: int
+    final: bool
+    watermark_ns: Optional[float]
+    shards: list[int]
+    stale_shards: list[int]
+    tenants: list[TenantDigest]
+    totals: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "final": self.final,
+            "watermark_ns": self.watermark_ns,
+            "shards": list(self.shards),
+            "stale_shards": list(self.stale_shards),
+            "totals": dict(self.totals),
+            "tenants": [t.to_dict() for t in self.tenants],
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def digest(self) -> str:
+        return hashlib.sha256(
+            self.canonical_json().encode("utf-8")).hexdigest()
+
+    #: totals that describe fleet *operations*, not the diagnosis —
+    #: a crashed-and-resumed fleet legitimately differs here
+    OPERATIONAL_KEYS = ("restarts", "checkpoints_written")
+
+    def diagnosis_dict(self) -> dict:
+        """:meth:`to_dict` minus operational fields (merge count,
+        restart/checkpoint totals).  This is the form the fleet
+        recovery contract compares bit-for-bit: a fleet that was
+        SIGKILLed and resumed must match an uninterrupted one here,
+        while its restart counters may not."""
+        data = self.to_dict()
+        data.pop("seq", None)
+        for key in self.OPERATIONAL_KEYS:
+            data["totals"].pop(key, None)
+        return data
+
+    def diagnosis_json(self) -> str:
+        return json.dumps(self.diagnosis_dict(), sort_keys=True)
+
+    def diagnosis_digest(self) -> str:
+        return hashlib.sha256(
+            self.diagnosis_json().encode("utf-8")).hexdigest()
+
+    def summary_line(self) -> str:
+        tag = "FINAL" if self.final else f"#{self.seq}"
+        wm = "-" if self.watermark_ns is None \
+            else f"{self.watermark_ns / 1e6:.3f}ms"
+        degraded = self.totals["tenants_degraded"]
+        anomalous = self.totals["tenants_with_findings"]
+        stale = f" stale={self.stale_shards}" if self.stale_shards \
+            else ""
+        return (f"[{tag}] fleet wm={wm} "
+                f"shards={len(self.shards)} "
+                f"tenants={len(self.tenants)} "
+                f"anomalous={anomalous} degraded={degraded}"
+                f"{stale}")
+
+
+def merge_reports(reports: Iterable[ShardReport],
+                  expected_shards: Iterable[int],
+                  seq: int = 0, final: bool = False) -> FleetSnapshot:
+    """The deterministic fan-in merge (see module docstring).
+
+    ``expected_shards`` lists every shard the fleet should hear from;
+    expected shards with no report land in ``stale_shards``.
+    """
+    by_shard: dict[int, ShardReport] = {}
+    for report in reports:
+        held = by_shard.get(report.shard_id)
+        # latest report per shard wins; ties break on shard id order
+        # by construction (one mailbox per shard)
+        if held is None or report.events_consumed \
+                >= held.events_consumed:
+            by_shard[report.shard_id] = report
+    expected = sorted(set(expected_shards))
+    present = [s for s in expected if s in by_shard]
+    stale = [s for s in expected if s not in by_shard]
+
+    tenants: list[TenantDigest] = []
+    for shard_id in present:
+        tenants.extend(sorted(by_shard[shard_id].tenants,
+                              key=lambda t: (t.shard_id, t.tenant)))
+    tenants.sort(key=lambda t: (t.shard_id, t.tenant))
+
+    # a shard with no tenants owns no stream, so it cannot hold the
+    # fleet watermark back; a shard whose tenants have not produced a
+    # watermark yet does (None stays None until every stream starts)
+    marks = [by_shard[s].watermark_ns for s in present
+             if by_shard[s].tenants]
+    watermark = None
+    if marks and all(m is not None for m in marks):
+        watermark = min(marks)
+
+    totals = {
+        "tenants": len(tenants),
+        "tenants_final": sum(1 for t in tenants if t.final),
+        "tenants_degraded": sum(1 for t in tenants if t.degraded),
+        "tenants_with_findings": sum(1 for t in tenants
+                                     if t.findings),
+        "tenants_budget_exhausted": sum(
+            1 for t in tenants if t.budget_exhausted),
+        "step_records": sum(t.step_records for t in tenants),
+        "switch_reports": sum(t.switch_reports for t in tenants),
+        "events_admitted": sum(t.events_admitted for t in tenants),
+        "events_shed": sum(t.events_shed for t in tenants),
+        "restarts": sum(by_shard[s].restarts for s in present),
+        "checkpoints_written": sum(by_shard[s].checkpoints_written
+                                   for s in present),
+    }
+    return FleetSnapshot(
+        seq=seq,
+        final=final,
+        watermark_ns=watermark,
+        shards=present,
+        stale_shards=stale,
+        tenants=tenants,
+        totals=totals,
+    )
+
+
+class ShardMailbox:
+    """Bounded drop-oldest queue of one shard's reports."""
+
+    def __init__(self, capacity: int = 4) -> None:
+        self.capacity = max(1, capacity)
+        self._queue: deque[ShardReport] = deque()
+        self.offered = 0
+        self.dropped = 0
+
+    def offer(self, report: ShardReport) -> None:
+        self.offered += 1
+        if len(self._queue) >= self.capacity:
+            self._queue.popleft()
+            self.dropped += 1
+        self._queue.append(report)
+
+    def latest(self) -> Optional[ShardReport]:
+        return self._queue[-1] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class FleetAggregator:
+    """Holds one mailbox per shard and produces fleet snapshots."""
+
+    def __init__(self, expected_shards: Iterable[int],
+                 mailbox_capacity: int = 4) -> None:
+        self.expected = sorted(set(expected_shards))
+        self.mailboxes = {shard: ShardMailbox(mailbox_capacity)
+                          for shard in self.expected}
+        self._seq = 0
+        self.merge_seconds = Histogram(
+            "fleet_merge_seconds",
+            "wall time to merge per-shard reports into one fleet "
+            "snapshot")
+
+    def offer(self, report: ShardReport) -> None:
+        mailbox = self.mailboxes.get(report.shard_id)
+        if mailbox is None:
+            raise ValueError(
+                f"report from unknown shard {report.shard_id}")
+        mailbox.offer(report)
+
+    def merge(self, final: bool = False,
+              clock=None) -> FleetSnapshot:
+        """Merge the freshest report per shard; never blocks on a
+        shard whose mailbox is empty (it is reported stale)."""
+        import time as _time
+
+        clock = clock or _time.perf_counter
+        start = clock()
+        self._seq += 1
+        reports = [box.latest() for box in self.mailboxes.values()]
+        snapshot = merge_reports(
+            [r for r in reports if r is not None],
+            self.expected, seq=self._seq, final=final)
+        self.merge_seconds.observe(max(0.0, clock() - start))
+        return snapshot
+
+    def dropped_total(self) -> int:
+        return sum(box.dropped for box in self.mailboxes.values())
+
+
+__all__ = [
+    "TenantDigest",
+    "ShardReport",
+    "FleetSnapshot",
+    "ShardMailbox",
+    "FleetAggregator",
+    "merge_reports",
+]

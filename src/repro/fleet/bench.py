@@ -1,0 +1,228 @@
+"""The ``repro bench --fleet`` harness behind ``BENCH_fleet.json``.
+
+The acceptance bar from the fleet issue: sustain **1k+ concurrent
+monitored collectives** through the sharded service with a *measured*
+p99 snapshot lateness.  One bench run:
+
+1. records a single anomaly trace (flow-contention at bench scale)
+   with :class:`~repro.traces.store.TraceRecorder`;
+2. decodes it once and fans the event list out to N in-memory tenants
+   (every tenant replays its own copy through its own
+   :class:`~repro.live.pipeline.LivePipeline` — the concurrency is
+   real, the disk I/O is not, so the number measures the diagnosis
+   fleet rather than the filesystem);
+3. drives the in-process :class:`~repro.fleet.service.FleetService`
+   to completion and reports throughput, rolling-merge cost, and the
+   fleet-wide ingest-to-snapshot lateness distribution (p50/p99/max).
+
+Entries append to ``benchmarks/results/BENCH_fleet.json`` in the same
+schema-1 trajectory format as ``BENCH_simcore.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.fleet.service import FleetConfig, FleetService
+from repro.fleet.sharding import TenantSpec
+from repro.fleet.tenancy import TenantPolicy, TenantRuntime
+
+BENCH_SCHEMA_VERSION = 1
+
+#: scenario scale for the bench trace (fast but non-trivial)
+BENCH_SCALE = 0.002
+
+
+def record_bench_trace(out_dir: Path, scenario: str = "flow_contention",
+                       scale: float = BENCH_SCALE,
+                       seed: int = 42) -> Path:
+    """Record one anomaly-scenario trace to replay across the fleet."""
+    from repro.anomalies.scenarios import ScenarioConfig, make_cases
+    from repro.experiments.harness import make_system
+    from repro.traces import TraceRecorder
+
+    config = ScenarioConfig(scale=scale, base_seed=seed)
+    case = make_cases(scenario, 1, config)[0]
+    network, runtime = case.build_network()
+    system = make_system("vedrfolnir")
+    system.attach(network, runtime)
+    recorder = TraceRecorder.attach(network, runtime)
+    runtime.start()
+    case.inject(network, runtime)
+    network.run_until_quiet(max_time=config.run_deadline_ns())
+    system.finalize()
+    path = out_dir / f"{scenario}.jsonl"
+    recorder.write(path)
+    return path
+
+
+def run_fleet_bench(tenants: int = 1024, shards: int = 8,
+                    scenario: str = "flow_contention",
+                    scale: float = BENCH_SCALE, seed: int = 42,
+                    batch_events: int = 64,
+                    merge_every_rounds: int = 4,
+                    snapshot_every: int = 32) -> dict:
+    """One fleet bench measurement (see module docstring)."""
+    from repro.traces.stream import merged_events, read_header
+
+    with tempfile.TemporaryDirectory(
+            prefix="repro-fleet-bench-") as root:
+        trace = record_bench_trace(Path(root), scenario=scenario,
+                                   scale=scale, seed=seed)
+        header = read_header(trace)
+        events = list(merged_events(trace))
+
+    policy = TenantPolicy(snapshot_every=snapshot_every,
+                          checkpoint_every=0)
+
+    def tenant_factory(spec, shard_id, tenant_policy, _ckpt_dir):
+        return TenantRuntime(spec.tenant, shard_id, tenant_policy,
+                             events=iter(events), header=header)
+
+    specs = [TenantSpec(tenant=f"tenant-{i:04d}", trace=str(trace))
+             for i in range(tenants)]
+    config = FleetConfig(shards=shards, policy=policy,
+                         batch_events=batch_events,
+                         merge_every_rounds=merge_every_rounds)
+    service = FleetService(config, specs,
+                           tenant_factory=tenant_factory)
+
+    start = time.perf_counter()
+    final = service.run()
+    wall_s = time.perf_counter() - start
+
+    lateness = service.snapshot_lateness()
+    merges = service.aggregator.merge_seconds
+    events_total = final.totals["events_admitted"] \
+        + final.totals["events_shed"]
+    shard_sizes = [len(shard.tenants) for shard in service.shards]
+    return {
+        "tenants": tenants,
+        "shards": shards,
+        "scenario": scenario,
+        "events_per_tenant": len(events),
+        "events_total": events_total,
+        "wall_s": round(wall_s, 4),
+        "events_per_sec": round(events_total / wall_s)
+        if wall_s else 0,
+        "tenants_finished": final.totals["tenants_final"],
+        "fleet_merges": final.seq,
+        "merge_p50_s": round(merges.percentile(50), 6),
+        "merge_p99_s": round(merges.percentile(99), 6),
+        "snapshot_lateness_count": lateness.total,
+        "snapshot_lateness_p50_s": round(lateness.percentile(50), 6),
+        "snapshot_lateness_p99_s": round(lateness.percentile(99), 6),
+        "snapshot_lateness_max_s": round(
+            lateness.max if lateness.total else 0.0, 6),
+        "shard_tenants_min": min(shard_sizes),
+        "shard_tenants_max": max(shard_sizes),
+    }
+
+
+# ----------------------------------------------------------------------
+# trajectory file (same schema-1 shape as BENCH_simcore.json)
+# ----------------------------------------------------------------------
+def load_trajectory(path) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != BENCH_SCHEMA_VERSION:
+        raise ValueError(f"unsupported BENCH schema in {path}: "
+                         f"{doc.get('schema')!r}")
+    return doc
+
+
+def append_entry(path, entry: dict) -> dict:
+    path = Path(path)
+    if path.exists():
+        doc = load_trajectory(path)
+    else:
+        doc = {"schema": BENCH_SCHEMA_VERSION, "benchmark": "fleet",
+               "scenario": "N in-memory tenants replaying one "
+                           "flow-contention trace through the "
+                           "sharded fleet service",
+               "entries": []}
+    doc["entries"].append(entry)
+    fd, tmp = tempfile.mkstemp(dir=path.parent or Path("."),
+                               suffix=".tmp")
+    with os.fdopen(fd, "w") as handle:
+        json.dump(doc, handle, indent=1)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return doc
+
+
+def render_entry(entry: dict) -> str:
+    fleet = entry["fleet"]
+    return "\n".join([
+        f"fleet bench '{entry['label']}' "
+        f"(python {entry['python']}, {entry['machine']})",
+        f"  fleet:    {fleet['tenants']} tenants / "
+        f"{fleet['shards']} shards "
+        f"({fleet['shard_tenants_min']}-"
+        f"{fleet['shard_tenants_max']} per shard), "
+        f"{fleet['events_per_tenant']} events each",
+        f"  volume:   {fleet['events_total']:,} events in "
+        f"{fleet['wall_s']:.3f}s = "
+        f"{fleet['events_per_sec']:,} events/sec",
+        f"  merges:   {fleet['fleet_merges']} "
+        f"(p50 {fleet['merge_p50_s'] * 1e3:.3f}ms, "
+        f"p99 {fleet['merge_p99_s'] * 1e3:.3f}ms)",
+        f"  lateness: p50 {fleet['snapshot_lateness_p50_s'] * 1e3:.3f}ms, "
+        f"p99 {fleet['snapshot_lateness_p99_s'] * 1e3:.3f}ms, "
+        f"max {fleet['snapshot_lateness_max_s'] * 1e3:.3f}ms "
+        f"over {fleet['snapshot_lateness_count']:,} snapshots",
+    ])
+
+
+def fleet_bench_main(tenants: int = 1024, shards: int = 8,
+                     label: str = "dev",
+                     out: Optional[str] = None,
+                     max_lateness_p99_s: float = 0.0,
+                     as_json: bool = False) -> int:
+    """CLI body for ``repro bench --fleet``.
+
+    ``max_lateness_p99_s`` > 0 turns the measured p99 snapshot
+    lateness into a pass/fail gate (exit 1 past the bound).
+    """
+    entry = {
+        "label": label,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": f"{platform.system()}-{platform.machine()}",
+        "unix_time": round(time.time(), 1),
+        "fleet": run_fleet_bench(tenants=tenants, shards=shards),
+    }
+    if as_json:
+        print(json.dumps(entry, indent=2))
+    else:
+        print(render_entry(entry))
+    status = 0
+    if max_lateness_p99_s > 0:
+        p99 = entry["fleet"]["snapshot_lateness_p99_s"]
+        if p99 > max_lateness_p99_s:
+            print(f"snapshot lateness p99 {p99:.6f}s exceeds bound "
+                  f"{max_lateness_p99_s:.6f}s", file=sys.stderr)
+            status = 1
+        else:
+            print(f"snapshot lateness p99 {p99:.6f}s within bound "
+                  f"{max_lateness_p99_s:.6f}s")
+    if out:
+        append_entry(out, entry)
+        print(f"trajectory entry appended to {out}")
+    return status
+
+
+__all__ = [
+    "record_bench_trace",
+    "run_fleet_bench",
+    "fleet_bench_main",
+    "append_entry",
+    "load_trajectory",
+    "render_entry",
+]

@@ -1,0 +1,229 @@
+"""Fleet-level chaos: SIGKILL real shard workers, prove recovery.
+
+The single-pipeline harness (:mod:`repro.live.chaos`) proves the
+per-tenant contract with *simulated* crashes.  This harness raises the
+stakes to the fleet's availability claim:
+
+    SIGKILL any subset of shard worker *processes* mid-replay (plus
+    optional checkpoint corruption), let supervision restart them,
+    and the final fleet snapshot's diagnosis content is bit-equal to
+    an uninterrupted in-process run — and tenants on surviving
+    shards are entirely untouched.
+
+Kill points are deterministic (the worker hang-flag protocol in
+:mod:`repro.fleet.worker`): the victim worker spins at an exact event
+count and the supervisor SIGKILLs it, so the same seed reproduces the
+same experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.fleet.aggregator import FleetAggregator, FleetSnapshot
+from repro.fleet.service import FleetConfig, FleetService
+from repro.fleet.sharding import (
+    HashRing,
+    TenantSpec,
+    shard_workdir,
+    tenant_checkpoint_dir,
+)
+from repro.fleet.worker import run_fleet_multiprocess
+from repro.live.chaos import corrupt_newest_checkpoint
+from repro.live.checkpoint import CheckpointManager
+from repro.live.supervisor import RestartPolicy
+from repro.traces.stream import merged_events
+
+
+@dataclass(frozen=True)
+class FleetChaosPlan:
+    """One reproducible fleet chaos experiment (a seed, victims, and
+    what to do to their corpses)."""
+
+    seed: int = 0
+    #: shard workers to SIGKILL (chosen seeded among non-empty shards)
+    kills: int = 1
+    #: where in the victim shard's stream the kill lands (fraction of
+    #: its total event count)
+    kill_event_frac: float = 0.5
+    #: additionally damage one victim tenant's newest checkpoint
+    #: between the kill and the restart
+    corrupt_checkpoint: bool = False
+    #: truncate (instead of bit-flip) that checkpoint
+    truncate_checkpoint: bool = False
+
+
+@dataclass
+class FleetChaosReport:
+    """Outcome of one :func:`run_fleet_chaos` experiment."""
+
+    plan: FleetChaosPlan
+    shards: int = 0
+    tenants: int = 0
+    victims: list[int] = field(default_factory=list)
+    kills_delivered: int = 0
+    restarts: int = 0
+    checkpoints_corrupted: int = 0
+    baseline_digest: str = ""
+    recovered_digest: str = ""
+    equal: bool = False
+    survivors_clean: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return self.equal and self.survivors_clean \
+            and self.kills_delivered >= len(self.victims)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.plan.seed,
+            "kills": self.plan.kills,
+            "kill_event_frac": self.plan.kill_event_frac,
+            "corrupt_checkpoint": self.plan.corrupt_checkpoint,
+            "truncate_checkpoint": self.plan.truncate_checkpoint,
+            "shards": self.shards,
+            "tenants": self.tenants,
+            "victims": list(self.victims),
+            "kills_delivered": self.kills_delivered,
+            "restarts": self.restarts,
+            "checkpoints_corrupted": self.checkpoints_corrupted,
+            "baseline_digest": self.baseline_digest,
+            "recovered_digest": self.recovered_digest,
+            "equal": self.equal,
+            "survivors_clean": self.survivors_clean,
+            "passed": self.passed,
+        }
+
+    def summary_line(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        extras = []
+        if self.checkpoints_corrupted:
+            extras.append(
+                f"corrupted={self.checkpoints_corrupted}")
+        tail = f" {' '.join(extras)}" if extras else ""
+        return (f"[{verdict}] seed={self.plan.seed} "
+                f"shards={self.shards} tenants={self.tenants} "
+                f"victims={self.victims} "
+                f"restarts={self.restarts} "
+                f"bit-equal={str(self.equal).lower()} "
+                f"survivors-clean="
+                f"{str(self.survivors_clean).lower()}{tail}")
+
+
+def default_restart_policy(seed: int = 0) -> RestartPolicy:
+    """Fast, bounded backoff: chaos experiments restart quickly but a
+    deterministically-dying shard still trips the breaker."""
+    return RestartPolicy(max_restarts=8, window_s=60.0,
+                         backoff_base_s=0.05, backoff_factor=2.0,
+                         backoff_cap_s=0.5, jitter_frac=0.1,
+                         seed=seed)
+
+
+def _shard_event_total(specs: Sequence[TenantSpec]) -> int:
+    return sum(sum(1 for _ in merged_events(spec.trace))
+               for spec in specs)
+
+
+def _survivor_digests(snapshot: FleetSnapshot,
+                      victims: Sequence[int]) -> list[dict]:
+    return [t.to_dict() for t in snapshot.tenants
+            if t.shard_id not in victims]
+
+
+def run_fleet_chaos(tenants: Sequence[TenantSpec],
+                    workdir: Union[str, Path],
+                    plan: FleetChaosPlan,
+                    config: Optional[FleetConfig] = None,
+                    restart_policy: Optional[RestartPolicy] = None
+                    ) -> FleetChaosReport:
+    """Execute one seeded fleet chaos experiment.
+
+    Baseline: an uninterrupted in-process :class:`FleetService`
+    (stateless — no checkpoints) over the same tenants and ring.
+    Chaos run: real worker processes with per-tenant durability under
+    ``workdir``, the planned victims SIGKILLed mid-replay and
+    supervised back to completion.  Both fleets' final snapshots are
+    compared on their diagnosis content.
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    config = config or FleetConfig()
+    report = FleetChaosReport(plan=plan)
+
+    ring = HashRing(config.shards, config.vnodes)
+    fleet_plan = ring.assign(tenants)
+    report.shards = config.shards
+    report.tenants = sum(len(s) for s in fleet_plan.values())
+
+    # --- baseline: in-process, stateless, uninterrupted --------------
+    baseline_config = replace(config, workdir=None)
+    baseline = FleetService(baseline_config, list(tenants))
+    baseline_final = baseline.run()
+    report.baseline_digest = baseline_final.diagnosis_digest()
+
+    # --- choose victims (seeded) and their deterministic kill points -
+    rng = random.Random(plan.seed)
+    candidates = sorted(shard_id
+                        for shard_id, specs in fleet_plan.items()
+                        if specs)
+    victims = sorted(rng.sample(
+        candidates, min(max(0, plan.kills), len(candidates))))
+    report.victims = victims
+    hang_at = {}
+    for victim in victims:
+        total = _shard_event_total(fleet_plan[victim])
+        hang_at[victim] = max(1, int(total * plan.kill_event_frac))
+
+    # --- chaos run: real processes, real SIGKILL, real resume --------
+    state_dir = workdir / "state"
+    chaos_config = replace(config, workdir=str(state_dir))
+    corrupt_done = {"done": False}
+
+    def on_crash(shard_id: int, _record) -> None:
+        report.kills_delivered += 1
+        if not plan.corrupt_checkpoint or corrupt_done["done"]:
+            return
+        specs = fleet_plan[shard_id]
+        if not specs:
+            return
+        ckpt_dir = tenant_checkpoint_dir(
+            shard_workdir(state_dir, shard_id), specs[0].tenant)
+        manager = CheckpointManager(ckpt_dir,
+                                    config.policy.checkpoint_policy())
+        damaged = corrupt_newest_checkpoint(
+            manager, random.Random(plan.seed ^ 0x5EED),
+            truncate=plan.truncate_checkpoint)
+        if damaged is not None:
+            report.checkpoints_corrupted += 1
+        corrupt_done["done"] = True
+
+    results = run_fleet_multiprocess(
+        chaos_config, fleet_plan, str(workdir / "reports"),
+        hang_at=hang_at,
+        policy=restart_policy or default_restart_policy(plan.seed),
+        on_crash=on_crash)
+    report.restarts = sum(r.restarts for r in results.values())
+
+    aggregator = FleetAggregator(sorted(fleet_plan),
+                                 config.mailbox_capacity)
+    for shard_report in results.values():
+        aggregator.offer(shard_report)
+    recovered_final = aggregator.merge(final=True)
+    report.recovered_digest = recovered_final.diagnosis_digest()
+    report.equal = recovered_final.diagnosis_json() \
+        == baseline_final.diagnosis_json()
+    report.survivors_clean = \
+        _survivor_digests(recovered_final, victims) \
+        == _survivor_digests(baseline_final, victims)
+    return report
+
+
+__all__ = [
+    "FleetChaosPlan",
+    "FleetChaosReport",
+    "default_restart_policy",
+    "run_fleet_chaos",
+]

@@ -1,0 +1,480 @@
+"""The in-process fleet: shard runtimes, scheduler, fan-in, metrics.
+
+:class:`FleetService` is the single-process execution mode: every
+shard is a :class:`ShardRuntime` stepped round-robin by one scheduler
+loop, and rolling :class:`~repro.fleet.aggregator.FleetSnapshot`\\ s
+fan in through a :class:`~repro.fleet.aggregator.FleetAggregator`.
+It is the reference semantics for the multi-process mode
+(:mod:`repro.fleet.worker` runs one ``ShardRuntime`` per OS process):
+both build shard state through :func:`build_shard_runtime`, so a
+supervised fleet that crashes and resumes must converge to the same
+final fleet snapshot this service produces uninterrupted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.fleet.aggregator import (
+    FleetAggregator,
+    FleetSnapshot,
+    ShardReport,
+    TenantDigest,
+)
+from repro.fleet.sharding import (
+    HashRing,
+    TenantSpec,
+    shard_workdir,
+    tenant_checkpoint_dir,
+)
+from repro.fleet.tenancy import TenantPolicy, TenantRuntime
+from repro.live.metrics import Histogram, MetricsRegistry
+
+
+@dataclass
+class FleetConfig:
+    """Fleet-wide wiring knobs (primitives only — ships to workers)."""
+
+    #: number of shards tenants are hashed across
+    shards: int = 4
+    #: virtual ring points per shard
+    vnodes: int = 64
+    #: isolation policy applied to every tenant
+    policy: TenantPolicy = field(default_factory=TenantPolicy)
+    #: fleet state root (per-shard checkpoint dirs); None = stateless
+    workdir: Optional[str] = None
+    #: stream events granted to each tenant per scheduling round
+    batch_events: int = 64
+    #: scheduling rounds between rolling fleet merges
+    merge_every_rounds: int = 4
+    #: bounded per-shard mailbox depth at the aggregation tier
+    mailbox_capacity: int = 4
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "vnodes": self.vnodes,
+            "policy": self.policy.to_dict(),
+            "workdir": self.workdir,
+            "batch_events": self.batch_events,
+            "merge_every_rounds": self.merge_every_rounds,
+            "mailbox_capacity": self.mailbox_capacity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetConfig":
+        return cls(
+            shards=int(data["shards"]),
+            vnodes=int(data["vnodes"]),
+            policy=TenantPolicy.from_dict(data["policy"]),
+            workdir=data.get("workdir"),
+            batch_events=int(data["batch_events"]),
+            merge_every_rounds=int(data["merge_every_rounds"]),
+            mailbox_capacity=int(data["mailbox_capacity"]),
+        )
+
+
+def build_shard_runtime(
+        shard_id: int,
+        specs: Sequence[TenantSpec],
+        policy: TenantPolicy,
+        workdir: Optional[str] = None,
+        tenant_factory: Optional[Callable[[TenantSpec, int,
+                                           TenantPolicy,
+                                           Optional[str]],
+                                          TenantRuntime]] = None,
+) -> "ShardRuntime":
+    """The one constructor both execution modes share.
+
+    ``workdir`` (the *fleet* root) turns on per-tenant durability:
+    each tenant gets its own checkpoint directory under the shard's
+    directory and resumes from it if snapshots exist.  A
+    ``tenant_factory`` lets in-memory fleets (the benchmark) inject
+    pre-decoded event streams instead of re-reading trace files.
+    """
+    shard_dir = shard_workdir(workdir, shard_id) \
+        if workdir is not None else None
+    tenants = []
+    for spec in sorted(specs, key=lambda s: s.tenant):
+        ckpt_dir = tenant_checkpoint_dir(shard_dir, spec.tenant) \
+            if shard_dir is not None else None
+        if tenant_factory is not None:
+            runtime = tenant_factory(spec, shard_id, policy, ckpt_dir)
+        else:
+            runtime = TenantRuntime(
+                spec.tenant, shard_id, policy,
+                trace=spec.trace, checkpoint_dir=ckpt_dir)
+        tenants.append(runtime)
+    return ShardRuntime(shard_id, tenants)
+
+
+class ShardRuntime:
+    """One shard: its tenants, a round-robin scheduler, a reporter."""
+
+    def __init__(self, shard_id: int,
+                 tenants: Sequence[TenantRuntime]) -> None:
+        self.shard_id = shard_id
+        self.tenants = sorted(tenants, key=lambda t: t.tenant)
+        self.events_consumed = 0
+        self.restarts = 0
+
+    @property
+    def done(self) -> bool:
+        return all(t.done for t in self.tenants)
+
+    @property
+    def resumed(self) -> bool:
+        return any(t.resumed for t in self.tenants)
+
+    def checkpoints_written(self) -> int:
+        return sum(t.manager.written for t in self.tenants
+                   if t.manager is not None)
+
+    def step(self, batch_events: int) -> int:
+        """One scheduling round: every unfinished tenant advances by
+        up to ``batch_events`` — a stuck or budget-shedding tenant
+        cannot starve its shard-mates."""
+        consumed = 0
+        for tenant in self.tenants:
+            consumed += tenant.step(batch_events)
+        self.events_consumed += consumed
+        return consumed
+
+    def finalize(self) -> None:
+        for tenant in self.tenants:
+            tenant.finalize()
+
+    def report(self, final: bool = False) -> ShardReport:
+        digests = [
+            TenantDigest.from_snapshot(
+                self.shard_id, t.tenant,
+                t.finalize() if final else t.latest_snapshot(),
+                events_admitted=t.events_admitted,
+                events_shed=t.events_shed,
+                budget_exhausted=t.budget_exhausted)
+            for t in self.tenants
+        ]
+        return ShardReport(
+            shard_id=self.shard_id,
+            final=final,
+            tenants=digests,
+            restarts=self.restarts,
+            checkpoints_written=self.checkpoints_written(),
+            events_consumed=self.events_consumed,
+        )
+
+    def merged_latency(self) -> Histogram:
+        """All tenants' ingest-to-snapshot latency folded into one
+        shard-level distribution."""
+        merged = Histogram(
+            "fleet_ingest_to_snapshot_seconds",
+            "wall time from event arrival to the snapshot including "
+            "it, across every tenant of the shard",
+        )
+        for tenant in self.tenants:
+            merged.merge_from(tenant.pipeline.latency)
+        return merged
+
+
+class FleetService:
+    """Single-process fleet over in-process shard runtimes."""
+
+    def __init__(self, config: FleetConfig,
+                 tenants: Sequence[TenantSpec],
+                 tenant_factory=None,
+                 status_path: Optional[str] = None) -> None:
+        self.config = config
+        self.ring = HashRing(config.shards, config.vnodes)
+        self.plan = self.ring.assign(tenants)
+        self.shards = [
+            build_shard_runtime(shard_id, specs, config.policy,
+                                config.workdir,
+                                tenant_factory=tenant_factory)
+            for shard_id, specs in sorted(self.plan.items())
+        ]
+        self.aggregator = FleetAggregator(
+            sorted(self.plan), config.mailbox_capacity)
+        self.status_path = status_path
+        self.rounds = 0
+        self.latest: Optional[FleetSnapshot] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return all(shard.done for shard in self.shards)
+
+    def tenant_count(self) -> int:
+        return sum(len(shard.tenants) for shard in self.shards)
+
+    def _offer_and_merge(self, final: bool) -> FleetSnapshot:
+        for shard in self.shards:
+            self.aggregator.offer(shard.report(final=final))
+        snapshot = self.aggregator.merge(final=final)
+        self.latest = snapshot
+        if self.status_path is not None:
+            write_status(self.status_path, snapshot)
+        return snapshot
+
+    def run(self, max_rounds: int = 0,
+            on_merge: Optional[Callable[[FleetSnapshot], None]] = None
+            ) -> FleetSnapshot:
+        """Drive every shard to completion (or ``max_rounds``) and
+        return the final fleet snapshot."""
+        while not self.done:
+            if 0 < max_rounds <= self.rounds:
+                break
+            for shard in self.shards:
+                shard.step(self.config.batch_events)
+            self.rounds += 1
+            if self.rounds % max(1,
+                                 self.config.merge_every_rounds) == 0:
+                rolling = self._offer_and_merge(final=False)
+                if on_merge is not None:
+                    on_merge(rolling)
+        for shard in self.shards:
+            shard.finalize()
+        snapshot = self._offer_and_merge(final=self.done)
+        if on_merge is not None:
+            on_merge(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def snapshot_lateness(self) -> Histogram:
+        """Fleet-wide ingest-to-snapshot latency (p99 is the bench
+        headline number)."""
+        merged = Histogram(
+            "fleet_ingest_to_snapshot_seconds",
+            "wall time from event arrival to the snapshot including "
+            "it, across every tenant of the fleet",
+        )
+        for shard in self.shards:
+            merged.merge_from(shard.merged_latency())
+        return merged
+
+    def build_registry(self) -> MetricsRegistry:
+        """One registry holding fleet-, shard- and tenant-level series
+        (the exporter's backing store)."""
+        registry = MetricsRegistry()
+        snapshot = self.latest
+        registry.gauge(
+            "fleet_shards",
+            "shards the fleet expects reports from",
+        ).set(len(self.shards))
+        registry.gauge(
+            "fleet_tenants",
+            "tenants (monitored collectives) across the fleet",
+        ).set(self.tenant_count())
+        registry.gauge(
+            "fleet_merge_seq",
+            "sequence number of the newest fleet snapshot",
+        ).set(snapshot.seq if snapshot else 0)
+        registry.counter(
+            "fleet_reports_dropped_total",
+            "shard reports shed by bounded aggregation mailboxes",
+        ).inc(self.aggregator.dropped_total())
+        registry.attach(self.aggregator.merge_seconds)
+        registry.attach(self.snapshot_lateness())
+
+        for shard in self.shards:
+            labels = {"shard": str(shard.shard_id)}
+            registry.gauge(
+                "fleet_shard_tenants",
+                "tenants owned by the shard",
+                labels=labels).set(len(shard.tenants))
+            registry.counter(
+                "fleet_shard_events_consumed_total",
+                "stream events the shard consumed",
+                labels=labels).inc(shard.events_consumed)
+            registry.counter(
+                "fleet_shard_restarts_total",
+                "supervised restarts of the shard worker",
+                labels=labels).inc(shard.restarts)
+            registry.counter(
+                "fleet_shard_checkpoints_written_total",
+                "checkpoint snapshots persisted by the shard",
+                labels=labels).inc(shard.checkpoints_written())
+            shard_latency = shard.merged_latency()
+            shard_latency.name = "fleet_shard_ingest_to_snapshot_seconds"
+            shard_latency.labels = dict(labels)
+            registry.attach(shard_latency)
+            for tenant in shard.tenants:
+                tlabels = {"shard": str(shard.shard_id),
+                           "tenant": tenant.tenant}
+                registry.gauge(
+                    "fleet_tenant_watermark_ns",
+                    "event-time watermark of the tenant pipeline",
+                    labels=tlabels).set(
+                    _finite(tenant.watermark_ns()))
+                registry.counter(
+                    "fleet_tenant_events_admitted_total",
+                    "events the tenant's budget admitted",
+                    labels=tlabels).inc(tenant.events_admitted)
+                registry.counter(
+                    "fleet_tenant_events_shed_total",
+                    "events shed past the tenant's budget",
+                    labels=tlabels).inc(tenant.events_shed)
+                registry.gauge(
+                    "fleet_tenant_budget_exhausted",
+                    "1 when the tenant exhausted its event budget",
+                    labels=tlabels).set(
+                    int(tenant.budget_exhausted))
+                registry.gauge(
+                    "fleet_tenant_degraded",
+                    "1 when the tenant diagnosis runs on incomplete "
+                    "telemetry",
+                    labels=tlabels).set(
+                    int(tenant.pipeline.degradation.degraded))
+                registry.gauge(
+                    "fleet_tenant_confidence",
+                    "telemetry confidence of the tenant diagnosis "
+                    "(1.0 = full)",
+                    labels=tlabels).set(
+                    tenant.pipeline.degradation.confidence())
+        return registry
+
+
+def _finite(value: float) -> float:
+    import math
+
+    return 0.0 if math.isinf(value) else value
+
+
+def registry_from_snapshot(snapshot: FleetSnapshot,
+                           dropped_reports: int = 0
+                           ) -> MetricsRegistry:
+    """Fleet/shard/tenant series rebuilt from a merged snapshot alone.
+
+    The multiprocess serve mode scrapes through this: the exporter
+    lives in the parent, shards are separate OS processes, and the
+    fleet snapshot (fanned in via report files) is the only shared
+    state.  Series names match :meth:`FleetService.build_registry`
+    where the underlying quantity is the same.
+    """
+    registry = MetricsRegistry()
+    registry.gauge(
+        "fleet_shards",
+        "shards the fleet expects reports from",
+    ).set(len(snapshot.shards) + len(snapshot.stale_shards))
+    registry.gauge(
+        "fleet_stale_shards",
+        "expected shards missing from the newest merge",
+    ).set(len(snapshot.stale_shards))
+    registry.gauge(
+        "fleet_tenants",
+        "tenants (monitored collectives) across the fleet",
+    ).set(snapshot.totals["tenants"])
+    registry.gauge(
+        "fleet_merge_seq",
+        "sequence number of the newest fleet snapshot",
+    ).set(snapshot.seq)
+    registry.gauge(
+        "fleet_watermark_ns",
+        "fleet event-time watermark (min over shards)",
+    ).set(snapshot.watermark_ns
+          if snapshot.watermark_ns is not None else 0.0)
+    registry.counter(
+        "fleet_reports_dropped_total",
+        "shard reports shed by bounded aggregation mailboxes",
+    ).inc(dropped_reports)
+    registry.counter(
+        "fleet_restarts_total",
+        "supervised shard worker restarts",
+    ).inc(snapshot.totals.get("restarts", 0))
+
+    by_shard: dict[int, list[TenantDigest]] = {}
+    for digest in snapshot.tenants:
+        by_shard.setdefault(digest.shard_id, []).append(digest)
+    for shard_id in snapshot.shards:
+        labels = {"shard": str(shard_id)}
+        registry.gauge(
+            "fleet_shard_tenants",
+            "tenants owned by the shard",
+            labels=labels).set(len(by_shard.get(shard_id, [])))
+    for digest in snapshot.tenants:
+        tlabels = {"shard": str(digest.shard_id),
+                   "tenant": digest.tenant}
+        registry.gauge(
+            "fleet_tenant_watermark_ns",
+            "event-time watermark of the tenant pipeline",
+            labels=tlabels).set(
+            digest.watermark_ns
+            if digest.watermark_ns is not None else 0.0)
+        registry.counter(
+            "fleet_tenant_events_admitted_total",
+            "events the tenant's budget admitted",
+            labels=tlabels).inc(digest.events_admitted)
+        registry.counter(
+            "fleet_tenant_events_shed_total",
+            "events shed past the tenant's budget",
+            labels=tlabels).inc(digest.events_shed)
+        registry.gauge(
+            "fleet_tenant_budget_exhausted",
+            "1 when the tenant exhausted its event budget",
+            labels=tlabels).set(int(digest.budget_exhausted))
+        registry.gauge(
+            "fleet_tenant_degraded",
+            "1 when the tenant diagnosis runs on incomplete "
+            "telemetry",
+            labels=tlabels).set(int(digest.degraded))
+        registry.gauge(
+            "fleet_tenant_confidence",
+            "telemetry confidence of the tenant diagnosis "
+            "(1.0 = full)",
+            labels=tlabels).set(digest.confidence)
+        registry.gauge(
+            "fleet_tenant_findings",
+            "distinct anomaly finding types in the tenant's newest "
+            "diagnosis",
+            labels=tlabels).set(len(digest.findings))
+    return registry
+
+
+def write_status(path: str, snapshot: FleetSnapshot) -> None:
+    """Atomically publish the newest fleet snapshot as JSON (the
+    ``repro fleet status`` data source)."""
+    target = os.path.abspath(path)
+    directory = os.path.dirname(target) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(snapshot.to_dict(), handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_status(path: str) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def specs_from_plan(plan: dict[int, Iterable[TenantSpec]]
+                    ) -> list[TenantSpec]:
+    return [spec for _, specs in sorted(plan.items())
+            for spec in specs]
+
+
+__all__ = [
+    "FleetConfig",
+    "FleetService",
+    "ShardRuntime",
+    "build_shard_runtime",
+    "registry_from_snapshot",
+    "write_status",
+    "read_status",
+    "specs_from_plan",
+]

@@ -1,0 +1,260 @@
+"""Multiprocess shard workers and their supervision.
+
+One OS process per shard: the worker rebuilds its
+:class:`~repro.fleet.service.ShardRuntime` from a primitives-only spec
+dict (the same idiom as :mod:`repro.experiments.runner` — specs must
+cross a ``spawn`` pickle boundary), replays its tenants, and publishes
+:class:`~repro.fleet.aggregator.ShardReport` JSON atomically to a
+well-known path.  The parent process never shares memory with a
+shard; the report file *is* the fan-in edge.
+
+Supervision reuses :class:`~repro.live.supervisor.Supervisor`: the
+target spawns the worker process and raises
+:class:`WorkerCrashed` on a nonzero exit, so SIGKILLed shards restart
+with backoff and a crash-loop budget.  Workers are spawned (never
+forked) because supervision runs one thread per shard.
+
+Deterministic kill points for the chaos harness use a *hang flag*: a
+worker given ``hang_at`` writes the flag file once it has consumed
+that many events, then spins; the supervising parent polls the flag
+and SIGKILLs the pid.  The flag persists, so the restarted attempt
+sails past the kill point — one crash per flag, at an exact event
+count, no timing races.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import tempfile
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.fleet.aggregator import ShardReport
+from repro.fleet.service import FleetConfig, build_shard_runtime
+from repro.fleet.sharding import TenantSpec
+from repro.live.supervisor import RestartPolicy, Supervisor
+
+
+class WorkerCrashed(RuntimeError):
+    """A shard worker process exited nonzero (or was signalled)."""
+
+    def __init__(self, shard_id: int, exitcode: Optional[int]) -> None:
+        super().__init__(
+            f"shard {shard_id} worker exited with {exitcode}")
+        self.shard_id = shard_id
+        self.exitcode = exitcode
+
+
+# ----------------------------------------------------------------------
+# spec plumbing (primitives only — crosses the spawn pickle boundary)
+# ----------------------------------------------------------------------
+
+def make_shard_spec(config: FleetConfig, shard_id: int,
+                    specs: list[TenantSpec], report_path: str,
+                    hang_at: int = 0,
+                    report_every_rounds: int = 8) -> dict:
+    return {
+        "shard_id": shard_id,
+        "tenants": [spec.to_dict() for spec in specs],
+        "policy": config.policy.to_dict(),
+        "workdir": config.workdir,
+        "batch_events": config.batch_events,
+        "report_every_rounds": report_every_rounds,
+        "report_path": report_path,
+        "hang_at": hang_at,
+        "hang_flag": f"{report_path}.hang",
+    }
+
+
+def write_report(path: str, report: ShardReport) -> None:
+    """Atomic publish (tmp + fsync + rename): a reader never sees a
+    torn report, and a SIGKILL mid-write leaves the previous one."""
+    target = os.path.abspath(path)
+    directory = os.path.dirname(target) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_report(path: str) -> Optional[ShardReport]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return ShardReport.from_dict(json.load(handle))
+    except (OSError, json.JSONDecodeError, KeyError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# worker process body
+# ----------------------------------------------------------------------
+
+def worker_main(spec: dict) -> int:
+    """Run one shard to completion inside the current process."""
+    from repro.fleet.tenancy import TenantPolicy
+
+    policy = TenantPolicy.from_dict(spec["policy"])
+    tenants = [TenantSpec.from_dict(t) for t in spec["tenants"]]
+    runtime = build_shard_runtime(
+        spec["shard_id"], tenants, policy, spec.get("workdir"))
+    batch = int(spec.get("batch_events", 64))
+    report_every = max(1, int(spec.get("report_every_rounds", 8)))
+    report_path = spec["report_path"]
+    hang_at = int(spec.get("hang_at", 0) or 0)
+    hang_flag = spec.get("hang_flag")
+    rounds = 0
+
+    while not runtime.done:
+        runtime.step(batch)
+        rounds += 1
+        if hang_at and hang_flag \
+                and runtime.events_consumed >= hang_at \
+                and not os.path.exists(hang_flag):
+            # deterministic chaos kill point: raise the flag, then
+            # spin until the supervising parent SIGKILLs us.  The
+            # flag outlives the kill, so the restart runs through.
+            with open(hang_flag, "w", encoding="utf-8") as handle:
+                handle.write(str(runtime.events_consumed))
+            while True:  # pragma: no cover - terminated by SIGKILL
+                time.sleep(0.05)
+        if rounds % report_every == 0:
+            write_report(report_path, runtime.report(final=False))
+    runtime.finalize()
+    write_report(report_path, runtime.report(final=True))
+    return 0
+
+
+def worker_entry(spec_json: str) -> None:
+    """Spawn entrypoint (module-level: must pickle under spawn)."""
+    sys.exit(worker_main(json.loads(spec_json)))
+
+
+# ----------------------------------------------------------------------
+# parent-side supervision
+# ----------------------------------------------------------------------
+
+def run_worker_process(spec: dict, ctx=None,
+                       poll_s: float = 0.02,
+                       on_kill: Optional[Callable[[int], None]] = None
+                       ) -> Optional[int]:
+    """Spawn one worker attempt and wait for it; SIGKILL it if it
+    raises its hang flag (the chaos kill protocol).  Returns the exit
+    code (negative = death by signal)."""
+    ctx = ctx or multiprocessing.get_context("spawn")
+    process = ctx.Process(target=worker_entry,
+                          args=(json.dumps(spec),))
+    hang_flag = spec.get("hang_flag")
+    # a flag already on disk is a *spent* kill point: the restarted
+    # worker skips the hang, and the parent must not re-kill it
+    armed = bool(hang_flag) and not os.path.exists(hang_flag)
+    process.start()
+    killed = False
+    while process.is_alive():
+        process.join(poll_s)
+        if armed and not killed and process.is_alive() \
+                and os.path.exists(hang_flag):
+            assert process.pid is not None
+            os.kill(process.pid, signal.SIGKILL)
+            killed = True
+            if on_kill is not None:
+                on_kill(process.pid)
+    process.join()
+    return process.exitcode
+
+
+def run_shard_supervised(spec: dict,
+                         policy: Optional[RestartPolicy] = None,
+                         on_crash=None, ctx=None) -> ShardReport:
+    """Run one shard under restart supervision until its final report
+    lands.  Crashes (including chaos SIGKILLs) restart the worker
+    with backoff; the crash-loop breaker still bounds a shard that
+    dies deterministically."""
+    shard_id = spec["shard_id"]
+
+    def target(_attempt: int) -> None:
+        exitcode = run_worker_process(spec, ctx=ctx)
+        if exitcode != 0:
+            raise WorkerCrashed(shard_id, exitcode)
+
+    supervisor = Supervisor(target, policy=policy, on_crash=on_crash)
+    supervisor.run()
+    report = read_report(spec["report_path"])
+    if report is None or not report.final:
+        raise WorkerCrashed(shard_id, None)
+    report.restarts = len(supervisor.crashes)
+    return report
+
+
+def run_fleet_multiprocess(
+        config: FleetConfig,
+        plan: dict[int, list[TenantSpec]],
+        report_dir: str,
+        hang_at: Optional[dict[int, int]] = None,
+        policy: Optional[RestartPolicy] = None,
+        on_crash=None,
+        report_every_rounds: int = 8,
+) -> dict[int, ShardReport]:
+    """Run every shard of ``plan`` as a supervised worker process
+    (one supervising thread per shard) and collect final reports."""
+    os.makedirs(report_dir, exist_ok=True)
+    hang_at = hang_at or {}
+    specs = {
+        shard_id: make_shard_spec(
+            config, shard_id, tenant_specs,
+            os.path.join(report_dir, f"shard-{shard_id:03d}.json"),
+            hang_at=hang_at.get(shard_id, 0),
+            report_every_rounds=report_every_rounds)
+        for shard_id, tenant_specs in sorted(plan.items())
+    }
+    results: dict[int, ShardReport] = {}
+    errors: dict[int, BaseException] = {}
+
+    def supervise(shard_id: int) -> None:
+        try:
+            results[shard_id] = run_shard_supervised(
+                specs[shard_id], policy=policy,
+                on_crash=(lambda record, s=shard_id:
+                          on_crash(s, record))
+                if on_crash is not None else None)
+        except BaseException as error:  # noqa: BLE001 - joined below
+            errors[shard_id] = error
+
+    threads = [threading.Thread(target=supervise, args=(shard_id,),
+                                name=f"fleet-shard-{shard_id}")
+               for shard_id in specs]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        shard_id, error = sorted(errors.items())[0]
+        raise WorkerCrashed(shard_id, None) from error
+    return results
+
+
+__all__ = [
+    "WorkerCrashed",
+    "make_shard_spec",
+    "write_report",
+    "read_report",
+    "worker_main",
+    "worker_entry",
+    "run_worker_process",
+    "run_shard_supervised",
+    "run_fleet_multiprocess",
+]

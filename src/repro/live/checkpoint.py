@@ -35,7 +35,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Optional, Union
+from typing import Callable, Iterable, Iterator, Optional, Union
 
 from repro.core.units import Seconds
 from repro.live.metrics import Histogram, MetricsRegistry
@@ -281,7 +281,12 @@ class TraceReplayer:
       (graceful SIGTERM/SIGINT drain);
     * ``on_publish(published)`` — called after each publish with the
       cursor's event count (``repro chaos`` raises its seeded
-      :class:`~repro.live.chaos.SimulatedCrash` here).
+      :class:`~repro.live.chaos.SimulatedCrash` here);
+    * ``admit(published, event)`` — pre-publish gate: returning False
+      advances the cursor but skips the pipeline (the fleet's
+      per-tenant event budgets shed load here, deterministically —
+      admission depends only on the cursor, so a resumed replay sheds
+      the same events).
     """
 
     def __init__(self, pipeline: LivePipeline,
@@ -291,10 +296,12 @@ class TraceReplayer:
                  pump_at: Optional[int] = None,
                  pacing: Optional[Callable[[TraceEvent], None]] = None,
                  should_stop: Optional[Callable[[], bool]] = None,
-                 on_publish: Optional[Callable[[int], None]] = None
-                 ) -> None:
+                 on_publish: Optional[Callable[[int], None]] = None,
+                 admit: Optional[Callable[[int, TraceEvent], bool]]
+                 = None) -> None:
         self.pipeline = pipeline
         self.events = events
+        self._iter: Optional[Iterator[TraceEvent]] = None
         self.manager = manager
         self.cursor = cursor or ReplayCursor()
         config = pipeline.config
@@ -305,7 +312,11 @@ class TraceReplayer:
         self.pacing = pacing
         self.should_stop = should_stop
         self.on_publish = on_publish
+        self.admit = admit
         self.stopped = False
+        self.exhausted = False
+        #: events the ``admit`` gate refused (budget sheds)
+        self.shed = 0
         #: wall-clock seconds spent inside :meth:`checkpoint` this run
         #: (state capture + atomic write); checkpointing is fully
         #: synchronous, so this is exactly the time it adds to replay
@@ -344,33 +355,68 @@ class TraceReplayer:
         return path
 
     # ------------------------------------------------------------------
-    def run(self, finish: bool = True) -> Optional[DiagnosisSnapshot]:
-        """Replay to stream end (or graceful stop), then flush a final
-        checkpoint and emit the last snapshot."""
+    def step(self, max_events: int = 0) -> int:
+        """Replay up to ``max_events`` events (all remaining if 0).
+
+        Returns the number of events consumed off the stream (admitted
+        or shed).  Zero means the stream is exhausted (``exhausted``)
+        or a graceful stop was requested (``stopped``); fleet shards
+        interleave many replayers by calling this round-robin.
+        """
+        if self._iter is None:
+            self._iter = iter(self.events)
         pipeline = self.pipeline
-        for event in self.events:
+        consumed = 0
+        while max_events <= 0 or consumed < max_events:
             if self.should_stop is not None and self.should_stop():
                 self.stopped = True
                 break
+            event = next(self._iter, None)
+            if event is None:
+                self.exhausted = True
+                break
             if self.pacing is not None:
                 self.pacing(event)
-            pipeline.publish(event)
+            admitted = self.admit is None \
+                or self.admit(self.cursor.published + 1, event)
+            if admitted:
+                pipeline.publish(event)
+            else:
+                self.shed += 1
             self.cursor.advance(event)
             self._since_checkpoint += 1
+            consumed += 1
             if self.on_publish is not None:
                 self.on_publish(self.cursor.published)
             if len(pipeline.bus) >= self.pump_at:
                 pipeline.pump(pipeline.config.pump_batch)
             if self._checkpoint_due():
                 self.checkpoint()
+        return consumed
+
+    @property
+    def done(self) -> bool:
+        return self.exhausted or self.stopped
+
+    def run(self, finish: bool = True) -> Optional[DiagnosisSnapshot]:
+        """Replay to stream end (or graceful stop), then flush a final
+        checkpoint and emit the last snapshot."""
+        while not self.done:
+            self.step()
         if not finish:
             return None
-        # flush the final checkpoint first: finish() drains the
-        # watermark, and a restart must resume from the pre-drain
-        # state to preserve the recovery contract
+        return self.finalize()
+
+    def finalize(self) -> DiagnosisSnapshot:
+        """Flush the final checkpoint and emit the last snapshot.
+
+        The checkpoint goes first: finish() drains the watermark, and
+        a restart must resume from the pre-drain state to preserve the
+        recovery contract.
+        """
         if self.manager is not None and self._since_checkpoint:
             self.checkpoint()
-        return pipeline.finish()
+        return self.pipeline.finish()
 
 
 def resume_or_create(header, manager: Optional[CheckpointManager],

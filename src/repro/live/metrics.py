@@ -21,12 +21,36 @@ Number = Union[int, float]
 Labels = Optional[dict[str, str]]
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format reserves inside a quoted label value; everything else passes
+    through verbatim (the format is UTF-8).  Backslash must be escaped
+    first so the escapes it introduces are not re-escaped.
+    """
+    return value.replace("\\", "\\\\") \
+                .replace('"', '\\"') \
+                .replace("\n", "\\n")
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line per the text exposition format (only
+    backslash and newline are special there)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def full_name(name: str, labels: Labels) -> str:
-    """Prometheus-style exposition name: ``name{key="value",...}``."""
+    """Prometheus-style exposition name: ``name{key="value",...}``.
+
+    Label values are escaped (backslash, quote, newline) so the output
+    is valid text exposition even for hostile tenant names.
+    """
     if not labels:
         return name
-    inner = ",".join(f'{key}="{labels[key]}"'
-                     for key in sorted(labels))
+    inner = ",".join(
+        f'{key}="{escape_label_value(str(labels[key]))}"'
+        for key in sorted(labels))
     return f"{name}{{{inner}}}"
 
 
@@ -97,9 +121,11 @@ class Histogram:
     """
 
     def __init__(self, name: str, help: str = "",
-                 buckets: Optional[list[float]] = None) -> None:
+                 buckets: Optional[list[float]] = None,
+                 labels: Labels = None) -> None:
         self.name = name
         self.help = help
+        self.labels = dict(labels) if labels else None
         self.bounds = sorted(buckets or default_buckets())
         #: counts[i] observations <= bounds[i]; the last slot overflows
         self.counts = [0] * (len(self.bounds) + 1)
@@ -108,6 +134,10 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
 
+    @property
+    def exposition_name(self) -> str:
+        return full_name(self.name, self.labels)
+
     def observe(self, value: float) -> None:
         self.counts[bisect.bisect_left(self.bounds, value)] += 1
         self.total += 1
@@ -115,18 +145,61 @@ class Histogram:
         self.min = min(self.min, value)
         self.max = max(self.max, value)
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Used by fleet aggregation: per-shard/per-tenant histograms with
+        identical bucket bounds sum into one fleet-level distribution.
+        Differing bounds are a caller bug and raise.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge {other.name!r} into {self.name!r}: "
+                f"bucket bounds differ")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self.sum += other.sum
+        if other.total:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
     # ------------------------------------------------------------------
     def percentile(self, p: float) -> float:
-        """Estimated value at percentile ``p`` in [0, 100]."""
+        """Estimated value at percentile ``p``.
+
+        Explicit edge behavior (each case is tested directly):
+
+        * ``p`` outside [0, 100] raises :class:`ValueError`;
+        * an empty histogram returns 0.0 for any valid ``p``;
+        * ``p == 0`` returns the exact observed minimum and
+          ``p == 100`` the exact observed maximum (no interpolation);
+        * a histogram whose observations all overflowed the last bound
+          interpolates inside ``[max(last_bound, min), max]`` instead
+          of falling through to an unrelated bucket.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(
+                f"percentile {p!r} outside [0, 100]")
         if self.total == 0:
             return 0.0
+        if p == 0:
+            return self.min
+        if p == 100:
+            return self.max
         rank = p / 100.0 * self.total
         cumulative = 0
         for i, count in enumerate(self.counts):
             if count == 0:
                 continue
-            lower = self.bounds[i - 1] if i > 0 else \
-                min(self.min, self.bounds[0])
+            if i == 0:
+                lower = min(self.min, self.bounds[0])
+            elif i < len(self.bounds):
+                lower = self.bounds[i - 1]
+            else:
+                # overflow bucket: every sample here is > bounds[-1],
+                # and >= self.min when all samples overflowed
+                lower = max(self.bounds[-1], min(self.min, self.max))
             upper = self.bounds[i] if i < len(self.bounds) else self.max
             if cumulative + count >= rank:
                 fraction = (rank - cumulative) / count
@@ -140,7 +213,7 @@ class Histogram:
         return self.sum / self.total if self.total else 0.0
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "type": "histogram", "help": self.help,
             "count": self.total, "sum": self.sum,
             "min": self.min if self.total else 0.0,
@@ -153,6 +226,9 @@ class Histogram:
                         if count > 0],
             "overflow": self.counts[-1],
         }
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        return data
 
 
 class MetricsRegistry:
@@ -178,8 +254,9 @@ class MetricsRegistry:
         return self.attach(Gauge(name, help, labels))
 
     def histogram(self, name: str, help: str = "",
-                  buckets: Optional[list[float]] = None) -> Histogram:
-        return self.attach(Histogram(name, help, buckets))
+                  buckets: Optional[list[float]] = None,
+                  labels: Labels = None) -> Histogram:
+        return self.attach(Histogram(name, help, buckets, labels))
 
     # ------------------------------------------------------------------
     def __getitem__(self, name: str):
@@ -190,6 +267,10 @@ class MetricsRegistry:
 
     def names(self) -> list[str]:
         return sorted(self._metrics)
+
+    def metrics(self) -> list[Union[Counter, Gauge, Histogram]]:
+        """All registered metric objects, in exposition-name order."""
+        return [self._metrics[name] for name in self.names()]
 
     def to_dict(self) -> dict:
         return {name: self._metrics[name].to_dict()

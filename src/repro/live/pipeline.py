@@ -121,6 +121,13 @@ class DiagnosisSnapshot:
             "counters": self.counters,
         }
 
+    def canonical_json(self, top: int = 5) -> str:
+        """Key-sorted JSON of :meth:`to_dict` — the byte-equality form
+        the chaos harnesses (single-pipeline and fleet) digest."""
+        import json
+
+        return json.dumps(self.to_dict(top), sort_keys=True)
+
     def summary_line(self) -> str:
         """One-line operator view (the ``repro tail`` format)."""
         findings = ",".join(sorted({f.type.value
@@ -502,8 +509,14 @@ class LivePipeline:
             "snapshots": self._snapshot_seq,
         }
 
-    def build_metrics(self) -> MetricsRegistry:
-        """A full metrics registry over the pipeline's current state."""
+    def build_metrics(self, labels: Optional[dict[str, str]] = None
+                      ) -> MetricsRegistry:
+        """A full metrics registry over the pipeline's current state.
+
+        ``labels`` tags every series (the fleet passes
+        ``{"shard": ..., "tenant": ...}`` so one registry can hold many
+        pipelines' series side by side).
+        """
         registry = MetricsRegistry()
         stats = self.bus.stats
         graph = self.graph.stats()
@@ -511,8 +524,13 @@ class LivePipeline:
             if self._started_wall is not None else 0.0
         total = sum(self._ingested.values())
 
+        def merged(extra: Optional[dict] = None):
+            if not labels and not extra:
+                return None
+            return {**(labels or {}), **(extra or {})}
+
         def counter(name, help, value):
-            registry.counter(name, help).inc(value)
+            registry.counter(name, help, labels=merged()).inc(value)
 
         counter("live_events_published_total",
                 "events offered to the bus", stats.published)
@@ -527,11 +545,13 @@ class LivePipeline:
         registry.counter(
             "live_bus_dropped_events_total",
             "events shed by the drop-oldest policy",
-            labels={"policy": "drop-oldest"}).inc(stats.dropped_oldest)
+            labels=merged({"policy": "drop-oldest"})
+        ).inc(stats.dropped_oldest)
         registry.counter(
             "live_bus_dropped_events_total",
             "events shed by the drop-newest policy",
-            labels={"policy": "drop-newest"}).inc(stats.dropped_newest)
+            labels=merged({"policy": "drop-newest"})
+        ).inc(stats.dropped_newest)
         counter("live_bus_backpressure_total",
                 "publishes that stalled on a full bus",
                 stats.backpressure_stalls)
@@ -544,7 +564,7 @@ class LivePipeline:
             registry.counter(
                 "live_quarantined_by_reason_total",
                 "malformed inputs quarantined, by normalized reason",
-                labels={"reason": reason}
+                labels=merged({"reason": reason})
             ).inc(self.quarantine.by_reason[reason])
         counter("live_duplicate_records_total",
                 "step records seen more than once", self._dupes)
@@ -555,29 +575,39 @@ class LivePipeline:
                 graph["pruned_total"])
 
         registry.gauge("live_bus_depth",
-                       "events currently queued").set(len(self.bus))
+                       "events currently queued",
+                       labels=merged()).set(len(self.bus))
         registry.gauge(
             "live_bus_high_watermark",
-            "deepest the bus has been").set(stats.high_watermark)
+            "deepest the bus has been",
+            labels=merged()).set(stats.high_watermark)
         registry.gauge(
             "live_watermark_buffered",
-            "events held for reordering").set(self.watermark.buffered)
+            "events held for reordering",
+            labels=merged()).set(self.watermark.buffered)
         registry.gauge(
             "live_graph_retained",
-            "waiting-graph records currently held"
-        ).set(graph["retained"])
+            "waiting-graph records currently held",
+            labels=merged()).set(graph["retained"])
         registry.gauge(
             "live_prune_efficiency",
-            "fraction of ingested records already pruned"
-        ).set(round(graph["prune_efficiency"], 6))
+            "fraction of ingested records already pruned",
+            labels=merged()).set(round(graph["prune_efficiency"], 6))
         registry.gauge(
             "live_ingest_rate_per_sec",
-            "ingested events / wall second"
+            "ingested events / wall second",
+            labels=merged()
         ).set(round(total / wall, 3) if wall > 0 else 0.0)
         registry.gauge(
             "live_confidence",
-            "diagnosis confidence under telemetry loss"
+            "diagnosis confidence under telemetry loss",
+            labels=merged()
         ).set(round(self.degradation.confidence(), 4))
+        if labels:
+            # the pipeline owns these histogram instances; tag them so
+            # a multi-pipeline registry keys them apart
+            self.latency.labels = dict(labels)
+            self.snapshot_cost.labels = dict(labels)
         registry.attach(self.latency)
         registry.attach(self.snapshot_cost)
         return registry

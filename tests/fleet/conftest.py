@@ -1,0 +1,43 @@
+"""Shared fleet fixtures: one recorded scenario trace per session."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record_scenario_trace(path):
+    """A flow-contention scenario capture (same capture the checkpoint
+    tests replay): a few hundred data events, enough for rolling
+    merges, budgets, and mid-stream kill points."""
+    from repro.anomalies.scenarios import ScenarioConfig, make_cases
+    from repro.experiments.harness import make_system
+    from repro.traces import TraceRecorder
+
+    config = ScenarioConfig(scale=0.002, base_seed=42)
+    case = make_cases("flow_contention", 1, config)[0]
+    system = make_system("vedrfolnir")
+    network, runtime = case.build_network()
+    system.attach(network, runtime)
+    recorder = TraceRecorder.attach(network, runtime)
+    runtime.start()
+    case.inject(network, runtime)
+    network.run_until_quiet(max_time=config.run_deadline_ns())
+    assert runtime.completed
+    recorder.write(path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def trace_path(tmp_path_factory):
+    """One recorded trace shared by every fleet test module (the
+    recording itself is the slow part)."""
+    return record_scenario_trace(
+        tmp_path_factory.mktemp("fleet") / "fc.jsonl")
+
+
+@pytest.fixture(scope="session")
+def trace_events(trace_path):
+    """The trace pre-decoded once: (header, list of events)."""
+    from repro.traces.stream import merged_events, read_header
+
+    return read_header(trace_path), list(merged_events(trace_path))

@@ -1,0 +1,126 @@
+"""Prometheus text exposition rendering + the live scrape endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.fleet.exporter import (
+    CONTENT_TYPE,
+    MetricsExporter,
+    render_prometheus,
+)
+from repro.live.metrics import MetricsRegistry
+
+
+def test_render_groups_label_variants_into_one_family():
+    registry = MetricsRegistry()
+    registry.counter("fleet_shard_events_total", "events per shard",
+                     labels={"shard": "0"}).inc(5)
+    registry.counter("fleet_shard_events_total", "events per shard",
+                     labels={"shard": "1"}).inc(7)
+    text = render_prometheus(registry)
+    assert text.count("# HELP fleet_shard_events_total") == 1
+    assert text.count("# TYPE fleet_shard_events_total counter") == 1
+    assert 'fleet_shard_events_total{shard="0"} 5' in text
+    assert 'fleet_shard_events_total{shard="1"} 7' in text
+    assert text.endswith("\n")
+
+
+def test_render_escapes_hostile_label_values_and_help():
+    registry = MetricsRegistry()
+    registry.gauge("fleet_tenant_up", 'help with \\ and\nnewline',
+                   labels={"tenant": 'evil"name\\with\nnewline'}) \
+        .set(1)
+    text = render_prometheus(registry)
+    assert '# HELP fleet_tenant_up help with \\\\ and\\nnewline' \
+        in text
+    assert 'tenant="evil\\"name\\\\with\\nnewline"' in text
+    # every non-comment line still has exactly one unescaped quote
+    # pair around the label value
+    for line in text.splitlines():
+        if not line.startswith("#"):
+            assert line.count('"') - line.count('\\"') == 2
+
+
+def test_render_histogram_buckets_are_cumulative():
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "fleet_merge_seconds", "merge wall time",
+        buckets=[0.1, 1.0, 10.0])
+    for value in (0.05, 0.5, 0.5, 5.0, 100.0):
+        histogram.observe(value)
+    text = render_prometheus(registry)
+    assert "# TYPE fleet_merge_seconds histogram" in text
+    assert 'fleet_merge_seconds_bucket{le="0.1"} 1' in text
+    assert 'fleet_merge_seconds_bucket{le="1"} 3' in text
+    assert 'fleet_merge_seconds_bucket{le="10"} 4' in text
+    assert 'fleet_merge_seconds_bucket{le="+Inf"} 5' in text
+    assert "fleet_merge_seconds_count 5" in text
+    assert "fleet_merge_seconds_sum 106.05" in text
+
+
+def test_render_labeled_histogram_keeps_labels_on_every_sample():
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "fleet_shard_latency_seconds", "", buckets=[1.0],
+        labels={"shard": "2"})
+    histogram.observe(0.5)
+    text = render_prometheus(registry)
+    assert 'fleet_shard_latency_seconds_bucket{le="1",shard="2"} 1' \
+        in text
+    assert 'fleet_shard_latency_seconds_sum{shard="2"}' in text
+    assert 'fleet_shard_latency_seconds_count{shard="2"} 1' in text
+
+
+@pytest.fixture
+def exporter():
+    registry = MetricsRegistry()
+    registry.gauge("fleet_tenants", "tenants").set(3)
+    served = MetricsExporter(
+        lambda: registry,
+        status_fn=lambda: {"seq": 4, "final": False})
+    with served:
+        yield served
+
+
+def fetch(exporter, path):
+    url = f"http://127.0.0.1:{exporter.port}{path}"
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers.get("Content-Type"), \
+            response.read().decode("utf-8")
+
+
+def test_http_metrics_scrape(exporter):
+    status, content_type, body = fetch(exporter, "/metrics")
+    assert status == 200
+    assert content_type == CONTENT_TYPE
+    assert "fleet_tenants 3" in body
+
+
+def test_http_healthz_and_fleet_json(exporter):
+    status, _, body = fetch(exporter, "/healthz")
+    assert (status, body) == (200, "ok\n")
+    status, content_type, body = fetch(exporter, "/fleet")
+    assert status == 200
+    assert content_type.startswith("application/json")
+    assert json.loads(body) == {"seq": 4, "final": False}
+
+
+def test_http_unknown_path_is_404(exporter):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        fetch(exporter, "/nope")
+    assert excinfo.value.code == 404
+
+
+def test_exporter_port_is_rebindable_after_stop():
+    registry = MetricsRegistry()
+    exporter = MetricsExporter(lambda: registry)
+    port = exporter.start()
+    assert port > 0
+    exporter.stop()
+    # idempotent stop, restartable exporter
+    exporter.stop()
+    assert exporter.start() > 0
+    exporter.stop()

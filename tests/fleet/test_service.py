@@ -1,0 +1,139 @@
+"""The in-process fleet service: determinism, metrics, status files."""
+
+import pytest
+
+from repro.fleet.service import (
+    FleetConfig,
+    FleetService,
+    read_status,
+    registry_from_snapshot,
+    specs_from_plan,
+    write_status,
+)
+from repro.fleet.sharding import replicate_tenants
+from repro.fleet.tenancy import TenantPolicy
+
+
+def fast_policy(**overrides) -> TenantPolicy:
+    defaults = dict(snapshot_every=16, checkpoint_every=0)
+    defaults.update(overrides)
+    return TenantPolicy(**defaults)
+
+
+@pytest.fixture(scope="module")
+def tenants(trace_path):
+    return replicate_tenants([str(trace_path)], replicate=4)
+
+
+def build_service(tenants, **config_overrides) -> FleetService:
+    defaults = dict(shards=2, policy=fast_policy(),
+                    batch_events=64, merge_every_rounds=2)
+    defaults.update(config_overrides)
+    return FleetService(FleetConfig(**defaults), tenants)
+
+
+def test_fleet_config_round_trips():
+    config = FleetConfig(shards=3, vnodes=16,
+                         policy=fast_policy(event_budget=9),
+                         workdir="/tmp/x", batch_events=7,
+                         merge_every_rounds=5, mailbox_capacity=2)
+    restored = FleetConfig.from_dict(config.to_dict())
+    assert restored == config
+
+
+def test_run_produces_a_final_covering_snapshot(tenants):
+    service = build_service(tenants)
+    final = service.run()
+    assert final.final
+    assert final.stale_shards == []
+    assert final.totals["tenants"] == 4
+    assert final.totals["tenants_final"] == 4
+    assert final.watermark_ns is not None
+    assert final.totals["events_admitted"] > 0
+    assert service.latest is final
+    # rolling merges happened before the final one
+    assert final.seq > 1
+
+
+def test_two_runs_are_bit_identical(tenants):
+    first = build_service(tenants).run()
+    second = build_service(tenants).run()
+    assert first.diagnosis_json() == second.diagnosis_json()
+    assert first.canonical_json() == second.canonical_json()
+
+
+def test_rolling_merges_arrive_during_the_run(tenants):
+    merges = []
+    service = build_service(tenants)
+    service.run(on_merge=merges.append)
+    assert len(merges) >= 2
+    assert not merges[0].final
+    assert merges[-1].final
+    seqs = [m.seq for m in merges]
+    assert seqs == sorted(seqs)
+
+
+def test_budget_quarantine_surfaces_in_the_snapshot(tenants):
+    service = build_service(
+        tenants, policy=fast_policy(event_budget=25))
+    final = service.run()
+    assert final.totals["tenants_budget_exhausted"] == 4
+    assert final.totals["events_shed"] > 0
+    assert all(t.budget_exhausted for t in final.tenants)
+    assert all(t.events_admitted == 25 for t in final.tenants)
+
+
+def test_build_registry_has_fleet_shard_and_tenant_series(tenants):
+    service = build_service(tenants)
+    service.run()
+    registry = service.build_registry()
+    names = registry.names()
+    assert "fleet_shards" in names
+    assert "fleet_tenants" in names
+    assert "fleet_merge_seconds" in names
+    assert "fleet_ingest_to_snapshot_seconds" in names
+    assert any(n.startswith("fleet_shard_events_consumed_total{")
+               for n in names)
+    assert any(n.startswith(
+        "fleet_shard_ingest_to_snapshot_seconds{") for n in names)
+    tenant_series = [n for n in names
+                     if n.startswith("fleet_tenant_confidence{")]
+    assert len(tenant_series) == 4
+    assert registry["fleet_tenants"].value == 4
+
+
+def test_registry_from_snapshot_needs_only_the_snapshot(tenants):
+    final = build_service(tenants).run()
+    registry = registry_from_snapshot(final, dropped_reports=3)
+    assert registry["fleet_merge_seq"].value == final.seq
+    assert registry["fleet_reports_dropped_total"].value == 3
+    assert registry["fleet_tenants"].value == 4
+    watermarks = [m.value for m in registry.metrics()
+                  if m.name == "fleet_tenant_watermark_ns"]
+    assert len(watermarks) == 4
+    assert all(value > 0 for value in watermarks)
+
+
+def test_status_file_round_trips(tenants, tmp_path):
+    status_path = str(tmp_path / "deep" / "status.json")
+    service = build_service(tenants)
+    service.status_path = status_path
+    final = service.run()
+    data = read_status(status_path)
+    assert data == final.to_dict()
+    write_status(status_path, final)
+    assert read_status(status_path) == final.to_dict()
+
+
+def test_read_status_swallows_garbage(tmp_path):
+    assert read_status(str(tmp_path / "missing.json")) is None
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert read_status(str(bad)) is None
+
+
+def test_specs_from_plan_flattens_in_shard_order(tenants):
+    service = build_service(tenants)
+    flat = specs_from_plan(service.plan)
+    assert sorted(s.tenant for s in flat) \
+        == sorted(s.tenant for s in tenants)

@@ -121,6 +121,109 @@ def test_labeled_counters_coexist_in_registry():
                          labels={"policy": "drop-oldest"})
 
 
+def test_label_values_escape_reserved_characters():
+    from repro.live.metrics import escape_label_value, full_name
+
+    assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+    # backslash first: the escapes it introduces stay single
+    assert escape_label_value('\\n') == '\\\\n'
+    assert escape_label_value("plain") == "plain"
+    assert full_name("m", {"tenant": 'say "hi"\n'}) == \
+        'm{tenant="say \\"hi\\"\\n"}'
+
+
+def test_help_text_escapes_backslash_and_newline():
+    from repro.live.metrics import escape_help
+
+    assert escape_help("two\nlines \\ slash") == \
+        "two\\nlines \\\\ slash"
+    assert escape_help('quotes stay "raw"') == 'quotes stay "raw"'
+
+
+# ----------------------------------------------------------------------
+# percentile edge cases (each documented in Histogram.percentile)
+# ----------------------------------------------------------------------
+def test_percentile_rejects_out_of_range():
+    hist = Histogram("h")
+    hist.observe(1.0)
+    for bad in (-0.1, 100.1, 500):
+        with pytest.raises(ValueError, match="outside"):
+            hist.percentile(bad)
+
+
+def test_percentile_endpoints_are_exact_min_max():
+    hist = Histogram("h", buckets=[1.0, 10.0])
+    for value in (0.37, 2.0, 7.5):
+        hist.observe(value)
+    assert hist.percentile(0) == 0.37
+    assert hist.percentile(100) == 7.5
+
+
+def test_empty_histogram_percentile_endpoints():
+    hist = Histogram("h")
+    assert hist.percentile(0) == 0.0
+    assert hist.percentile(100) == 0.0
+
+
+def test_percentile_single_observation_is_that_value():
+    hist = Histogram("h", buckets=[1.0, 10.0])
+    hist.observe(3.0)
+    for p in (1, 50, 99):
+        assert 1.0 <= hist.percentile(p) <= 3.0
+    assert hist.percentile(100) == 3.0
+
+
+def test_percentile_all_overflow_stays_in_observed_range():
+    hist = Histogram("h", buckets=[1.0, 10.0])
+    for value in (50.0, 60.0, 70.0):
+        hist.observe(value)
+    for p in (10, 50, 90, 99):
+        estimate = hist.percentile(p)
+        assert 50.0 <= estimate <= 70.0, (p, estimate)
+
+
+def test_percentile_never_escapes_observed_bounds():
+    hist = Histogram("h", buckets=[1.0, 2.0, 4.0])
+    for value in (1.5, 1.6, 3.0):
+        hist.observe(value)
+    for p in range(0, 101, 5):
+        assert hist.min <= hist.percentile(p) <= hist.max
+
+
+# ----------------------------------------------------------------------
+# histogram merging (the fleet fan-in primitive)
+# ----------------------------------------------------------------------
+def test_merge_from_sums_counts_and_extremes():
+    left = Histogram("lat", buckets=[1.0, 10.0])
+    right = Histogram("lat", buckets=[1.0, 10.0])
+    for value in (0.5, 2.0):
+        left.observe(value)
+    for value in (0.1, 50.0):
+        right.observe(value)
+    left.merge_from(right)
+    assert left.total == 4
+    assert left.sum == pytest.approx(52.6)
+    assert left.min == 0.1
+    assert left.max == 50.0
+    assert left.counts == [2, 1, 1]
+
+
+def test_merge_from_empty_keeps_extremes_quiet():
+    target = Histogram("lat", buckets=[1.0])
+    target.observe(0.5)
+    target.merge_from(Histogram("lat", buckets=[1.0]))
+    assert target.total == 1
+    assert target.min == 0.5
+    assert target.max == 0.5
+
+
+def test_merge_from_rejects_mismatched_buckets():
+    left = Histogram("lat", buckets=[1.0, 10.0])
+    right = Histogram("lat", buckets=[1.0, 5.0])
+    with pytest.raises(ValueError, match="bucket bounds differ"):
+        left.merge_from(right)
+
+
 def test_pipeline_exports_drop_and_quarantine_breakdowns():
     from repro.collective.ring import ring_allgather
     from repro.live import LivePipeline, PipelineConfig

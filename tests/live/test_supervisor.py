@@ -175,3 +175,89 @@ def test_wait_out_grace_slices_sleep():
     shutdown.wait_out_grace(sleep=slept.append, slice_s=0.05)
     assert len(slept) == 4
     assert sum(slept) == pytest.approx(0.2)
+
+
+# ----------------------------------------------------------------------
+# concurrent supervision (the fleet runs one supervisor per shard
+# on its own thread; restart state must never bleed across workers)
+# ----------------------------------------------------------------------
+def test_concurrent_supervisors_restart_independently():
+    import threading
+
+    workers = 8
+    crashes_per_worker = 3
+    policy = RestartPolicy(max_restarts=crashes_per_worker + 1,
+                           window_s=60.0, backoff_base_s=0.0005,
+                           backoff_factor=2.0, backoff_cap_s=0.005,
+                           jitter_frac=0.1)
+    barrier = threading.Barrier(workers)
+    results: dict[int, int] = {}
+    supervisors: dict[int, Supervisor] = {}
+
+    def supervise(worker: int) -> None:
+        def flaky(attempt: int) -> int:
+            if attempt == 0:
+                barrier.wait(timeout=10)  # all first attempts collide
+            if attempt < crashes_per_worker:
+                raise RuntimeError(f"worker {worker} boom {attempt}")
+            return worker
+
+        supervisor = Supervisor(
+            flaky, RestartPolicy(**{**policy.__dict__,
+                                    "seed": worker}))
+        supervisors[worker] = supervisor
+        results[worker] = supervisor.run()
+
+    threads = [threading.Thread(target=supervise, args=(worker,))
+               for worker in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not any(t.is_alive() for t in threads)
+
+    assert results == {worker: worker for worker in range(workers)}
+    for worker, supervisor in supervisors.items():
+        records = supervisor.crashes
+        assert len(records) == crashes_per_worker
+        # every crash a supervisor saw is its own worker's
+        assert all(f"worker {worker} " in r.error for r in records)
+        assert [r.attempt for r in records] \
+            == list(range(crashes_per_worker))
+
+
+def test_concurrent_breakers_trip_only_the_crash_looper():
+    import threading
+
+    policy = RestartPolicy(max_restarts=2, window_s=60.0,
+                           backoff_base_s=0.0005,
+                           backoff_cap_s=0.002)
+    outcomes: dict[str, object] = {}
+
+    def run_worker(name: str, always_dies: bool) -> None:
+        def target(attempt: int) -> str:
+            if always_dies or attempt < 1:
+                raise RuntimeError(f"{name} dies")
+            return name
+
+        supervisor = Supervisor(target, policy)
+        try:
+            outcomes[name] = supervisor.run()
+        except CrashLoopError as error:
+            outcomes[name] = error
+
+    threads = [
+        threading.Thread(target=run_worker, args=("looper", True)),
+        threading.Thread(target=run_worker, args=("healthy", False)),
+        threading.Thread(target=run_worker, args=("healthy2", False)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+
+    assert isinstance(outcomes["looper"], CrashLoopError)
+    assert outcomes["looper"].crashes == 3
+    # neighbors on other threads are untouched by the tripped breaker
+    assert outcomes["healthy"] == "healthy"
+    assert outcomes["healthy2"] == "healthy2"
