@@ -1,0 +1,42 @@
+"""Concurrency-pass latency gate (``repro check --concurrency``).
+
+Like the units gate: the RPR020-series pass runs in CI and as a
+pre-commit hook, so a whole-repo run — parse, project-class
+collection, and all six per-module analyses — must finish well under
+five seconds.  Best-of-three so a scheduler hiccup on a shared CI box
+does not fail the gate.
+"""
+
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_rows
+from repro.checks.concurrency import check_concurrency
+from repro.checks.lint import iter_python_files
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+MAX_SECONDS = 5.0
+
+
+def best_of(repeats: int) -> tuple:
+    best = float("inf")
+    findings = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        findings = check_concurrency([SRC], strict=True)
+        best = min(best, time.perf_counter() - start)
+    return best, findings
+
+
+def test_concurrency_pass_whole_repo_under_5s(benchmark):
+    best_s, findings = benchmark.pedantic(
+        lambda: best_of(3), rounds=1, iterations=1)
+    files = sum(1 for _ in iter_python_files([SRC]))
+    print_rows("Concurrency pass latency (src tree, best of 3)", [
+        {"files": files, "best_s": round(best_s, 3),
+         "budget_s": MAX_SECONDS, "findings": len(findings)}])
+    assert best_s < MAX_SECONDS, (
+        f"concurrency pass took {best_s:.2f}s on the src tree "
+        f"(budget {MAX_SECONDS}s)")
+    assert findings == []

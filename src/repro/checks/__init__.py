@@ -11,6 +11,12 @@ deterministic simulation and consistent units (ns / bytes / bps):
   unit-of-measure dataflow pass (RPR010–RPR013) over the
   :mod:`repro.core.units` NewType layer, exposed as
   ``repro check --units``;
+* :mod:`repro.checks.concurrency` — the concurrency & durability
+  discipline pass (RPR020–RPR025) for the live/fleet multiprocess
+  stack (thread-shared state, atomic durable writes, spawn-boundary
+  primitives, signal-handler discipline, ``state_dict``/``load_state``
+  symmetry, unbounded growth), exposed as
+  ``repro check --concurrency``;
 * :mod:`repro.checks.sanitizer` — :class:`SimSanitizer`, a runtime
   invariant checker hooked into the simulation engine and data plane
   behind ``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``, raising
@@ -20,6 +26,10 @@ deterministic simulation and consistent units (ns / bytes / bps):
 See ``docs/CHECKS.md`` for the rule catalog and suppression syntax.
 """
 
+from repro.checks.concurrency import (
+    CONCURRENCY_RULES,
+    check_concurrency,
+)
 from repro.checks.lint import (
     Finding,
     RULES,
@@ -40,10 +50,12 @@ from repro.checks.units import (
 )
 
 __all__ = [
+    "CONCURRENCY_RULES",
     "Finding",
     "RULES",
     "UNIT_RULES",
     "Unit",
+    "check_concurrency",
     "check_paths",
     "check_source",
     "check_units",

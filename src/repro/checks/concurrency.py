@@ -1,0 +1,969 @@
+"""Concurrency & durability discipline pass (``repro check --concurrency``).
+
+PRs 4-6 grew a supervised, multiprocess diagnosis fleet whose
+correctness rests on conventions the single-file lint pass cannot see:
+supervisor threads share dicts with their spawner, checkpoint and
+report files must be published atomically, worker specs must stay
+JSON-primitive across the ``spawn`` pickle boundary, signal handlers
+must stay async-signal-safe, and every ``state_dict`` must round-trip
+through its paired ``load_state``.  This module enforces those
+disciplines statically:
+
+* **RPR020** — an attribute or closure variable written from a
+  ``threading.Thread(target=...)`` body and read in the spawning scope
+  without a lock held on both sides (``Lock``/``RLock`` ``with``
+  scopes are inferred);
+* **RPR021** — a plain ``open(..., "w")`` write to a durable-looking
+  path (checkpoint / report / status / snapshot / bench) that bypasses
+  the ``tmp + fsync + os.replace`` idiom blessed in
+  :meth:`repro.live.checkpoint.CheckpointManager.save`,
+  :func:`repro.fleet.worker.write_report` and
+  :func:`repro.fleet.service.write_status`;
+* **RPR022** — a non-primitive value (project-class instance, lambda,
+  set, bytes) crossing a spawn boundary: ``Process(args=...)``
+  elements and ``make_*_spec`` dict values must stay JSON primitives;
+* **RPR023** — a handler registered via ``signal.signal`` doing more
+  than setting flags/counters (no locks, I/O, logging, or
+  allocation-heavy calls; ``os._exit`` / ``sys.exit`` / ``.set()``
+  are tolerated);
+* **RPR024** — ``state_dict`` / ``load_state`` key drift: every
+  top-level key a ``state_dict`` writes must be consumed by the paired
+  ``load_state`` and vice versa (the resume ≡ uninterrupted contract);
+* **RPR025** — unbounded growth: a long-lived ``list`` / ``dict`` /
+  ``deque`` appended to in serve-loop code with no eviction, bound,
+  or reset anywhere in its class (scoped to ``live`` / ``fleet``
+  directories, plus ``# repro: check-scope concurrency`` opt-in).
+
+Analyses that cannot resolve a dynamic construct (computed thread
+targets, non-constant open modes, dict keys built at runtime) degrade
+to silence, never to a false positive.  Suppression reuses the lint
+pass machinery: ``# repro: noqa RPR020`` on the offending line, judged
+for deadness under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.checks.lint import Finding, _apply_noqa, iter_python_files
+
+CONCURRENCY_RULES = {
+    "RPR020": "shared state written from a thread target without a "
+              "lock held",
+    "RPR021": "non-atomic write to a durable path (use tmp + fsync + "
+              "os.replace)",
+    "RPR022": "non-primitive value crossing a spawn boundary",
+    "RPR023": "signal handler does more than set flags/counters",
+    "RPR024": "state_dict/load_state checkpoint key drift",
+    "RPR025": "long-lived container grows without bound or eviction",
+}
+
+#: directories whose classes are long-lived serve-loop state (RPR025)
+GROWTH_SCOPE_DIRS = frozenset({"live", "fleet"})
+
+_SCOPE_PRAGMA = re.compile(r"#\s*repro:\s*check-scope\s+concurrency\b")
+
+#: path-expression tokens that mark a write as durable (RPR021)
+DURABLE_PATH_TOKENS = ("checkpoint", "ckpt", "report", "status",
+                      "snapshot", "bench")
+#: tokens that mark the temporary half of the atomic-write idiom
+_TMP_TOKENS = ("tmp", "temp")
+
+GROWTH_CALLS = frozenset({"append", "appendleft", "add", "extend",
+                          "insert"})
+SHRINK_CALLS = frozenset({"pop", "popleft", "popitem", "clear",
+                          "remove", "discard"})
+#: closure-variable mutations that count as thread-side writes
+_MUTATOR_CALLS = GROWTH_CALLS | frozenset({"update", "setdefault"})
+
+_LOCK_CTORS = frozenset({"Lock", "RLock"})
+_BOUNDED_CTORS = frozenset({"list", "dict", "set", "deque",
+                            "defaultdict", "OrderedDict", "Counter"})
+
+#: the only calls a signal handler may make (RPR023)
+_HANDLER_SAFE_QUALIFIED = frozenset({("os", "_exit"), ("os", "kill"),
+                                     ("sys", "exit"),
+                                     ("signal", "signal")})
+_HANDLER_SAFE_ATTR_CALLS = frozenset({"set"})  # threading.Event flags
+_HANDLER_SAFE_NAME_CALLS = frozenset({"int", "float", "str", "bool",
+                                      "min", "max", "len", "abs"})
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = _FUNCTION_NODES + (ast.Lambda, ast.ClassDef)
+
+
+# ----------------------------------------------------------------------
+# small AST helpers
+# ----------------------------------------------------------------------
+def _walk_local(root: ast.AST) -> Iterator[ast.AST]:
+    """Yield descendants of ``root`` without entering nested function,
+    lambda, or class scopes (statements belong to their innermost
+    scope)."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _call_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_self_attr(node: ast.expr) -> Optional[str]:
+    """``self.attr`` -> ``"attr"``, else None."""
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _expr_tokens(node: ast.expr) -> set[str]:
+    """Lower-cased identifier and string fragments of an expression —
+    the evidence used to decide whether a path is durable (RPR021)."""
+    tokens: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            tokens.add(sub.id.lower())
+        elif isinstance(sub, ast.Attribute):
+            tokens.add(sub.attr.lower())
+        elif isinstance(sub, ast.Constant) \
+                and isinstance(sub.value, str):
+            tokens.add(sub.value.lower())
+    return tokens
+
+
+def _is_lock_ctor(node: ast.expr) -> bool:
+    """``threading.Lock()`` / ``Lock()`` / ``RLock()``."""
+    if not isinstance(node, ast.Call):
+        return False
+    return _call_name(node.func) in _LOCK_CTORS
+
+
+class _Aliases:
+    """Local names of the stdlib modules the rules care about."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.modules: dict[str, str] = {}
+        self.from_names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    self.modules[alias.asname or root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_names[alias.asname or alias.name] = \
+                        f"{node.module}.{alias.name}"
+
+    def resolves(self, func: ast.expr, module: str, name: str) -> bool:
+        """Does ``func`` denote ``module.name``?"""
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name):
+            return self.modules.get(func.value.id) == module \
+                and func.attr == name
+        if isinstance(func, ast.Name):
+            return self.from_names.get(func.id) == f"{module}.{name}"
+        return False
+
+
+# ----------------------------------------------------------------------
+# guard-aware access collection (RPR020)
+# ----------------------------------------------------------------------
+def _collect_self_accesses(fn: ast.AST, lock_attrs: set[str]
+                           ) -> list[tuple[str, int, bool, bool]]:
+    """``(attr, line, is_store, guarded)`` for every ``self.attr``
+    access in ``fn``, tracking ``with self.<lock>:`` scopes."""
+    accesses: list[tuple[str, int, bool, bool]] = []
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, _SCOPE_NODES):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = guarded or any(
+                _is_self_attr(item.context_expr) in lock_attrs
+                for item in node.items)
+            for item in node.items:
+                visit(item.context_expr, guarded)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        attr = _is_self_attr(node)
+        if attr is not None:
+            accesses.append((attr, node.lineno,
+                             isinstance(node.ctx, (ast.Store, ast.Del)),
+                             guarded))
+        for child in ast.iter_child_nodes(node):
+            visit(child, guarded)
+
+    for stmt in getattr(fn, "body", []):
+        visit(stmt, False)
+    return accesses
+
+
+def _bound_names(fn: ast.AST) -> set[str]:
+    """Names local to ``fn``: parameters plus any plain-name store."""
+    bound: set[str] = set()
+    args = fn.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+        bound.add(arg.arg)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    for node in _walk_local(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx,
+                                                     ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, (ast.Nonlocal, ast.Global)):
+            bound.difference_update(node.names)
+    return bound
+
+
+def _collect_free_writes(fn: ast.AST, lock_names: set[str]
+                         ) -> list[tuple[str, int, bool]]:
+    """``(name, line, guarded)`` for writes to enclosing-scope names
+    inside a thread-target function: subscript stores, nonlocal
+    assignments, and mutating method calls on free names."""
+    local = _bound_names(fn)
+    writes: list[tuple[str, int, bool]] = []
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, _SCOPE_NODES):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = guarded or any(
+                isinstance(item.context_expr, ast.Name)
+                and item.context_expr.id in lock_names
+                for item in node.items)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, ast.Subscript) \
+                and isinstance(node.ctx, (ast.Store, ast.Del)) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id not in local:
+            writes.append((node.value.id, node.lineno, guarded))
+        elif isinstance(node, ast.Name) \
+                and isinstance(node.ctx, ast.Store) \
+                and node.id not in local:
+            writes.append((node.id, node.lineno, guarded))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _MUTATOR_CALLS \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id not in local:
+            writes.append((node.func.value.id, node.lineno, guarded))
+        for child in ast.iter_child_nodes(node):
+            visit(child, guarded)
+
+    for stmt in getattr(fn, "body", []):
+        visit(stmt, False)
+    return writes
+
+
+def _collect_name_loads(fn: ast.AST, skip: ast.AST,
+                        lock_names: set[str]
+                        ) -> list[tuple[str, int, bool]]:
+    """``(name, line, guarded)`` for name reads in ``fn`` outside the
+    nested function ``skip``."""
+    loads: list[tuple[str, int, bool]] = []
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if node is skip or isinstance(node, _SCOPE_NODES) \
+                and node is not fn:
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = guarded or any(
+                isinstance(item.context_expr, ast.Name)
+                and item.context_expr.id in lock_names
+                for item in node.items)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, ast.Name) and isinstance(node.ctx,
+                                                     ast.Load):
+            loads.append((node.id, node.lineno, guarded))
+        for child in ast.iter_child_nodes(node):
+            visit(child, guarded)
+
+    for stmt in fn.body:
+        visit(stmt, False)
+    return loads
+
+
+# ----------------------------------------------------------------------
+# per-module analysis
+# ----------------------------------------------------------------------
+class _ModuleChecker:
+    def __init__(self, display: str, tree: ast.Module,
+                 growth_scope: bool,
+                 project_classes: set[str]) -> None:
+        self.display = display
+        self.tree = tree
+        self.growth_scope = growth_scope
+        self.project_classes = project_classes
+        self.aliases = _Aliases(tree)
+        self.findings: list[Finding] = []
+        #: (class node, method name) pairs that run on a thread
+        self._thread_methods: list[tuple[ast.ClassDef, str]] = []
+        #: (enclosing function, target function) closure pairs
+        self._thread_closures: list[tuple[ast.AST, ast.AST]] = []
+        #: function nodes registered as signal handlers
+        self._signal_handlers: list[ast.AST] = []
+
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(Finding(
+            self.display, getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0) + 1, rule, message))
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[Finding]:
+        self._scan(self.tree, None, None)
+        self._check_thread_classes()
+        self._check_thread_closures()
+        self._check_signal_handlers()
+        self._check_module_growth()
+        return self.findings
+
+    # -- discovery walk ------------------------------------------------
+    def _scan(self, node: ast.AST, cls: Optional[ast.ClassDef],
+              fn: Optional[ast.AST]) -> None:
+        if isinstance(node, ast.ClassDef):
+            self._check_state_pair(node)
+            if self.growth_scope:
+                self._check_class_growth(node)
+            for child in ast.iter_child_nodes(node):
+                self._scan(child, node, None)
+            return
+        if isinstance(node, _FUNCTION_NODES):
+            self._check_durable_writes(node)
+            self._check_spec_function(node)
+            for child in ast.iter_child_nodes(node):
+                self._scan(child, cls, node)
+            return
+        if isinstance(node, ast.Call):
+            self._note_thread_target(node, cls, fn)
+            self._note_signal_handler(node, cls)
+            self._check_process_args(node)
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, cls, fn)
+
+    def _note_thread_target(self, call: ast.Call,
+                            cls: Optional[ast.ClassDef],
+                            fn: Optional[ast.AST]) -> None:
+        if not self.aliases.resolves(call.func, "threading", "Thread"):
+            return
+        target: Optional[ast.expr] = None
+        for keyword in call.keywords:
+            if keyword.arg == "target":
+                target = keyword.value
+        if target is None and len(call.args) >= 2:
+            target = call.args[1]
+        if target is None:
+            return
+        attr = _is_self_attr(target)
+        if attr is not None and cls is not None:
+            self._thread_methods.append((cls, attr))
+        elif isinstance(target, ast.Name) and fn is not None:
+            for sub in ast.walk(fn):
+                if isinstance(sub, _FUNCTION_NODES) \
+                        and sub.name == target.id and sub is not fn:
+                    self._thread_closures.append((fn, sub))
+                    break
+
+    def _note_signal_handler(self, call: ast.Call,
+                             cls: Optional[ast.ClassDef]) -> None:
+        if not self.aliases.resolves(call.func, "signal", "signal"):
+            return
+        if len(call.args) < 2:
+            return
+        handler = call.args[1]
+        attr = _is_self_attr(handler)
+        if attr is not None and cls is not None:
+            for sub in cls.body:
+                if isinstance(sub, _FUNCTION_NODES) \
+                        and sub.name == attr:
+                    self._signal_handlers.append(sub)
+        elif isinstance(handler, ast.Name):
+            for sub in self.tree.body:
+                if isinstance(sub, _FUNCTION_NODES) \
+                        and sub.name == handler.id:
+                    self._signal_handlers.append(sub)
+
+    # -- RPR020: thread-shared state -----------------------------------
+    def _check_thread_classes(self) -> None:
+        by_class: dict[int, tuple[ast.ClassDef, set[str]]] = {}
+        for cls, method in self._thread_methods:
+            by_class.setdefault(id(cls), (cls, set()))[1].add(method)
+        for cls, thread_names in by_class.values():
+            lock_attrs = {
+                _is_self_attr(target)
+                for node in ast.walk(cls)
+                if isinstance(node, ast.Assign)
+                and _is_lock_ctor(node.value)
+                for target in node.targets
+                if _is_self_attr(target)}
+            lock_attrs.discard(None)
+            thread_writes: dict[str, list[tuple[int, bool]]] = {}
+            other_accesses: dict[str, list[tuple[int, bool]]] = {}
+            for method in cls.body:
+                if not isinstance(method, _FUNCTION_NODES):
+                    continue
+                accesses = _collect_self_accesses(method, lock_attrs)
+                if method.name in thread_names:
+                    for attr, line, store, guarded in accesses:
+                        if store:
+                            thread_writes.setdefault(attr, []).append(
+                                (line, guarded))
+                elif method.name != "__init__":
+                    for attr, line, _store, guarded in accesses:
+                        other_accesses.setdefault(attr, []).append(
+                            (line, guarded))
+            for attr in sorted(thread_writes):
+                if attr in lock_attrs:
+                    continue
+                others = other_accesses.get(attr)
+                if not others:
+                    continue
+                unguarded = \
+                    [w for w in thread_writes[attr] if not w[1]] \
+                    or [a for a in others if not a[1]]
+                if not unguarded:
+                    continue
+                line = min(line for line, _ in unguarded)
+                site = ast.Name(id=attr)
+                site.lineno, site.col_offset = line, 0
+                self.report(
+                    site, "RPR020",
+                    f"attribute {attr!r} of {cls.name} is written by a "
+                    f"thread target and accessed elsewhere without "
+                    f"holding a lock")
+
+    def _check_thread_closures(self) -> None:
+        seen: set[tuple[int, int]] = set()
+        for outer, target in self._thread_closures:
+            key = (id(outer), id(target))
+            if key in seen:
+                continue
+            seen.add(key)
+            lock_names = {
+                node.targets[0].id
+                for node in _walk_local(outer)
+                if isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _is_lock_ctor(node.value)}
+            writes = _collect_free_writes(target, lock_names)
+            if not writes:
+                continue
+            loads = _collect_name_loads(outer, target, lock_names)
+            read_names = {name for name, _, _ in loads}
+            reported: set[str] = set()
+            for name, line, guarded in writes:
+                if name in reported or name not in read_names:
+                    continue
+                if guarded and all(g for n, _, g in loads
+                                   if n == name):
+                    continue
+                reported.add(name)
+                site = ast.Name(id=name)
+                site.lineno, site.col_offset = line, 0
+                self.report(
+                    site, "RPR020",
+                    f"{name!r} is written by thread target "
+                    f"{target.name!r} and read in {outer.name!r} "
+                    f"without a lock held")
+
+    # -- RPR021: durable-write atomicity -------------------------------
+    def _check_durable_writes(self, fn: ast.AST) -> None:
+        blessed = any(
+            isinstance(node, ast.Call)
+            and (self.aliases.resolves(node.func, "os", "replace")
+                 or self.aliases.resolves(node.func, "os", "rename"))
+            for node in _walk_local(fn))
+        if blessed:
+            return
+        for node in _walk_local(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            path_expr: Optional[ast.expr] = None
+            mode_expr: Optional[ast.expr] = None
+            if isinstance(node.func, ast.Name) \
+                    and node.func.id == "open":
+                if node.args:
+                    path_expr = node.args[0]
+                if len(node.args) >= 2:
+                    mode_expr = node.args[1]
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "open" \
+                    and not isinstance(node.func.value, ast.Name):
+                # Path(...).open(...) style; plain names handled below
+                path_expr = node.func.value
+                if node.args:
+                    mode_expr = node.args[0]
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "open" \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id not in self.aliases.modules:
+                path_expr = node.func.value
+                if node.args:
+                    mode_expr = node.args[0]
+            if path_expr is None:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode_expr = keyword.value
+            if not isinstance(mode_expr, ast.Constant) \
+                    or not isinstance(mode_expr.value, str):
+                continue  # dynamic / default mode: degrade to silence
+            if not any(ch in mode_expr.value for ch in "wx"):
+                continue
+            tokens = _expr_tokens(path_expr)
+            durable = any(frag in token for token in tokens
+                          for frag in DURABLE_PATH_TOKENS)
+            temp = any(frag in token for token in tokens
+                       for frag in _TMP_TOKENS)
+            if durable and not temp:
+                self.report(
+                    node, "RPR021",
+                    f"open(..., {mode_expr.value!r}) writes a durable "
+                    f"path in place; publish via tmp + fsync + "
+                    f"os.replace (see CheckpointManager.save / "
+                    f"fleet.worker.write_report)")
+
+    # -- RPR022: spawn-boundary primitives -----------------------------
+    def _nonprimitive(self, node: ast.expr) -> Optional[str]:
+        """Reason ``node`` is unsafe to cross a pickle/JSON spec
+        boundary, or None when it is (or cannot be proven unsafe)."""
+        if isinstance(node, ast.Lambda):
+            return "a lambda"
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set (not JSON-serializable)"
+        if isinstance(node, ast.Constant) \
+                and isinstance(node.value, bytes):
+            return "a bytes literal (not JSON-serializable)"
+        if isinstance(node, ast.Call):
+            name = _call_name(node.func)
+            if name in self.project_classes and name is not None \
+                    and name[:1].isupper():
+                return f"a {name} instance"
+            return None
+        if isinstance(node, (ast.List, ast.Tuple)):
+            for element in node.elts:
+                reason = self._nonprimitive(element)
+                if reason:
+                    return reason
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                if value is None:
+                    continue
+                reason = self._nonprimitive(value)
+                if reason:
+                    return reason
+        return None
+
+    def _check_process_args(self, call: ast.Call) -> None:
+        if _call_name(call.func) != "Process":
+            return
+        for keyword in call.keywords:
+            if keyword.arg != "args" \
+                    or not isinstance(keyword.value,
+                                      (ast.Tuple, ast.List)):
+                continue
+            for element in keyword.value.elts:
+                reason = self._nonprimitive(element)
+                if reason:
+                    self.report(
+                        element, "RPR022",
+                        f"Process args receive {reason}; spawn "
+                        f"boundaries carry primitives only "
+                        f"(serialize with json.dumps / to_dict())")
+
+    def _check_spec_function(self, fn: ast.AST) -> None:
+        if not (fn.name.startswith("make_")
+                and fn.name.endswith("_spec")):
+            return
+        for node in _walk_local(fn):
+            if not isinstance(node, ast.Return) \
+                    or not isinstance(node.value, ast.Dict):
+                continue
+            for key, value in zip(node.value.keys, node.value.values):
+                reason = self._nonprimitive(value)
+                if reason:
+                    label = key.value if isinstance(key, ast.Constant) \
+                        else "?"
+                    self.report(
+                        value, "RPR022",
+                        f"spec key {label!r} holds {reason}; worker "
+                        f"spec dicts must stay JSON primitives "
+                        f"(repro.fleet.worker contract)")
+
+    # -- RPR023: signal-handler discipline -----------------------------
+    def _handler_call_allowed(self, call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name):
+                qualifier = self.aliases.modules.get(
+                    func.value.id, func.value.id)
+                if (qualifier, func.attr) in _HANDLER_SAFE_QUALIFIED:
+                    return True
+            return func.attr in _HANDLER_SAFE_ATTR_CALLS
+        if isinstance(func, ast.Name):
+            return func.id in _HANDLER_SAFE_NAME_CALLS
+        return False
+
+    def _check_signal_handlers(self) -> None:
+        seen: set[int] = set()
+        for handler in self._signal_handlers:
+            if id(handler) in seen:
+                continue
+            seen.add(id(handler))
+            for node in _walk_local(handler):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    self.report(
+                        node, "RPR023",
+                        f"context manager inside signal handler "
+                        f"{handler.name!r}; a handler interrupting "
+                        f"the lock owner deadlocks")
+                elif isinstance(node, ast.Call) \
+                        and not self._handler_call_allowed(node):
+                    try:
+                        label = ast.unparse(node.func)
+                    except Exception:  # pragma: no cover - defensive
+                        label = "<call>"
+                    self.report(
+                        node, "RPR023",
+                        f"call to {label}() inside signal handler "
+                        f"{handler.name!r}; handlers may only set "
+                        f"flags/counters")
+
+    # -- RPR024: state_dict / load_state symmetry ----------------------
+    def _check_state_pair(self, cls: ast.ClassDef) -> None:
+        methods = {node.name: node for node in cls.body
+                   if isinstance(node, _FUNCTION_NODES)}
+        state_dict = methods.get("state_dict")
+        load_state = methods.get("load_state")
+        if state_dict is None or load_state is None:
+            return
+        written = self._state_dict_keys(state_dict)
+        read = self._load_state_keys(load_state)
+        if written is None or read is None or not written or not read:
+            return
+        for key in sorted(written - read):
+            self.report(
+                state_dict, "RPR024",
+                f"{cls.name}.state_dict() writes key {key!r} that "
+                f"load_state() never reads (checkpoint schema drift)")
+        for key in sorted(read - written):
+            self.report(
+                load_state, "RPR024",
+                f"{cls.name}.load_state() reads key {key!r} that "
+                f"state_dict() never writes (checkpoint schema drift)")
+
+    @staticmethod
+    def _state_dict_keys(fn: ast.AST) -> Optional[set[str]]:
+        keys: set[str] = set()
+        saw_return = False
+        for node in _walk_local(fn):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            saw_return = True
+            if not isinstance(node.value, ast.Dict):
+                return None  # computed payload: degrade to silence
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) \
+                        and isinstance(key.value, str):
+                    keys.add(key.value)
+                else:
+                    return None  # **spread / dynamic key
+        return keys if saw_return else None
+
+    @staticmethod
+    def _load_state_keys(fn: ast.AST) -> Optional[set[str]]:
+        args = fn.args.posonlyargs + fn.args.args
+        if len(args) < 2:
+            return None
+        param = args[1].arg
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(fn):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        keys: set[str] = set()
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Name) and node.id == param
+                    and isinstance(node.ctx, ast.Load)):
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.Subscript) \
+                    and parent.value is node:
+                if isinstance(parent.slice, ast.Constant) \
+                        and isinstance(parent.slice.value, str):
+                    keys.add(parent.slice.value)
+                    continue
+                return None  # dynamic subscript
+            if isinstance(parent, ast.Attribute) \
+                    and parent.attr == "get":
+                call = parents.get(parent)
+                if isinstance(call, ast.Call) and call.func is parent \
+                        and call.args \
+                        and isinstance(call.args[0], ast.Constant) \
+                        and isinstance(call.args[0].value, str):
+                    keys.add(call.args[0].value)
+                    continue
+            return None  # the raw state escapes: degrade to silence
+        return keys
+
+    # -- RPR025: unbounded growth --------------------------------------
+    def _growable_attrs(self, cls: ast.ClassDef) -> set[str]:
+        init = next((node for node in cls.body
+                     if isinstance(node, _FUNCTION_NODES)
+                     and node.name == "__init__"), None)
+        if init is None:
+            return set()
+        growable: set[str] = set()
+        for node in _walk_local(init):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) \
+                    and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            attr = _is_self_attr(target)
+            if attr is None:
+                continue
+            if isinstance(value, (ast.List, ast.Dict, ast.ListComp,
+                                  ast.DictComp)):
+                growable.add(attr)
+            elif isinstance(value, ast.Call):
+                name = _call_name(value.func)
+                if name not in _BOUNDED_CTORS:
+                    continue
+                if name == "deque" and (
+                        len(value.args) >= 2
+                        or any(kw.arg == "maxlen"
+                               for kw in value.keywords)):
+                    continue  # bounded by construction
+                growable.add(attr)
+        return growable
+
+    def _check_class_growth(self, cls: ast.ClassDef) -> None:
+        growable = self._growable_attrs(cls)
+        if not growable:
+            return
+        growth_sites: dict[str, int] = {}
+        evicted: set[str] = set()
+
+        def visit(node: ast.AST, bounded: frozenset[str]) -> None:
+            if isinstance(node, _SCOPE_NODES):
+                return
+            if isinstance(node, (ast.If, ast.While)):
+                guard = bounded | self._len_guarded_attrs(node.test)
+                visit(node.test, bounded)
+                for stmt in node.body:
+                    visit(stmt, guard)
+                for stmt in node.orelse:
+                    visit(stmt, bounded)
+                return
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute):
+                attr = _is_self_attr(node.func.value)
+                if attr in growable:
+                    if node.func.attr in GROWTH_CALLS \
+                            and attr not in bounded:
+                        growth_sites.setdefault(attr, node.lineno)
+                    elif node.func.attr in SHRINK_CALLS:
+                        evicted.add(attr)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign,
+                                   ast.AugAssign)):
+                targets = node.targets \
+                    if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    attr = _is_self_attr(target)
+                    if attr in growable:
+                        evicted.add(attr)  # reset / prune idiom
+                    elif isinstance(target, ast.Subscript) \
+                            and isinstance(target.slice, ast.Slice):
+                        attr = _is_self_attr(target.value)
+                        if attr in growable:
+                            evicted.add(attr)  # slice compaction
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    attr = _is_self_attr(target)
+                    if attr is None and isinstance(target,
+                                                   ast.Subscript):
+                        attr = _is_self_attr(target.value)
+                    if attr in growable:
+                        evicted.add(attr)
+            for child in ast.iter_child_nodes(node):
+                visit(child, bounded)
+
+        for method in cls.body:
+            if not isinstance(method, _FUNCTION_NODES) \
+                    or method.name == "__init__":
+                continue
+            for stmt in method.body:
+                visit(stmt, frozenset())
+        for attr in sorted(set(growth_sites) - evicted):
+            site = ast.Name(id=attr)
+            site.lineno = growth_sites[attr]
+            site.col_offset = 0
+            self.report(
+                site, "RPR025",
+                f"attribute {attr!r} of {cls.name} grows on every "
+                f"call with no eviction, bound, or reset anywhere in "
+                f"the class")
+
+    @staticmethod
+    def _len_guarded_attrs(test: ast.expr) -> frozenset[str]:
+        """Attrs whose growth under this test is bounded by a
+        ``len(self.attr) < ...`` comparison."""
+        attrs: set[str] = set()
+        for node in ast.walk(test):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id == "len" and node.args:
+                attr = _is_self_attr(node.args[0])
+                if attr is not None:
+                    attrs.add(attr)
+        return frozenset(attrs)
+
+    def _check_module_growth(self) -> None:
+        if not self.growth_scope:
+            return
+        module_containers: set[str] = set()
+        reassigned: set[str] = set()
+        for node in self.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) \
+                    and node.value is not None \
+                    and isinstance(node.target, ast.Name):
+                target, value = node.target, node.value
+            else:
+                continue
+            name = target.id
+            if name in module_containers:
+                reassigned.add(name)
+            if isinstance(value, (ast.List, ast.Dict)):
+                module_containers.add(name)
+            elif isinstance(value, ast.Call):
+                ctor = _call_name(value.func)
+                if ctor in _BOUNDED_CTORS and not (
+                        ctor == "deque"
+                        and (len(value.args) >= 2
+                             or any(kw.arg == "maxlen"
+                                    for kw in value.keywords))):
+                    module_containers.add(name)
+        if not module_containers:
+            return
+        growth_sites: dict[str, int] = {}
+        evicted: set[str] = set(reassigned)
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id in module_containers:
+                name = node.func.value.id
+                if node.func.attr in GROWTH_CALLS:
+                    growth_sites.setdefault(name, node.lineno)
+                elif node.func.attr in SHRINK_CALLS:
+                    evicted.add(name)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    base = target.value \
+                        if isinstance(target, ast.Subscript) \
+                        else target
+                    if isinstance(base, ast.Name) \
+                            and base.id in module_containers:
+                        evicted.add(base.id)
+        for fn in ast.walk(self.tree):
+            if not isinstance(fn, _FUNCTION_NODES):
+                continue
+            has_global = {name for node in _walk_local(fn)
+                          if isinstance(node, ast.Global)
+                          for name in node.names}
+            for node in _walk_local(fn):
+                if isinstance(node, ast.Name) \
+                        and isinstance(node.ctx, ast.Store) \
+                        and node.id in module_containers \
+                        and node.id in has_global:
+                    evicted.add(node.id)
+        for name in sorted(set(growth_sites) - evicted):
+            site = ast.Name(id=name)
+            site.lineno = growth_sites[name]
+            site.col_offset = 0
+            self.report(
+                site, "RPR025",
+                f"module-level {name!r} grows on every call with no "
+                f"eviction, bound, or reassignment")
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def _is_growth_scope(path: Path, source: str) -> bool:
+    if GROWTH_SCOPE_DIRS.intersection(path.parts):
+        return True
+    head = "\n".join(source.splitlines()[:5])
+    return _SCOPE_PRAGMA.search(head) is not None
+
+
+def check_concurrency(paths: Sequence[Union[str, Path]],
+                      strict: bool = False) -> list[Finding]:
+    """Run the RPR020-series pass over every Python file in ``paths``.
+
+    Files that fail to parse are skipped here — the base lint pass
+    already reports them as RPR000.  In ``strict`` mode, suppression
+    comments naming RPR020-series codes that match no finding are
+    flagged as RPR006.
+    """
+    modules: list[tuple[Path, ast.Module, str]] = []
+    project_classes: set[str] = set()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text()
+        except OSError:
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            continue
+        modules.append((path, tree, source))
+        project_classes.update(
+            node.name for node in tree.body
+            if isinstance(node, ast.ClassDef))
+    findings: list[Finding] = []
+    for path, tree, source in modules:
+        display = str(path)
+        checker = _ModuleChecker(
+            display, tree, _is_growth_scope(path, source),
+            project_classes)
+        module_findings = checker.run()
+        module_findings.sort(
+            key=lambda f: (f.line, f.col, f.rule, f.message))
+        findings.extend(_apply_noqa(
+            module_findings, source, display, strict=strict,
+            universe=CONCURRENCY_RULES))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+__all__ = [
+    "CONCURRENCY_RULES",
+    "GROWTH_SCOPE_DIRS",
+    "DURABLE_PATH_TOKENS",
+    "check_concurrency",
+]

@@ -458,8 +458,18 @@ def _check_schema_drift(path: str, tree: ast.Module) -> list[Finding]:
 # suppression and driver
 # ----------------------------------------------------------------------
 def _apply_noqa(findings: list[Finding], source: str, path: str,
-                strict: bool) -> list[Finding]:
-    """Filter suppressed findings; in strict mode flag unused noqa."""
+                strict: bool,
+                universe: Optional[dict] = None) -> list[Finding]:
+    """Filter suppressed findings; in strict mode flag unused noqa.
+
+    ``universe`` is the rule catalogue of the calling pass (defaults
+    to this module's ``RULES``).  Coded suppressions naming rules
+    outside the universe are left for the pass that owns them; coded
+    suppressions naming rules inside it that match no finding on the
+    line are flagged as RPR006 per dead code.  Blanket ``# repro:
+    noqa`` comments are judged only by the base pass so multiple
+    passes never double-report the same comment.
+    """
     suppressors: dict[int, Optional[set[str]]] = {}
     try:
         tokens = list(tokenize.generate_tokens(
@@ -477,8 +487,11 @@ def _apply_noqa(findings: list[Finding], source: str, path: str,
             {code.strip() for code in codes.split(",")}
     if not suppressors:
         return findings
+    base_pass = universe is None
+    universe_rules = set(RULES if universe is None else universe)
     kept: list[Finding] = []
     used: set[int] = set()
+    used_codes: dict[int, set[str]] = {}
     for finding in findings:
         allowed = suppressors.get(finding.line, ...)
         if allowed is ... or (allowed is not None
@@ -486,16 +499,36 @@ def _apply_noqa(findings: list[Finding], source: str, path: str,
             kept.append(finding)
         else:
             used.add(finding.line)
+            used_codes.setdefault(finding.line, set()).add(
+                finding.rule)
     if strict:
-        for line_no in sorted(set(suppressors) - used):
+        for line_no in sorted(suppressors):
             codes = suppressors[line_no]
-            if codes is not None and not codes & set(RULES):
-                # names only units-pass rules (RPR010+): judged there
+            if codes is None:
+                # blanket noqa: only the base pass judges it, so
+                # stacked passes never double-report one comment
+                if base_pass and line_no not in used:
+                    kept.append(Finding(
+                        path, line_no, 1, "RPR006",
+                        "suppression comment does not match any "
+                        "finding on this line"))
                 continue
-            kept.append(Finding(
-                path, line_no, 1, "RPR006",
-                "suppression comment does not match any finding on "
-                "this line"))
+            relevant = codes & universe_rules
+            if not relevant:
+                # names only another pass's rules: judged there
+                continue
+            dead = relevant - used_codes.get(line_no, set())
+            if dead == relevant and line_no not in used:
+                kept.append(Finding(
+                    path, line_no, 1, "RPR006",
+                    "suppression comment does not match any finding "
+                    "on this line"))
+            else:
+                for code in sorted(dead):
+                    kept.append(Finding(
+                        path, line_no, 1, "RPR006",
+                        f"suppressed code {code} matches no finding "
+                        f"on this line"))
     return kept
 
 

@@ -1162,8 +1162,9 @@ def check_units(paths: Sequence[Union[str, Path]],
                 strict: bool = False) -> list:
     """Run the interprocedural units pass over ``paths``.
 
-    ``strict`` is accepted for interface symmetry with the base pass;
-    the units rules are identical in both modes.
+    The units rules are identical in both modes; ``strict``
+    additionally flags ``# repro: noqa`` comments naming RPR010-series
+    codes that match no finding on their line (RPR006).
     """
     project = build_project(paths)
     _propagate_returns(project)
@@ -1180,9 +1181,11 @@ def check_units(paths: Sequence[Union[str, Path]],
         by_file.setdefault(finding.path, []).append(finding)
     kept = []
     for module in project.modules:
-        if module.display in by_file:
-            kept.extend(_apply_noqa(by_file[module.display],
+        module_findings = by_file.get(module.display, [])
+        if module_findings or strict:
+            kept.extend(_apply_noqa(module_findings,
                                     module.source, module.display,
-                                    strict=False))
+                                    strict=strict,
+                                    universe=UNIT_RULES))
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return kept

@@ -173,7 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
         "check",
         help="static analysis: determinism / unit-safety / event-loop "
              "rules (RPR001-RPR006), plus interprocedural unit "
-             "dataflow with --units (RPR010-RPR013)")
+             "dataflow with --units (RPR010-RPR013) and the "
+             "concurrency & durability pass with --concurrency "
+             "(RPR020-RPR025)")
     chk.add_argument("paths", nargs="*", default=["src"],
                      help="files or directories to lint (default: src)")
     chk.add_argument("--strict", action="store_true",
@@ -182,8 +184,16 @@ def build_parser() -> argparse.ArgumentParser:
     chk.add_argument("--units", action="store_true",
                      help="also run the whole-program unit-of-measure "
                           "dataflow pass (RPR010-RPR013)")
+    chk.add_argument("--concurrency", action="store_true",
+                     help="also run the concurrency & durability "
+                          "discipline pass (RPR020-RPR025)")
     chk.add_argument("--json", action="store_true",
-                     help="emit findings as a JSON array")
+                     help="emit findings as a JSON array "
+                          "(same as --format json)")
+    chk.add_argument("--format", choices=["text", "json", "github"],
+                     default=None,
+                     help="output format; 'github' emits "
+                          "::error workflow annotations")
 
     bench = sub.add_parser(
         "bench",
@@ -723,19 +733,42 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _github_annotation(finding) -> str:
+    """One GitHub Actions ``::error`` workflow command per finding."""
+    message = f"{finding.rule} {finding.message}"
+    message = (message.replace("%", "%25")
+               .replace("\r", "%0D").replace("\n", "%0A"))
+    return (f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col},title={finding.rule}::{message}")
+
+
 def cmd_check(args) -> int:
     import json
 
-    from repro.checks.lint import check_paths, render_findings
+    from repro.checks.lint import (check_paths, iter_python_files,
+                                   render_findings)
 
+    if not any(True for _ in iter_python_files(args.paths)):
+        print(f"repro check: no Python files matched: "
+              f"{', '.join(args.paths)}", file=sys.stderr)
+        return 2
+    fmt = args.format or ("json" if args.json else "text")
     findings = check_paths(args.paths, strict=args.strict)
     if args.units:
         from repro.checks.units import check_units
 
         findings.extend(check_units(args.paths, strict=args.strict))
-        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    if args.json:
+    if args.concurrency:
+        from repro.checks.concurrency import check_concurrency
+
+        findings.extend(check_concurrency(args.paths,
+                                          strict=args.strict))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    if fmt == "json":
         print(json.dumps([f.to_dict() for f in findings], indent=2))
+    elif fmt == "github":
+        for finding in findings:
+            print(_github_annotation(finding))
     elif findings:
         print(render_findings(findings))
     if findings:
@@ -743,7 +776,7 @@ def cmd_check(args) -> int:
         print(f"{len(findings)} finding(s) [{', '.join(rules)}]",
               file=sys.stderr)
         return 1
-    if not args.json:
+    if fmt != "json":
         print(f"repro check: clean "
               f"({', '.join(args.paths)})")
     return 0
@@ -913,10 +946,12 @@ def cmd_fleet_serve(args) -> int:
 
             def run_workers() -> None:
                 try:
-                    results.update(run_fleet_multiprocess(
+                    # read only after runner.join() returns, so the
+                    # single-writer hand-off needs no lock
+                    results.update(run_fleet_multiprocess(  # repro: noqa RPR020
                         config, plan, str(report_dir)))
                 except Exception as error:  # noqa: BLE001 - surfaced
-                    errors.append(error)
+                    errors.append(error)  # repro: noqa RPR020
 
             runner = threading.Thread(target=run_workers,
                                       name="fleet-workers")

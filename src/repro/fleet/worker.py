@@ -196,7 +196,7 @@ def run_shard_supervised(spec: dict,
     report = read_report(spec["report_path"])
     if report is None or not report.final:
         raise WorkerCrashed(shard_id, None)
-    report.restarts = len(supervisor.crashes)
+    report.restarts = supervisor.crash_count
     return report
 
 
@@ -226,13 +226,15 @@ def run_fleet_multiprocess(
 
     def supervise(shard_id: int) -> None:
         try:
-            results[shard_id] = run_shard_supervised(
+            # each thread owns its shard_id key and every thread is
+            # joined before the dicts are read, so no lock is needed
+            results[shard_id] = run_shard_supervised(  # repro: noqa RPR020
                 specs[shard_id], policy=policy,
                 on_crash=(lambda record, s=shard_id:
                           on_crash(s, record))
                 if on_crash is not None else None)
         except BaseException as error:  # noqa: BLE001 - joined below
-            errors[shard_id] = error
+            errors[shard_id] = error  # repro: noqa RPR020
 
     threads = [threading.Thread(target=supervise, args=(shard_id,),
                                 name=f"fleet-shard-{shard_id}")

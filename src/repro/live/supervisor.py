@@ -58,6 +58,10 @@ class RestartPolicy:
     jitter_frac: float = 0.1
     #: seed of the jitter RNG (deterministic restart schedule)
     seed: int = 0
+    #: newest crash records kept for the post-mortem report; older
+    #: ones are evicted so a long-lived supervisor stays bounded
+    #: (RPR025) while ``Supervisor.crash_count`` keeps the true total
+    max_crash_records: int = 256
 
 
 class CrashLoopError(RuntimeError):
@@ -131,6 +135,8 @@ class Supervisor:
         self.should_stop = should_stop
         self.on_crash = on_crash
         self.crashes: list[CrashRecord] = []
+        #: total crashes ever seen; survives crash-record eviction
+        self.crash_count = 0
         self._rng = random.Random(self.policy.seed)
         self.breaker = CrashLoopBreaker(
             self.policy.max_restarts, self.policy.window_s, clock)
@@ -153,12 +159,16 @@ class Supervisor:
             except Exception as error:  # noqa: BLE001 - supervision
                 tripped = self.breaker.record()
                 delay = 0.0 if tripped else self.backoff_delay(
-                    len(self.crashes))
+                    self.crash_count)
                 record = CrashRecord(
                     attempt=attempt,
                     error=f"{type(error).__name__}: {error}",
                     at=self.clock(), backoff_s=delay)
+                self.crash_count += 1
                 self.crashes.append(record)
+                if len(self.crashes) > self.policy.max_crash_records:
+                    del self.crashes[
+                        :-self.policy.max_crash_records]
                 if self.on_crash is not None:
                     self.on_crash(record)
                 if tripped:
@@ -205,7 +215,9 @@ class GracefulShutdown:
             # shutdown — the last atomic checkpoint already persisted
             os._exit(self.force_exit_code)
         self.requested = True
-        log.warning("signal %d: draining (signal again to force-exit "
+        # operator-facing notice; logging's lock is reentrant-safe
+        # here because the handler runs on the main thread only
+        log.warning("signal %d: draining (signal again to force-exit "  # repro: noqa RPR023
                     "with code %d)", signum, self.force_exit_code)
 
     def wait_out_grace(self,

@@ -1,0 +1,38 @@
+"""RPR020 fixture: state written from a thread target and read
+elsewhere without a lock held on both sides."""
+
+import threading
+
+
+class Collector:
+    """Thread method writes ``samples``; ``snapshot`` reads it with no
+    lock anywhere — a classic torn-read race."""
+
+    def __init__(self) -> None:
+        self.samples = 0
+        self._lock = threading.Lock()
+        self._thread = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._drain)
+        self._thread.start()
+
+    def _drain(self) -> None:
+        self.samples = self.samples + 1  # expect: RPR020
+
+    def snapshot(self) -> int:
+        return self.samples
+
+
+def fan_out(counts):
+    """Closure case: the thread fills ``totals`` while the spawner
+    reads it without a lock or a join-before-read hand-off."""
+    totals = {}
+
+    def tally() -> None:
+        for key in counts:
+            totals[key] = counts[key]  # expect: RPR020
+
+    worker = threading.Thread(target=tally)
+    worker.start()
+    return totals

@@ -1,0 +1,51 @@
+"""Near-misses for RPR020: lock-guarded sharing, thread-local state,
+and dynamic thread targets must all stay silent."""
+
+import threading
+
+HANDLERS = [print]
+
+
+class GuardedCollector:
+    """Both sides hold the lock: no finding."""
+
+    def __init__(self) -> None:
+        self.samples = 0
+        self._lock = threading.Lock()
+
+    def start(self) -> None:
+        thread = threading.Thread(target=self._drain)
+        thread.start()
+
+    def _drain(self) -> None:
+        with self._lock:
+            self.samples += 1
+
+    def snapshot(self) -> int:
+        with self._lock:
+            return self.samples
+
+
+def fan_in(counts):
+    """Closure writes and the spawner's read both hold the lock."""
+    totals = {}
+    lock = threading.Lock()
+
+    def tally() -> None:
+        local = dict(counts)  # locals never escape the thread
+        with lock:
+            totals["sum"] = len(local)
+
+    worker = threading.Thread(target=tally)
+    worker.start()
+    worker.join()
+    with lock:
+        return totals["sum"]
+
+
+def dynamic_target() -> None:
+    """A computed thread target cannot be resolved: degrade to
+    silence, never guess."""
+    worker = threading.Thread(target=HANDLERS[0])
+    worker.start()
+    worker.join()

@@ -1,0 +1,30 @@
+"""Near-misses for RPR021: the blessed atomic idiom, tmp files,
+reads, non-durable paths, and dynamic modes all stay silent."""
+
+import json
+import os
+
+
+def save_report_atomic(report_path, payload) -> None:
+    """The blessed idiom: write a sibling tmp file, fsync, rename."""
+    tmp_path = report_path + ".tmp"
+    with open(tmp_path, "w") as handle:
+        handle.write(json.dumps(payload))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, report_path)
+
+
+def load_report(report_path):
+    with open(report_path) as handle:  # read: no mode given
+        return json.load(handle)
+
+
+def export_report(report_path, payload, mode) -> None:
+    with open(report_path, mode) as handle:  # dynamic mode: silent
+        handle.write(json.dumps(payload))
+
+
+def write_scratch(workdir, payload) -> None:
+    with open(os.path.join(workdir, "scratch.json"), "w") as handle:
+        handle.write(json.dumps(payload))  # not a durable path

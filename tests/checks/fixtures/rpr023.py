@@ -1,0 +1,31 @@
+"""RPR023 fixture: signal handlers doing more than setting flags."""
+
+import logging
+import signal
+import threading
+
+log = logging.getLogger(__name__)
+
+FLAGS = {"stop": False}
+
+
+def handle_stop(signum, frame) -> None:
+    FLAGS["stop"] = True
+    print("stopping")  # expect: RPR023
+
+
+signal.signal(signal.SIGINT, handle_stop)
+
+
+class Shutdown:
+    def __init__(self) -> None:
+        self.requested = False
+        self._lock = threading.Lock()
+
+    def install(self) -> None:
+        signal.signal(signal.SIGTERM, self._handle)
+
+    def _handle(self, signum, frame) -> None:
+        self.requested = True
+        with self._lock:  # expect: RPR023
+            log.warning("draining after signal %d", signum)  # expect: RPR023

@@ -1,0 +1,29 @@
+"""Near-misses for RPR023: flag/counter handlers, force-exits, event
+flags, and dynamic handler registration all stay silent."""
+
+import os
+import signal
+import threading
+
+STOP_EVENT = threading.Event()
+
+
+class Shutdown:
+    def __init__(self) -> None:
+        self.requested = False
+        self.signals_seen = 0
+
+    def install(self) -> None:
+        signal.signal(signal.SIGTERM, self._handle)
+        signal.signal(signal.SIGINT, self._handle)
+
+    def _handle(self, signum, frame) -> None:
+        self.signals_seen += 1
+        if self.requested:
+            os._exit(130)  # second signal: force exit is sanctioned
+        self.requested = True
+        STOP_EVENT.set()  # event flags are async-signal-safe here
+
+
+def register(callback) -> None:
+    signal.signal(signal.SIGUSR1, callback)  # dynamic handler: silent

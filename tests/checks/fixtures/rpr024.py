@@ -1,0 +1,21 @@
+"""RPR024 fixture: state_dict/load_state checkpoint key drift.
+
+``state_dict`` writes ``error_total`` but ``load_state`` reads
+``errors`` — a rename that silently breaks resume ≡ uninterrupted.
+"""
+
+
+class DriftingCounter:
+    def __init__(self) -> None:
+        self.count = 0
+        self.errors = 0
+
+    def state_dict(self):  # expect: RPR024
+        return {
+            "count": self.count,
+            "error_total": self.errors,
+        }
+
+    def load_state(self, state) -> None:  # expect: RPR024
+        self.count = state["count"]
+        self.errors = state["errors"]

@@ -1,0 +1,40 @@
+"""Near-misses for RPR024: symmetric pairs, ``.get`` defaults,
+computed payloads, and escaping state params all stay silent."""
+
+
+class SymmetricCounter:
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+
+    def state_dict(self):
+        return {"count": self.count, "total": self.total}
+
+    def load_state(self, state) -> None:
+        self.count = state["count"]
+        self.total = state.get("total", 0)
+
+
+class DynamicState:
+    def __init__(self) -> None:
+        self.values = {}
+
+    def state_dict(self):
+        return dict(self.values)  # computed payload: silent
+
+    def load_state(self, state) -> None:
+        self.values = dict(state)
+
+
+class EscapingState:
+    def __init__(self) -> None:
+        self.inner = SymmetricCounter()
+
+    def state_dict(self):
+        return {"inner": self.inner.state_dict()}
+
+    def load_state(self, state) -> None:
+        self._restore(state)  # raw state escapes: silent
+
+    def _restore(self, state) -> None:
+        self.inner.load_state(state["inner"])

@@ -1,0 +1,23 @@
+# repro: check-scope concurrency
+"""RPR025 fixture: long-lived containers appended to in serve-loop
+code with no bound, eviction, or reset anywhere."""
+
+from collections import deque
+
+EVENTS = []
+
+
+def record_event(event) -> None:
+    EVENTS.append(event)  # expect: RPR025
+
+
+class History:
+    def __init__(self) -> None:
+        self.snapshots = []
+        self.pending = deque()
+
+    def publish(self, snapshot) -> None:
+        self.snapshots.append(snapshot)  # expect: RPR025
+
+    def enqueue(self, item) -> None:
+        self.pending.append(item)  # expect: RPR025

@@ -1,0 +1,34 @@
+# repro: check-scope concurrency
+"""Near-misses for RPR025: bounded deques, len-guards, slice
+eviction, and drain-by-reassignment all stay silent."""
+
+from collections import deque
+
+RECENT = []
+
+
+def record_event(event) -> None:
+    RECENT.append(event)
+    del RECENT[:-16]  # explicit eviction keeps it bounded
+
+
+class BoundedHistory:
+    def __init__(self) -> None:
+        self.snapshots = []
+        self.pending = deque(maxlen=64)
+        self.recent = []
+
+    def publish(self, snapshot) -> None:
+        if len(self.snapshots) < 100:
+            self.snapshots.append(snapshot)  # len-guarded growth
+
+    def enqueue(self, item) -> None:
+        self.pending.append(item)  # deque(maxlen=...): bounded
+
+    def note(self, item) -> None:
+        self.recent.append(item)
+
+    def flush(self):
+        drained = list(self.recent)
+        self.recent = []  # drain-by-reassignment resets growth
+        return drained

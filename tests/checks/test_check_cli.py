@@ -1,0 +1,220 @@
+"""Driver-level tests for the ``repro check`` CLI verb.
+
+The rule fixtures pin individual analyses; these tests pin the driver
+itself: exit codes on clean/dirty/parse-error/empty trees, ``--strict``
+vs default suppression judgement, scope pragmas end to end, and the
+``--format`` output modes (text / json / github annotations).
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def write_tree(tmp_path, **files):
+    for name, source in files.items():
+        target = tmp_path / f"{name}.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+CLEAN = "def add(a, b):\n    return a + b\n"
+DIRTY = ("def f(now, end_time):\n"
+         "    return now == end_time\n")  # RPR003
+SUPPRESSED = ("def f(now, end_time):\n"
+              "    return now == end_time  # repro: noqa RPR003\n")
+DEAD_NOQA = "VALUE = 1  # repro: noqa RPR003\n"
+
+
+# ----------------------------------------------------------------------
+# exit codes
+# ----------------------------------------------------------------------
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    write_tree(tmp_path, ok=CLEAN)
+    assert main(["check", str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_dirty_tree_exits_one(tmp_path, capsys):
+    write_tree(tmp_path, bad=DIRTY)
+    assert main(["check", str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    assert "RPR003" in captured.out
+    assert "finding(s)" in captured.err
+
+
+def test_parse_error_exits_one_with_rpr000(tmp_path, capsys):
+    write_tree(tmp_path, broken="def broken(:\n")
+    assert main(["check", str(tmp_path)]) == 1
+    assert "RPR000" in capsys.readouterr().out
+
+
+def test_zero_matching_files_exits_two(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["check", str(empty)]) == 2
+    captured = capsys.readouterr()
+    assert "no Python files matched" in captured.err
+    assert str(empty) in captured.err
+    assert "clean" not in captured.out
+
+
+def test_mixed_clean_and_empty_paths_still_checks(tmp_path):
+    """One matching file anywhere in the path list is enough."""
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    write_tree(tmp_path / "code", ok=CLEAN)
+    assert main(["check", str(empty), str(tmp_path / "code")]) == 0
+
+
+# ----------------------------------------------------------------------
+# strict vs default suppression judgement
+# ----------------------------------------------------------------------
+def test_default_mode_accepts_dead_noqa(tmp_path):
+    write_tree(tmp_path, quiet=DEAD_NOQA)
+    assert main(["check", str(tmp_path)]) == 0
+
+
+def test_strict_mode_flags_dead_noqa(tmp_path, capsys):
+    write_tree(tmp_path, quiet=DEAD_NOQA)
+    assert main(["check", "--strict", str(tmp_path)]) == 1
+    assert "RPR006" in capsys.readouterr().out
+
+
+def test_live_suppression_is_clean_in_both_modes(tmp_path):
+    write_tree(tmp_path, quiet=SUPPRESSED)
+    assert main(["check", str(tmp_path)]) == 0
+    assert main(["check", "--strict", str(tmp_path)]) == 0
+
+
+# ----------------------------------------------------------------------
+# scope pragmas travel through the CLI
+# ----------------------------------------------------------------------
+def test_sim_scope_pragma_via_cli(tmp_path, capsys):
+    write_tree(tmp_path, clock="""\
+        # repro: check-scope sim
+        import time
+
+
+        def stamp():
+            return time.time()
+        """)
+    assert main(["check", str(tmp_path)]) == 1
+    assert "RPR001" in capsys.readouterr().out
+
+
+def test_concurrency_scope_pragma_via_cli(tmp_path, capsys):
+    write_tree(tmp_path, grow="""\
+        # repro: check-scope concurrency
+        LOG = []
+
+
+        def note(entry):
+            LOG.append(entry)
+        """)
+    assert main(["check", str(tmp_path)]) == 0  # pass not requested
+    capsys.readouterr()
+    assert main(["check", "--concurrency", str(tmp_path)]) == 1
+    assert "RPR025" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# output formats
+# ----------------------------------------------------------------------
+def test_format_json_matches_json_flag(tmp_path, capsys):
+    write_tree(tmp_path, bad=DIRTY)
+    assert main(["check", "--json", str(tmp_path)]) == 1
+    legacy = capsys.readouterr().out
+    assert main(["check", "--format", "json", str(tmp_path)]) == 1
+    modern = capsys.readouterr().out
+    assert json.loads(legacy) == json.loads(modern)
+    payload = json.loads(modern)
+    assert {entry["rule"] for entry in payload} == {"RPR003"}
+
+
+def test_format_json_clean_emits_empty_array(tmp_path, capsys):
+    write_tree(tmp_path, ok=CLEAN)
+    assert main(["check", "--format", "json", str(tmp_path)]) == 0
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_format_github_annotations(tmp_path, capsys):
+    write_tree(tmp_path, bad=DIRTY)
+    assert main(["check", "--format", "github", str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    lines = [line for line in captured.out.splitlines()
+             if line.startswith("::error ")]
+    assert len(lines) == 1
+    annotation = lines[0]
+    assert f"file={tmp_path / 'bad.py'}" in annotation
+    assert "line=2" in annotation
+    assert "title=RPR003" in annotation
+    assert "::RPR003 " in annotation
+    assert "finding(s)" in captured.err
+
+
+def test_format_github_escapes_newlines_and_percent():
+    from repro.checks.lint import Finding
+    from repro.cli import _github_annotation
+
+    finding = Finding("a.py", 1, 1, "RPR003", "100% bad\nnews")
+    annotation = _github_annotation(finding)
+    assert "\n" not in annotation
+    assert "%25" in annotation and "%0A" in annotation
+
+
+def test_format_github_clean_prints_clean_line(tmp_path, capsys):
+    write_tree(tmp_path, ok=CLEAN)
+    assert main(["check", "--format", "github", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "clean" in captured.out
+    assert "::error" not in captured.out
+
+
+# ----------------------------------------------------------------------
+# pass stacking
+# ----------------------------------------------------------------------
+def test_all_passes_stack_and_sort(tmp_path, capsys):
+    """Base + units + concurrency findings interleave sorted by
+    file/line, and the summary counts every rule family."""
+    write_tree(
+        tmp_path,
+        mixed="""\
+        import threading
+
+
+        def f(now, end_time):
+            return now == end_time
+
+
+        def spawn(shared):
+            def fill():
+                shared["x"] = 1
+
+            worker = threading.Thread(target=fill)
+            worker.start()
+            return shared["x"]
+        """)
+    code = main(["check", "--units", "--concurrency", str(tmp_path)])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "RPR003" in captured.out
+    assert "RPR020" in captured.out
+    reported = [line.split(":")[1] for line in
+                captured.out.splitlines() if ".py:" in line]
+    assert reported == sorted(reported, key=int)
+
+
+def test_cli_check_whole_repo_strict_all_passes():
+    """The acceptance gate: every pass, strict, whole src tree."""
+    code = main(["check", "--strict", "--units", "--concurrency",
+                 str(REPO_ROOT / "src")])
+    assert code == 0

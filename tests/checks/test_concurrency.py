@@ -1,0 +1,322 @@
+"""Exact-location tests for the concurrency & durability pass
+(``repro check --concurrency``, rules RPR020-RPR025).
+
+Mirrors ``test_lint.py`` / ``test_units.py``: each
+``fixtures/rpr02x.py`` file tags its deliberately-bad lines with a
+trailing ``# expect: RPR02x`` marker and ships a ``*_near.py`` twin
+full of close calls that must stay silent — unresolvable dynamic
+constructs degrade to silence, never to a false positive.
+"""
+
+import re
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.checks import CONCURRENCY_RULES, check_concurrency
+from repro.checks.lint import check_source, render_findings
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_EXPECT = re.compile(r"#\s*expect:\s*(RPR\d{3})")
+
+FIXTURE_NAMES = ["rpr020", "rpr021", "rpr022", "rpr023", "rpr024",
+                 "rpr025"]
+
+
+def expected_findings(path: Path) -> set:
+    marks = set()
+    for line_no, line in enumerate(path.read_text().splitlines(), 1):
+        match = _EXPECT.search(line)
+        if match:
+            marks.add((line_no, match.group(1)))
+    return marks
+
+
+def run_on(tmp_path, strict=False, **files):
+    """Write dedented ``name -> source`` files and run the pass."""
+    for name, source in files.items():
+        target = tmp_path / f"{name}.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return check_concurrency([tmp_path], strict=strict)
+
+
+# ----------------------------------------------------------------------
+# fixtures: exact line/rule agreement
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_fixture_reports_exact_lines(name):
+    path = FIXTURES / f"{name}.py"
+    findings = check_concurrency([path])
+    got = {(f.line, f.rule) for f in findings}
+    want = expected_findings(path)
+    assert want, f"{name} fixture has no expect markers"
+    assert got == want, render_findings(findings)
+    # one finding per marked line, and only the fixture's own rule
+    assert len(findings) == len(got)
+    assert {rule for _, rule in got} == {name.upper()}
+
+
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_near_twin_is_silent(name):
+    path = FIXTURES / f"{name}_near.py"
+    findings = check_concurrency([path], strict=True)
+    assert findings == [], render_findings(findings)
+
+
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_fixtures_clean_under_base_lint(name):
+    """The concurrency fixtures must not add RPR001-006 noise to the
+    fixtures directory (``test_cli_check_fixtures_exits_nonzero``
+    lints it whole)."""
+    for suffix in ("", "_near"):
+        path = FIXTURES / f"{name}{suffix}.py"
+        findings = check_source(path.read_text(), path, strict=True)
+        assert findings == [], render_findings(findings)
+
+
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_fixture_render_format(name):
+    path = FIXTURES / f"{name}.py"
+    for finding in check_concurrency([path]):
+        assert re.fullmatch(
+            rf"{re.escape(str(path))}:\d+:\d+: RPR\d{{3}} .+",
+            finding.render())
+
+
+# ----------------------------------------------------------------------
+# the repo's own sources must be clean (the CI gate)
+# ----------------------------------------------------------------------
+def test_src_tree_is_clean_strict():
+    findings = check_concurrency([REPO_ROOT / "src"], strict=True)
+    assert findings == [], render_findings(findings)
+
+
+# ----------------------------------------------------------------------
+# RPR024 catches seeded drift in the real LivePipeline
+# ----------------------------------------------------------------------
+def test_rpr024_catches_seeded_pipeline_drift(tmp_path):
+    """Rename one state_dict key of the real LivePipeline and the
+    pass must flag both halves of the broken pair."""
+    source = (REPO_ROOT / "src/repro/live/pipeline.py").read_text()
+    needle = '"snapshot_seq": self._snapshot_seq,'
+    assert needle in source, "pipeline state_dict changed; update test"
+    # pristine copy is clean
+    clean = tmp_path / "clean.py"
+    clean.write_text(source)
+    assert check_concurrency([clean]) == []
+    # seeded drift: writer renamed, reader left behind
+    drifted = tmp_path / "drifted.py"
+    drifted.write_text(source.replace(
+        needle, '"snapshot_generation": self._snapshot_seq,'))
+    findings = check_concurrency([drifted])
+    assert {f.rule for f in findings} == {"RPR024"}
+    messages = " ".join(f.message for f in findings)
+    assert "snapshot_generation" in messages
+    assert "snapshot_seq" in messages
+    lines = drifted.read_text().splitlines()
+    want_lines = {i for i, text in enumerate(lines, 1)
+                  if text.lstrip().startswith(
+                      ("def state_dict", "def load_state"))
+                  and "LivePipeline" not in text}
+    assert {f.line for f in findings} <= want_lines
+    assert len(findings) == 2
+
+
+# ----------------------------------------------------------------------
+# suppression and strict mechanics (shared noqa machinery)
+# ----------------------------------------------------------------------
+THREAD_RACE = """\
+    import threading
+
+
+    class Collector:
+        def __init__(self) -> None:
+            self.samples = 0
+
+        def start(self) -> None:
+            threading.Thread(target=self._drain).start()
+
+        def _drain(self) -> None:
+            self.samples = 1{noqa}
+
+        def snapshot(self) -> int:
+            return self.samples
+"""
+
+
+def test_noqa_suppresses_concurrency_finding(tmp_path):
+    dirty = run_on(tmp_path, racy=THREAD_RACE.format(noqa=""))
+    assert [f.rule for f in dirty] == ["RPR020"]
+    clean = run_on(
+        tmp_path,
+        racy=THREAD_RACE.format(noqa="  # repro: noqa RPR020"))
+    assert clean == []
+
+
+def test_strict_flags_dead_concurrency_noqa(tmp_path):
+    findings = run_on(
+        tmp_path, strict=True,
+        quiet="SAFE = 1  # repro: noqa RPR025\n")
+    assert [(f.rule, f.line) for f in findings] == [("RPR006", 1)]
+
+
+def test_strict_leaves_other_pass_codes_alone(tmp_path):
+    """A noqa naming base-lint or units codes is not this pass's to
+    judge — no RPR006 double report."""
+    findings = run_on(
+        tmp_path, strict=True,
+        other=("VALUE = 1  # repro: noqa RPR003\n"
+               "OTHER = 2  # repro: noqa RPR012\n"
+               "BOTH = 3  # repro: noqa\n"))
+    assert findings == []
+
+
+def test_strict_flags_dead_code_in_multi_code_comment(tmp_path):
+    """``RPR020,RPR025`` where only RPR020 fires: the dead RPR025
+    half is reported per code."""
+    findings = run_on(
+        tmp_path, strict=True,
+        racy=THREAD_RACE.format(
+            noqa="  # repro: noqa RPR020,RPR025"))
+    assert [(f.rule) for f in findings] == ["RPR006"]
+    assert "RPR025" in findings[0].message
+
+
+def test_base_pass_still_judges_multi_code_comments(tmp_path):
+    """The lint pass gained the same per-code strict judgement."""
+    source = ("def f(now, end_time):\n"
+              "    return now == end_time  "
+              "# repro: noqa RPR003,RPR005\n")
+    findings = check_source(source, "x.py", strict=True)
+    assert [f.rule for f in findings] == ["RPR006"]
+    assert "RPR005" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# hard cases: dynamic constructs degrade to silence
+# ----------------------------------------------------------------------
+def test_dynamic_thread_target_is_silent(tmp_path):
+    findings = run_on(tmp_path, dyn="""\
+        import threading
+
+        REGISTRY = {}
+
+
+        def launch(name, shared):
+            worker = threading.Thread(target=REGISTRY[name])
+            worker.start()
+            shared["launched"] = True
+            return shared
+        """)
+    assert findings == []
+
+
+def test_computed_state_payload_is_silent(tmp_path):
+    findings = run_on(tmp_path, dyn="""\
+        def merge(base, extra):
+            return {**base, **extra}
+
+
+        class Opaque:
+            def state_dict(self):
+                return merge({"a": 1}, {"b": 2})
+
+            def load_state(self, state):
+                self.a = state["a"]
+        """)
+    assert findings == []
+
+
+def test_spec_with_unresolvable_call_is_silent(tmp_path):
+    findings = run_on(tmp_path, dyn="""\
+        from helpers import build_payload
+
+
+        def make_job_spec(job_id):
+            return {"job": job_id, "payload": build_payload(job_id)}
+        """)
+    assert findings == []
+
+
+def test_cross_module_class_in_spec_is_flagged(tmp_path):
+    """project classes are collected across the whole analyzed tree,
+    so a class from another module still trips RPR022."""
+    findings = run_on(
+        tmp_path,
+        runtime="""\
+        class ShardRuntime:
+            pass
+        """,
+        specs="""\
+        from runtime import ShardRuntime
+
+
+        def make_shard_spec(shard_id):
+            return {"shard": shard_id, "rt": ShardRuntime()}
+        """)
+    assert [f.rule for f in findings] == ["RPR022"]
+    assert "ShardRuntime" in findings[0].message
+
+
+def test_syntax_error_degrades_to_silence(tmp_path):
+    """The base pass owns RPR000; this pass just skips the file."""
+    findings = run_on(tmp_path, broken="def broken(:\n")
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR025 scoping
+# ----------------------------------------------------------------------
+GROWER = """\
+    LOG = []
+
+
+    def note(entry):
+        LOG.append(entry)
+"""
+
+
+def test_rpr025_off_outside_scope(tmp_path):
+    assert run_on(tmp_path, util=GROWER) == []
+
+
+def test_rpr025_on_in_live_dir(tmp_path):
+    findings = run_on(tmp_path, **{"live/util": GROWER})
+    assert [f.rule for f in findings] == ["RPR025"]
+
+
+def test_rpr025_pragma_opts_a_file_in(tmp_path):
+    findings = run_on(
+        tmp_path,
+        util="# repro: check-scope concurrency\n"
+             + textwrap.dedent(GROWER))
+    assert [f.rule for f in findings] == ["RPR025"]
+
+
+# ----------------------------------------------------------------------
+# catalog and CLI
+# ----------------------------------------------------------------------
+def test_rules_catalog_covers_reported_ids():
+    assert set(CONCURRENCY_RULES) == {f"RPR02{i}" for i in range(6)}
+
+
+def test_cli_concurrency_flag_gates_the_pass(capsys):
+    fixture = str(FIXTURES / "rpr024.py")
+    assert main(["check", fixture]) == 0
+    capsys.readouterr()
+    code = main(["check", "--concurrency", fixture])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "RPR024" in captured.out
+    assert "finding(s)" in captured.err
+
+
+def test_cli_concurrency_src_is_clean(capsys):
+    code = main(["check", "--strict", "--concurrency",
+                 str(REPO_ROOT / "src")])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out

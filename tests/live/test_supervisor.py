@@ -261,3 +261,43 @@ def test_concurrent_breakers_trip_only_the_crash_looper():
     # neighbors on other threads are untouched by the tripped breaker
     assert outcomes["healthy"] == "healthy"
     assert outcomes["healthy2"] == "healthy2"
+
+
+def test_crash_records_bounded_but_count_monotonic():
+    # RPR025 regression: a long-lived supervisor keeps only the
+    # newest max_crash_records post-mortem entries, while crash_count
+    # and the backoff schedule keep seeing the true total.
+    clock = FakeClock()
+
+    def flaky(attempt: int):
+        if attempt < 10:
+            raise RuntimeError(f"boom {attempt}")
+        return attempt
+
+    policy = RestartPolicy(max_restarts=100, max_crash_records=4)
+    supervisor = Supervisor(flaky, policy,
+                            clock=clock, sleep=clock.sleep)
+    assert supervisor.run() == 10
+    assert supervisor.crash_count == 10
+    assert len(supervisor.crashes) == 4
+    assert [c.attempt for c in supervisor.crashes] == [6, 7, 8, 9]
+    # eviction keeps the newest records, and backoff kept escalating
+    # off the monotonic count, not the evicted list length
+    assert supervisor.crashes[-1].backoff_s \
+        >= supervisor.crashes[0].backoff_s
+
+
+def test_crash_records_default_bound_is_generous():
+    clock = FakeClock()
+
+    def flaky(attempt: int):
+        if attempt < 3:
+            raise RuntimeError("boom")
+        return attempt
+
+    supervisor = Supervisor(flaky, RestartPolicy(max_restarts=5),
+                            clock=clock, sleep=clock.sleep)
+    supervisor.run()
+    # below the default bound nothing is evicted
+    assert supervisor.crash_count == 3
+    assert len(supervisor.crashes) == 3
