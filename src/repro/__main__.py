@@ -3,4 +3,8 @@
 from repro.cli import main
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except KeyboardInterrupt:
+        # the documented interrupted-by-user code (128 + SIGINT)
+        raise SystemExit(130) from None

@@ -17,6 +17,17 @@ deterministic simulation and consistent units (ns / bytes / bps):
   primitives, signal-handler discipline, ``state_dict``/``load_state``
   symmetry, unbounded growth), exposed as
   ``repro check --concurrency``;
+* :mod:`repro.checks.lifecycle` — the exception-safety &
+  resource-lifecycle pass (RPR030–RPR036: silent exception
+  swallowing, shutdown-signal-eating loop handlers, leaked
+  processes/sockets/files, unpaired lock acquires, dishonest
+  ``finally`` blocks, undocumented exit codes, cause-losing
+  re-raises), exposed as ``repro check --lifecycle``;
+* :mod:`repro.checks.ir` — the shared analysis IR underneath all of
+  the above: one parse per file (:class:`ParseCache`), a project-wide
+  symbol table, and the suppression/scope-pragma machinery, so
+  ``repro check --all`` runs every rule family in a single
+  invocation;
 * :mod:`repro.checks.sanitizer` — :class:`SimSanitizer`, a runtime
   invariant checker hooked into the simulation engine and data plane
   behind ``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``, raising
@@ -29,6 +40,14 @@ See ``docs/CHECKS.md`` for the rule catalog and suppression syntax.
 from repro.checks.concurrency import (
     CONCURRENCY_RULES,
     check_concurrency,
+)
+from repro.checks.ir import (
+    ParseCache,
+    build_project,
+)
+from repro.checks.lifecycle import (
+    LIFECYCLE_RULES,
+    check_lifecycle,
 )
 from repro.checks.lint import (
     Finding,
@@ -52,10 +71,14 @@ from repro.checks.units import (
 __all__ = [
     "CONCURRENCY_RULES",
     "Finding",
+    "LIFECYCLE_RULES",
+    "ParseCache",
     "RULES",
     "UNIT_RULES",
     "Unit",
+    "build_project",
     "check_concurrency",
+    "check_lifecycle",
     "check_paths",
     "check_source",
     "check_units",

@@ -44,11 +44,25 @@ for deadness under ``--strict``.
 from __future__ import annotations
 
 import ast
-import re
 from pathlib import Path
-from typing import Iterator, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
-from repro.checks.lint import Finding, _apply_noqa, iter_python_files
+from repro.checks.ir import (
+    FUNCTION_NODES as _FUNCTION_NODES,
+    SCOPE_NODES as _SCOPE_NODES,
+    Finding,
+    ModuleAliases as _Aliases,
+    ParseCache,
+    Project,
+    apply_noqa,
+    bound_names as _bound_names,
+    call_name as _call_name,
+    expr_tokens as _expr_tokens,
+    has_scope_pragma,
+    is_self_attr as _is_self_attr,
+    walk_local as _walk_local,
+    walk_with_contexts,
+)
 
 CONCURRENCY_RULES = {
     "RPR020": "shared state written from a thread target without a "
@@ -63,8 +77,6 @@ CONCURRENCY_RULES = {
 
 #: directories whose classes are long-lived serve-loop state (RPR025)
 GROWTH_SCOPE_DIRS = frozenset({"live", "fleet"})
-
-_SCOPE_PRAGMA = re.compile(r"#\s*repro:\s*check-scope\s+concurrency\b")
 
 #: path-expression tokens that mark a write as durable (RPR021)
 DURABLE_PATH_TOKENS = ("checkpoint", "ckpt", "report", "status",
@@ -91,58 +103,6 @@ _HANDLER_SAFE_ATTR_CALLS = frozenset({"set"})  # threading.Event flags
 _HANDLER_SAFE_NAME_CALLS = frozenset({"int", "float", "str", "bool",
                                       "min", "max", "len", "abs"})
 
-_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
-_SCOPE_NODES = _FUNCTION_NODES + (ast.Lambda, ast.ClassDef)
-
-
-# ----------------------------------------------------------------------
-# small AST helpers
-# ----------------------------------------------------------------------
-def _walk_local(root: ast.AST) -> Iterator[ast.AST]:
-    """Yield descendants of ``root`` without entering nested function,
-    lambda, or class scopes (statements belong to their innermost
-    scope)."""
-    stack = list(ast.iter_child_nodes(root))
-    while stack:
-        node = stack.pop()
-        yield node
-        if isinstance(node, _SCOPE_NODES):
-            continue
-        stack.extend(ast.iter_child_nodes(node))
-
-
-def _call_name(func: ast.expr) -> Optional[str]:
-    if isinstance(func, ast.Name):
-        return func.id
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    return None
-
-
-def _is_self_attr(node: ast.expr) -> Optional[str]:
-    """``self.attr`` -> ``"attr"``, else None."""
-    if isinstance(node, ast.Attribute) \
-            and isinstance(node.value, ast.Name) \
-            and node.value.id == "self":
-        return node.attr
-    return None
-
-
-def _expr_tokens(node: ast.expr) -> set[str]:
-    """Lower-cased identifier and string fragments of an expression —
-    the evidence used to decide whether a path is durable (RPR021)."""
-    tokens: set[str] = set()
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Name):
-            tokens.add(sub.id.lower())
-        elif isinstance(sub, ast.Attribute):
-            tokens.add(sub.attr.lower())
-        elif isinstance(sub, ast.Constant) \
-                and isinstance(sub.value, str):
-            tokens.add(sub.value.lower())
-    return tokens
-
-
 def _is_lock_ctor(node: ast.expr) -> bool:
     """``threading.Lock()`` / ``Lock()`` / ``RLock()``."""
     if not isinstance(node, ast.Call):
@@ -150,84 +110,28 @@ def _is_lock_ctor(node: ast.expr) -> bool:
     return _call_name(node.func) in _LOCK_CTORS
 
 
-class _Aliases:
-    """Local names of the stdlib modules the rules care about."""
-
-    def __init__(self, tree: ast.Module) -> None:
-        self.modules: dict[str, str] = {}
-        self.from_names: dict[str, str] = {}
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    root = alias.name.split(".")[0]
-                    self.modules[alias.asname or root] = root
-            elif isinstance(node, ast.ImportFrom) and node.module:
-                for alias in node.names:
-                    self.from_names[alias.asname or alias.name] = \
-                        f"{node.module}.{alias.name}"
-
-    def resolves(self, func: ast.expr, module: str, name: str) -> bool:
-        """Does ``func`` denote ``module.name``?"""
-        if isinstance(func, ast.Attribute) \
-                and isinstance(func.value, ast.Name):
-            return self.modules.get(func.value.id) == module \
-                and func.attr == name
-        if isinstance(func, ast.Name):
-            return self.from_names.get(func.id) == f"{module}.{name}"
-        return False
-
-
 # ----------------------------------------------------------------------
-# guard-aware access collection (RPR020)
+# guard-aware access collection (RPR020), on the IR's context tracking
 # ----------------------------------------------------------------------
 def _collect_self_accesses(fn: ast.AST, lock_attrs: set[str]
                            ) -> list[tuple[str, int, bool, bool]]:
     """``(attr, line, is_store, guarded)`` for every ``self.attr``
     access in ``fn``, tracking ``with self.<lock>:`` scopes."""
     accesses: list[tuple[str, int, bool, bool]] = []
-
-    def visit(node: ast.AST, guarded: bool) -> None:
-        if isinstance(node, _SCOPE_NODES):
-            return
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            inner = guarded or any(
-                _is_self_attr(item.context_expr) in lock_attrs
-                for item in node.items)
-            for item in node.items:
-                visit(item.context_expr, guarded)
-            for stmt in node.body:
-                visit(stmt, inner)
-            return
+    for node, contexts in walk_with_contexts(fn):
         attr = _is_self_attr(node)
         if attr is not None:
+            guarded = any(_is_self_attr(ctx) in lock_attrs
+                          for ctx in contexts)
             accesses.append((attr, node.lineno,
                              isinstance(node.ctx, (ast.Store, ast.Del)),
                              guarded))
-        for child in ast.iter_child_nodes(node):
-            visit(child, guarded)
-
-    for stmt in getattr(fn, "body", []):
-        visit(stmt, False)
     return accesses
 
 
-def _bound_names(fn: ast.AST) -> set[str]:
-    """Names local to ``fn``: parameters plus any plain-name store."""
-    bound: set[str] = set()
-    args = fn.args
-    for arg in (args.posonlyargs + args.args + args.kwonlyargs):
-        bound.add(arg.arg)
-    if args.vararg:
-        bound.add(args.vararg.arg)
-    if args.kwarg:
-        bound.add(args.kwarg.arg)
-    for node in _walk_local(fn):
-        if isinstance(node, ast.Name) and isinstance(node.ctx,
-                                                     ast.Store):
-            bound.add(node.id)
-        elif isinstance(node, (ast.Nonlocal, ast.Global)):
-            bound.difference_update(node.names)
-    return bound
+def _name_guarded(contexts: tuple, lock_names: set[str]) -> bool:
+    return any(isinstance(ctx, ast.Name) and ctx.id in lock_names
+               for ctx in contexts)
 
 
 def _collect_free_writes(fn: ast.AST, lock_names: set[str]
@@ -237,18 +141,9 @@ def _collect_free_writes(fn: ast.AST, lock_names: set[str]
     assignments, and mutating method calls on free names."""
     local = _bound_names(fn)
     writes: list[tuple[str, int, bool]] = []
-
-    def visit(node: ast.AST, guarded: bool) -> None:
-        if isinstance(node, _SCOPE_NODES):
-            return
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            inner = guarded or any(
-                isinstance(item.context_expr, ast.Name)
-                and item.context_expr.id in lock_names
-                for item in node.items)
-            for stmt in node.body:
-                visit(stmt, inner)
-            return
+    for node, contexts in walk_with_contexts(
+            fn, include_item_exprs=False):
+        guarded = _name_guarded(contexts, lock_names)
         if isinstance(node, ast.Subscript) \
                 and isinstance(node.ctx, (ast.Store, ast.Del)) \
                 and isinstance(node.value, ast.Name) \
@@ -264,11 +159,6 @@ def _collect_free_writes(fn: ast.AST, lock_names: set[str]
                 and isinstance(node.func.value, ast.Name) \
                 and node.func.value.id not in local:
             writes.append((node.func.value.id, node.lineno, guarded))
-        for child in ast.iter_child_nodes(node):
-            visit(child, guarded)
-
-    for stmt in getattr(fn, "body", []):
-        visit(stmt, False)
     return writes
 
 
@@ -278,27 +168,12 @@ def _collect_name_loads(fn: ast.AST, skip: ast.AST,
     """``(name, line, guarded)`` for name reads in ``fn`` outside the
     nested function ``skip``."""
     loads: list[tuple[str, int, bool]] = []
-
-    def visit(node: ast.AST, guarded: bool) -> None:
-        if node is skip or isinstance(node, _SCOPE_NODES) \
-                and node is not fn:
-            return
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            inner = guarded or any(
-                isinstance(item.context_expr, ast.Name)
-                and item.context_expr.id in lock_names
-                for item in node.items)
-            for stmt in node.body:
-                visit(stmt, inner)
-            return
+    for node, contexts in walk_with_contexts(
+            fn, skip=(skip,), include_item_exprs=False):
         if isinstance(node, ast.Name) and isinstance(node.ctx,
                                                      ast.Load):
-            loads.append((node.id, node.lineno, guarded))
-        for child in ast.iter_child_nodes(node):
-            visit(child, guarded)
-
-    for stmt in fn.body:
-        visit(stmt, False)
+            loads.append((node.id, node.lineno,
+                          _name_guarded(contexts, lock_names)))
     return loads
 
 
@@ -917,46 +792,45 @@ class _ModuleChecker:
 def _is_growth_scope(path: Path, source: str) -> bool:
     if GROWTH_SCOPE_DIRS.intersection(path.parts):
         return True
-    head = "\n".join(source.splitlines()[:5])
-    return _SCOPE_PRAGMA.search(head) is not None
+    return has_scope_pragma(source, "concurrency")
 
 
 def check_concurrency(paths: Sequence[Union[str, Path]],
-                      strict: bool = False) -> list[Finding]:
+                      strict: bool = False,
+                      cache: Optional[ParseCache] = None,
+                      project: Optional[Project] = None
+                      ) -> list[Finding]:
     """Run the RPR020-series pass over every Python file in ``paths``.
 
     Files that fail to parse are skipped here — the base lint pass
     already reports them as RPR000.  In ``strict`` mode, suppression
     comments naming RPR020-series codes that match no finding are
-    flagged as RPR006.
+    flagged as RPR006.  ``cache``/``project`` let ``repro check
+    --all`` share one parse and one symbol table across passes.
     """
-    modules: list[tuple[Path, ast.Module, str]] = []
-    project_classes: set[str] = set()
-    for path in iter_python_files(paths):
-        try:
-            source = path.read_text()
-        except OSError:
-            continue
-        try:
-            tree = ast.parse(source, filename=str(path))
-        except SyntaxError:
-            continue
-        modules.append((path, tree, source))
-        project_classes.update(
-            node.name for node in tree.body
-            if isinstance(node, ast.ClassDef))
+    cache = cache if cache is not None else ParseCache()
+    records = [record for record in cache.files(paths)
+               if record.tree is not None and record.source is not None]
+    if project is not None:
+        project_classes = project.class_names()
+    else:
+        project_classes = set()
+        for record in records:
+            project_classes.update(
+                node.name for node in record.tree.body
+                if isinstance(node, ast.ClassDef))
     findings: list[Finding] = []
-    for path, tree, source in modules:
-        display = str(path)
+    for record in records:
         checker = _ModuleChecker(
-            display, tree, _is_growth_scope(path, source),
+            record.display, record.tree,
+            _is_growth_scope(record.path, record.source),
             project_classes)
         module_findings = checker.run()
         module_findings.sort(
             key=lambda f: (f.line, f.col, f.rule, f.message))
-        findings.extend(_apply_noqa(
-            module_findings, source, display, strict=strict,
-            universe=CONCURRENCY_RULES))
+        findings.extend(apply_noqa(
+            module_findings, record.source, record.display,
+            strict=strict, universe=CONCURRENCY_RULES))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 

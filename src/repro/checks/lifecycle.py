@@ -1,0 +1,701 @@
+"""Exception-safety & resource-lifecycle pass (``repro check --lifecycle``).
+
+The fleet built in PRs 4-6 is only diagnosable if its error paths are
+honest: a worker loop that swallows an exception keeps "running" while
+producing nothing, a leaked ``Process``/executor/socket survives its
+supervisor, and a handler that catches ``SystemExit`` breaks the
+SIGTERM drain contract.  This whole-program pass (built on
+:mod:`repro.checks.ir`) enforces error-path discipline statically:
+
+* **RPR030** — silent exception swallowing in live/fleet/experiments
+  scope: an ``except`` that neither re-raises, uses the bound
+  exception, logs at warning+, prints, quarantines, counts, nor exits;
+* **RPR031** — broad ``except`` (bare / ``BaseException`` /
+  ``KeyboardInterrupt`` / ``SystemExit``) inside a worker/supervisor/
+  serve loop that continues past the exception, eating the graceful-
+  shutdown signals;
+* **RPR032** — a resource (open file, socket, ``Process`` / ``Pool`` /
+  executor, ``ThreadingHTTPServer``, temp dir) acquired without
+  deterministic release on all paths — context managers, try/finally
+  release, and registered-close callbacks are all recognized;
+* **RPR033** — lock ``acquire()`` with no ``release()`` on an
+  exception path (``with lock:`` and ``__enter__``/``__exit__`` pairs
+  are naturally exempt);
+* **RPR034** — a ``finally`` block that can ``return``, ``break``,
+  ``continue``, or ``raise`` past an in-flight exception;
+* **RPR035** — exiting with an exit code outside the documented CLI
+  contract (0 clean, 1 findings/error, 2 no input, 130 interrupted);
+* **RPR036** — a re-raise that loses the cause: ``raise X()`` inside
+  an ``except`` block without ``from``.
+
+Scope: RPR030 applies to files under ``live`` / ``fleet`` /
+``experiments`` directories, plus any file opting in with a
+``# repro: check-scope lifecycle`` pragma; the other rules apply
+everywhere.  Unresolvable dynamic constructs (computed receivers,
+escaping handles, re-assigned names) degrade to silence, never to a
+false positive — the RPR020 precedent.  Suppression reuses the shared
+machinery: ``# repro: noqa RPR030 <rationale>`` on the offending line,
+judged for deadness under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.checks.ir import (
+    FUNCTION_NODES as _FUNCTION_NODES,
+    SCOPE_NODES as _SCOPE_NODES,
+    Finding,
+    ModuleAliases,
+    ParseCache,
+    Project,
+    apply_noqa,
+    call_name as _call_name,
+    has_scope_pragma,
+    is_self_attr as _is_self_attr,
+    name_of as _name_of,
+    walk_local as _walk_local,
+)
+
+LIFECYCLE_RULES = {
+    "RPR030": "exception swallowed silently in live/fleet/experiments "
+              "scope",
+    "RPR031": "broad except in a worker/serve loop can eat "
+              "KeyboardInterrupt/SystemExit",
+    "RPR032": "resource acquired without deterministic release on all "
+              "paths",
+    "RPR033": "lock acquire() without release() on an exception path",
+    "RPR034": "finally block can raise/return past an in-flight "
+              "exception",
+    "RPR035": "exit with an undocumented exit code",
+    "RPR036": "re-raise loses the original cause (raise X() without "
+              "'from')",
+}
+
+#: directories whose error paths must surface failures (RPR030)
+LIFECYCLE_SCOPE_DIRS = frozenset({"live", "fleet", "experiments"})
+
+#: the CLI/worker exit-code contract (documented in docs/CHECKS.md)
+EXIT_CODES = frozenset({0, 1, 2, 130})
+
+#: function names that look like long-lived loop owners (RPR031)
+_LOOP_FN_NAME = re.compile(
+    r"serve|work|supervis|run|loop|drain|poll|main|watch")
+
+#: exception types a loop handler must never retain (RPR031)
+_SHUTDOWN_TYPES = frozenset({"BaseException", "KeyboardInterrupt",
+                             "SystemExit"})
+#: exception types considered broad for RPR030
+_BROAD_TYPES = frozenset({"Exception", "BaseException"})
+#: the import-gating idiom is exempt from RPR030
+_IMPORT_GATE_TYPES = frozenset({"ImportError", "ModuleNotFoundError"})
+
+#: method calls that surface an error (logging at warning+, metrics,
+#: quarantine) — enough to satisfy RPR030
+_SURFACING_CALLS = frozenset({
+    "warning", "error", "exception", "critical", "fatal",  # logging
+    "print",                                               # stderr
+    "admit", "quarantine", "record_error",                 # robustness
+    "inc", "increment", "observe", "add_error",            # metrics
+})
+
+#: constructor name -> resource label (RPR032)
+_RESOURCE_CTORS = {
+    "Process": "process handle",
+    "Pool": "worker pool",
+    "ProcessPoolExecutor": "executor",
+    "ThreadPoolExecutor": "executor",
+    "ThreadingHTTPServer": "HTTP server",
+    "TemporaryDirectory": "temporary directory",
+    "NamedTemporaryFile": "temporary file",
+    "SpooledTemporaryFile": "temporary file",
+}
+#: modules the bare-name constructors above may be imported from
+_RESOURCE_MODULES = frozenset({
+    "multiprocessing", "multiprocessing.context", "multiprocessing.pool",
+    "concurrent.futures", "http.server", "socketserver", "tempfile",
+})
+_SOCKET_CTORS = ("socket", "create_connection", "create_server")
+
+#: method names that release a tracked resource (RPR032 / RPR033)
+_RELEASE_METHODS = frozenset({
+    "close", "terminate", "shutdown", "cleanup", "join", "stop",
+    "kill", "release", "server_close", "unlink", "disconnect",
+})
+
+#: parent nodes through which a Load of a handle is only *inspected*
+#: (truthiness / comparison), never leaked
+_BENIGN_PARENTS = (ast.Compare, ast.BoolOp, ast.UnaryOp, ast.Expr,
+                   ast.Assert, ast.If, ast.While, ast.IfExp)
+
+
+def _is_lifecycle_scope(path: Path, source: str) -> bool:
+    if LIFECYCLE_SCOPE_DIRS.intersection(path.parts):
+        return True
+    return has_scope_pragma(source, "lifecycle")
+
+
+def _caught_names(handler: ast.ExceptHandler) -> set:
+    """Type names a handler catches; ``{"<bare>"}`` for a bare
+    except, None entries for unresolvable expressions."""
+    if handler.type is None:
+        return {"<bare>"}
+    types = handler.type.elts \
+        if isinstance(handler.type, ast.Tuple) else [handler.type]
+    return {_name_of(node) for node in types}
+
+
+def _handler_label(handler: ast.ExceptHandler) -> str:
+    if handler.type is None:
+        return "bare except"
+    try:
+        return f"except {ast.unparse(handler.type)}"
+    except Exception:  # pragma: no cover - defensive
+        return "except"
+
+
+def _trivial_body(body: list) -> bool:
+    """Only ``pass`` / constant expressions (docstring, ellipsis)."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant))
+        for stmt in body)
+
+
+class _LifecycleChecker:
+    """All RPR030-series analyses for one module."""
+
+    def __init__(self, display: str, tree: ast.Module,
+                 lifecycle_scope: bool,
+                 project: Optional[Project] = None) -> None:
+        self.display = display
+        self.tree = tree
+        self.lifecycle_scope = lifecycle_scope
+        self.project = project
+        self.aliases = ModuleAliases(tree)
+        self.findings: list[Finding] = []
+        #: module-level def/class names (shadow a builtin -> silence)
+        self.module_defs = {node.name for node in tree.body
+                            if isinstance(node, _FUNCTION_NODES
+                                          + (ast.ClassDef,))}
+        #: module functions whose body raises (surfacing targets)
+        self._raising_local = {
+            node.name for node in tree.body
+            if isinstance(node, _FUNCTION_NODES)
+            and any(isinstance(sub, ast.Raise)
+                    for sub in _walk_local(node))}
+        self._raising_remote: dict = {}
+        #: ``self.<attr>.release()`` sites across the whole module,
+        #: as (owning function id, inside-a-finally) pairs
+        self._self_releases: dict = {}
+        self._reported_raises: set = set()
+
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(Finding(
+            self.display, getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0) + 1, rule, message))
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[Finding]:
+        scopes = [self.tree] + [
+            node for node in ast.walk(self.tree)
+            if isinstance(node, _FUNCTION_NODES)]
+        for fn in scopes[1:]:
+            self._collect_self_releases(fn)
+        for scope in scopes:
+            self._check_scope(scope)
+        return self.findings
+
+    def _check_scope(self, scope: ast.AST) -> None:
+        fn_name = getattr(scope, "name", None)
+        finally_ids = self._finally_ids(scope)
+        loop_handler_ids = self._loop_handler_ids(scope)
+        for node in _walk_local(scope):
+            if isinstance(node, ast.ExceptHandler):
+                if self.lifecycle_scope:
+                    self._check_swallow(node)
+                if fn_name is not None \
+                        and _LOOP_FN_NAME.search(fn_name.lower()) \
+                        and id(node) in loop_handler_ids:
+                    self._check_loop_handler(node, fn_name)
+                self._check_cause_loss(node)
+            elif isinstance(node, ast.Try) and node.finalbody:
+                self._check_finally(node)
+            elif isinstance(node, ast.Call):
+                self._check_exit_code(node)
+            elif isinstance(node, ast.Raise):
+                self._check_exit_raise(node)
+        if scope is not self.tree:
+            self._check_resources(scope, finally_ids)
+            self._check_locks(scope, finally_ids)
+
+    # -- shared per-scope structure ------------------------------------
+    @staticmethod
+    def _finally_ids(scope: ast.AST) -> set:
+        """ids of every node lexically inside a ``finally`` block of
+        this scope (release-on-all-paths evidence)."""
+        ids: set = set()
+        for node in _walk_local(scope):
+            if isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    ids.add(id(stmt))
+                    for sub in ast.walk(stmt):
+                        ids.add(id(sub))
+        return ids
+
+    @staticmethod
+    def _loop_handler_ids(scope: ast.AST) -> set:
+        ids: set = set()
+        for node in _walk_local(scope):
+            if isinstance(node, (ast.While, ast.For)):
+                for sub in _walk_local(node):
+                    if isinstance(sub, ast.ExceptHandler):
+                        ids.add(id(sub))
+        return ids
+
+    # -- RPR030: silent swallowing -------------------------------------
+    def _surfaces(self, handler: ast.ExceptHandler) -> bool:
+        bound = handler.name
+        for node in _walk_local(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.AugAssign):
+                return True  # counter/metric increment
+            if bound and isinstance(node, ast.Name) \
+                    and node.id == bound \
+                    and isinstance(node.ctx, ast.Load):
+                return True  # the exception is used, not dropped
+            if isinstance(node, ast.Call):
+                name = _call_name(node.func)
+                if name in _SURFACING_CALLS:
+                    return True
+                if self.aliases.resolves(node.func, "sys", "exit") \
+                        or self.aliases.resolves(node.func, "os",
+                                                 "_exit"):
+                    return True
+                if isinstance(node.func, ast.Name) \
+                        and self._calls_raiser(node.func.id):
+                    return True
+        return False
+
+    def _calls_raiser(self, name: str) -> bool:
+        """Does ``name`` denote a function that raises?"""
+        if name in self._raising_local:
+            return True
+        if self.project is None:
+            return False
+        cached = self._raising_remote.get(name)
+        if cached is not None:
+            return cached
+        raises = False
+        qualified = self.aliases.from_names.get(name)
+        if qualified is not None:
+            fn = self.project.functions_q.get(qualified)
+            if fn is not None:
+                raises = any(isinstance(sub, ast.Raise)
+                             for sub in _walk_local(fn.node))
+        self._raising_remote[name] = raises
+        return raises
+
+    def _check_swallow(self, handler: ast.ExceptHandler) -> None:
+        caught = _caught_names(handler)
+        if caught & _IMPORT_GATE_TYPES:
+            return  # optional-dependency gating idiom
+        broad = "<bare>" in caught or bool(caught & _BROAD_TYPES)
+        trivial = _trivial_body(handler.body)
+        if not (broad or trivial):
+            return
+        if self._surfaces(handler):
+            return
+        self.report(
+            handler, "RPR030",
+            f"{_handler_label(handler)} swallows the exception "
+            f"silently; re-raise, log at warning+, count it, or "
+            f"quarantine the failure")
+
+    # -- RPR031: shutdown-signal-eating loop handlers ------------------
+    def _check_loop_handler(self, handler: ast.ExceptHandler,
+                            fn_name: str) -> None:
+        caught = _caught_names(handler)
+        if not ("<bare>" in caught or caught & _SHUTDOWN_TYPES):
+            return
+        for node in _walk_local(handler):
+            if isinstance(node, (ast.Raise, ast.Break, ast.Return)):
+                return  # the loop does not continue past it
+            if isinstance(node, ast.Call) and (
+                    self.aliases.resolves(node.func, "sys", "exit")
+                    or self.aliases.resolves(node.func, "os",
+                                             "_exit")):
+                return
+        self.report(
+            handler, "RPR031",
+            f"{_handler_label(handler)} inside the {fn_name}() loop "
+            f"retains KeyboardInterrupt/SystemExit and keeps looping; "
+            f"catch Exception instead, or re-raise/break for shutdown "
+            f"signals")
+
+    # -- RPR032: resource lifecycle ------------------------------------
+    def _resource_label(self, call: ast.Call) -> Optional[str]:
+        """Label when ``call`` constructs a tracked resource."""
+        func = call.func
+        name = _call_name(func)
+        if name is None or name in self.module_defs:
+            return None
+        if isinstance(func, ast.Name):
+            if name == "open":
+                return None if "open" in self.aliases.from_names \
+                    else "file handle"
+            if name in _RESOURCE_CTORS:
+                qualified = self.aliases.from_names.get(name)
+                if qualified is None:
+                    return None  # unknown origin: degrade to silence
+                module = qualified.rsplit(".", 1)[0]
+                return _RESOURCE_CTORS[name] \
+                    if module in _RESOURCE_MODULES else None
+            for ctor in _SOCKET_CTORS:
+                if self.aliases.resolves(func, "socket", ctor):
+                    return "socket"
+            return None
+        if name in _RESOURCE_CTORS:
+            return _RESOURCE_CTORS[name]
+        for ctor in _SOCKET_CTORS:
+            if self.aliases.resolves(func, "socket", ctor):
+                return "socket"
+        if isinstance(func, ast.Attribute) and func.attr == "open" \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id in self.aliases.modules:
+            module = self.aliases.modules[func.value.id]
+            if module in ("io", "gzip", "bz2", "lzma"):
+                return "file handle"
+        return None
+
+    @staticmethod
+    def _acquisition_calls(value: ast.expr) -> list:
+        """Constructor calls a simple assignment value may evaluate to
+        (``x = open(...)`` or ``x = open(...) if cond else None``)."""
+        if isinstance(value, ast.Call):
+            return [value]
+        if isinstance(value, ast.IfExp):
+            return [side for side in (value.body, value.orelse)
+                    if isinstance(side, ast.Call)]
+        return []
+
+    def _check_resources(self, fn: ast.AST, finally_ids: set) -> None:
+        acquisitions: list = []
+        stores: dict = {}
+        for node in _walk_local(fn):
+            if not isinstance(node, ast.Assign) \
+                    or len(node.targets) != 1 \
+                    or not isinstance(node.targets[0], ast.Name):
+                continue
+            name = node.targets[0].id
+            if not (isinstance(node.value, ast.Constant)
+                    and node.value.value is None):
+                stores[name] = stores.get(name, 0) + 1
+            for call in self._acquisition_calls(node.value):
+                label = self._resource_label(call)
+                if label is not None:
+                    acquisitions.append((name, call, label))
+                    break
+        if not acquisitions:
+            return
+        nested_names = self._nested_scope_names(fn)
+        parents = {child: parent for parent in ast.walk(fn)
+                   for child in ast.iter_child_nodes(parent)}
+        for name, call, label in acquisitions:
+            if stores.get(name, 0) > 1 or name in nested_names:
+                continue  # re-bound or closed over: degrade to silence
+            self._judge_resource(fn, name, call, label, parents,
+                                 finally_ids)
+
+    @staticmethod
+    def _nested_scope_names(fn: ast.AST) -> set:
+        names: set = set()
+        for node in _walk_local(fn):
+            if isinstance(node, _SCOPE_NODES):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        return names
+
+    def _judge_resource(self, fn: ast.AST, name: str, call: ast.Call,
+                        label: str, parents: dict,
+                        finally_ids: set) -> None:
+        acquisition_sub = {id(sub) for sub in ast.walk(call)}
+        released_in_finally = False
+        straight_release: Optional[str] = None
+        for node in _walk_local(fn):
+            if not (isinstance(node, ast.Name) and node.id == name
+                    and isinstance(node.ctx, ast.Load)) \
+                    or id(node) in acquisition_sub:
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.withitem):
+                return  # managed by a with statement
+            if isinstance(parent, ast.Attribute) \
+                    and parent.value is node:
+                grand = parents.get(parent)
+                if isinstance(grand, ast.Call) \
+                        and grand.func is parent:
+                    if parent.attr in _RELEASE_METHODS:
+                        if id(grand) in finally_ids:
+                            released_in_finally = True
+                        else:
+                            straight_release = parent.attr
+                    continue  # other method calls only use the handle
+                if parent.attr in _RELEASE_METHODS:
+                    return  # h.close passed around: registered close
+                continue  # plain attribute read (.pid, .exitcode, ...)
+            if isinstance(parent, _BENIGN_PARENTS):
+                continue  # truthiness / comparison only
+            return  # the handle escapes: degrade to silence
+        if released_in_finally:
+            return
+        if straight_release is not None:
+            self.report(
+                call, "RPR032",
+                f"{label} {name!r} is released only on the "
+                f"straight-line path; move {name}.{straight_release}() "
+                f"into a finally block or use a context manager")
+        else:
+            self.report(
+                call, "RPR032",
+                f"{label} {name!r} is never released; use a context "
+                f"manager or try/finally")
+
+    # -- RPR033: lock acquire/release pairing --------------------------
+    @staticmethod
+    def _lock_key(receiver: ast.expr):
+        attr = _is_self_attr(receiver)
+        if attr is not None:
+            return ("self", attr)
+        if isinstance(receiver, ast.Name):
+            return ("local", receiver.id)
+        return None  # computed receiver: degrade to silence
+
+    def _collect_self_releases(self, fn: ast.AST) -> None:
+        finally_ids = self._finally_ids(fn)
+        for node in _walk_local(fn):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "release":
+                attr = _is_self_attr(node.func.value)
+                if attr is not None:
+                    self._self_releases.setdefault(attr, []).append(
+                        (id(fn), id(node) in finally_ids))
+
+    def _check_locks(self, fn: ast.AST, finally_ids: set) -> None:
+        acquires: list = []
+        releases: dict = {}
+        for node in _walk_local(fn):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute):
+                key = self._lock_key(node.func.value)
+                if key is None:
+                    continue
+                if node.func.attr == "acquire":
+                    acquires.append((key, node))
+                elif node.func.attr == "release":
+                    releases.setdefault(key, []).append(
+                        id(node) in finally_ids)
+        if not acquires:
+            return
+        # a lock passed/returned/stored may be released by another
+        # owner — any non-benign Load marks it escaped (silence)
+        escaped: set = set()
+        parents = {child: parent for parent in ast.walk(fn)
+                   for child in ast.iter_child_nodes(parent)}
+        for node in _walk_local(fn):
+            if isinstance(node, ast.Name) \
+                    and isinstance(node.ctx, ast.Load):
+                parent = parents.get(node)
+                if isinstance(parent, ast.Attribute) \
+                        and parent.value is node:
+                    continue
+                if isinstance(parent, (ast.withitem,)
+                              + _BENIGN_PARENTS):
+                    continue
+                escaped.add(("local", node.id))
+        for key, node in acquires:
+            kind, name = key
+            here = releases.get(key, [])
+            if kind == "local":
+                if key in escaped:
+                    continue  # handed to another owner
+                if not here:
+                    self.report(
+                        node, "RPR033",
+                        f"{name}.acquire() is never released in this "
+                        f"function; use `with {name}:` or try/finally")
+                elif not any(here):
+                    self.report(
+                        node, "RPR033",
+                        f"{name}.acquire() has no release() on the "
+                        f"exception path; move {name}.release() into "
+                        f"a finally block or use `with {name}:`")
+                continue
+            module_rels = self._self_releases.get(name, [])
+            if not module_rels:
+                self.report(
+                    node, "RPR033",
+                    f"self.{name}.acquire() has no matching release() "
+                    f"anywhere in this module; use `with self.{name}:`"
+                    f" or try/finally")
+            elif here and not any(here) \
+                    and all(owner == id(fn)
+                            for owner, _ in module_rels):
+                self.report(
+                    node, "RPR033",
+                    f"self.{name}.acquire() has no release() on the "
+                    f"exception path; move self.{name}.release() into "
+                    f"a finally block or use `with self.{name}:`")
+
+    # -- RPR034: finally discipline ------------------------------------
+    def _check_finally(self, try_node: ast.Try) -> None:
+        def visit(node: ast.AST, in_loop: bool,
+                  shielded: bool) -> None:
+            if isinstance(node, _SCOPE_NODES):
+                return
+            if isinstance(node, ast.Return):
+                self.report(
+                    node, "RPR034",
+                    "return inside a finally block swallows any "
+                    "in-flight exception")
+                return
+            if isinstance(node, (ast.Break, ast.Continue)) \
+                    and not in_loop:
+                word = "break" if isinstance(node, ast.Break) \
+                    else "continue"
+                self.report(
+                    node, "RPR034",
+                    f"{word} inside a finally block cancels any "
+                    f"in-flight exception")
+                return
+            if isinstance(node, ast.Raise) and node.exc is not None \
+                    and not shielded:
+                self.report(
+                    node, "RPR034",
+                    "raise inside a finally block replaces any "
+                    "in-flight exception; shield it with try/except "
+                    "or raise before the finally")
+            if isinstance(node, (ast.While, ast.For)):
+                visit(node.iter if isinstance(node, ast.For)
+                      else node.test, in_loop, shielded)
+                for stmt in node.body:
+                    visit(stmt, True, shielded)
+                for stmt in node.orelse:
+                    visit(stmt, in_loop, shielded)
+                return
+            if isinstance(node, ast.Try) and node.handlers:
+                for stmt in node.body:
+                    visit(stmt, in_loop, True)
+                for handler in node.handlers:
+                    for stmt in handler.body:
+                        visit(stmt, in_loop, shielded)
+                for stmt in node.orelse + node.finalbody:
+                    visit(stmt, in_loop, shielded)
+                return
+            for child in ast.iter_child_nodes(node):
+                visit(child, in_loop, shielded)
+
+        for stmt in try_node.finalbody:
+            visit(stmt, False, False)
+
+    # -- RPR035: exit-code contract ------------------------------------
+    def _check_exit_code(self, call: ast.Call) -> None:
+        if not (self.aliases.resolves(call.func, "sys", "exit")
+                or self.aliases.resolves(call.func, "os", "_exit")):
+            return
+        self._judge_exit(call)
+
+    def _check_exit_raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        if isinstance(exc, ast.Call) \
+                and _name_of(exc.func) == "SystemExit":
+            self._judge_exit(exc)
+
+    def _judge_exit(self, call: ast.Call) -> None:
+        if not call.args:
+            return  # exits 0
+        arg = call.args[0]
+        if not isinstance(arg, ast.Constant):
+            return  # computed exit status: degrade to silence
+        value = arg.value
+        if value is None:
+            return
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, int):
+            if value not in EXIT_CODES:
+                codes = ", ".join(str(c) for c in sorted(EXIT_CODES))
+                self.report(
+                    call, "RPR035",
+                    f"exit code {value} is not in the documented "
+                    f"contract ({codes}); see docs/CHECKS.md")
+        elif isinstance(value, str):
+            self.report(
+                call, "RPR035",
+                "exiting with a message string implicitly exits 1; "
+                "print the message and use a documented exit code")
+
+    # -- RPR036: cause-losing re-raise ---------------------------------
+    def _check_cause_loss(self, handler: ast.ExceptHandler) -> None:
+        for node in _walk_local(handler):
+            if not isinstance(node, ast.Raise) \
+                    or id(node) in self._reported_raises:
+                continue
+            if isinstance(node.exc, ast.Call) and node.cause is None:
+                self._reported_raises.add(id(node))
+                name = _call_name(node.exc.func) or "a new exception"
+                self.report(
+                    node, "RPR036",
+                    f"raising {name} inside an except block without "
+                    f"'from' loses the original cause; add "
+                    f"'from <err>' (or 'from None' to disown it)")
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def check_lifecycle(paths: Sequence[Union[str, Path]],
+                    strict: bool = False,
+                    cache: Optional[ParseCache] = None,
+                    project: Optional[Project] = None
+                    ) -> list[Finding]:
+    """Run the RPR030-series pass over every Python file in ``paths``.
+
+    Files that fail to parse are skipped here — the base lint pass
+    already reports them as RPR000.  ``cache``/``project`` let ``repro
+    check --all`` share one parse and one symbol table across passes;
+    the project, when supplied, also lets RPR030 resolve surfacing
+    calls to raising functions across module boundaries.
+    """
+    cache = cache if cache is not None else ParseCache()
+    findings: list[Finding] = []
+    for record in cache.files(paths):
+        if record.tree is None or record.source is None:
+            continue
+        checker = _LifecycleChecker(
+            record.display, record.tree,
+            _is_lifecycle_scope(record.path, record.source),
+            project=project)
+        module_findings = checker.run()
+        module_findings.sort(
+            key=lambda f: (f.line, f.col, f.rule, f.message))
+        findings.extend(apply_noqa(
+            module_findings, record.source, record.display,
+            strict=strict, universe=LIFECYCLE_RULES))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+__all__ = [
+    "EXIT_CODES",
+    "LIFECYCLE_RULES",
+    "LIFECYCLE_SCOPE_DIRS",
+    "check_lifecycle",
+]

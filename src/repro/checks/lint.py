@@ -31,12 +31,24 @@ rules) to the offending line.
 from __future__ import annotations
 
 import ast
-import io
 import re
-import tokenize
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.checks.ir import (
+    Finding,
+    ParseCache,
+    apply_noqa,
+    has_scope_pragma,
+    iter_python_files,
+    name_of as _name_of,
+    numeric_literal as _numeric_literal,
+)
+
+__all__ = [
+    "Finding", "RULES", "SIM_SCOPE_DIRS", "check_paths",
+    "check_source", "iter_python_files", "render_findings",
+]
 
 RULES = {
     "RPR001": "unseeded randomness / wall-clock / set-order dependence "
@@ -51,11 +63,6 @@ RULES = {
 
 #: directories whose files are simulation-critical (RPR001 / RPR005)
 SIM_SCOPE_DIRS = frozenset({"simnet", "core", "collective"})
-
-_SCOPE_PRAGMA = re.compile(r"#\s*repro:\s*check-scope\s+sim\b")
-_NOQA = re.compile(
-    r"#\s*repro:\s*noqa"
-    r"(?:\s+(?P<codes>RPR\d{3}(?:\s*,\s*RPR\d{3})*))?")
 
 #: ``time`` module functions that read host clocks
 _WALL_CLOCK_FNS = frozenset({
@@ -75,54 +82,10 @@ _BYTES_SUFFIX = re.compile(r"_bytes$")
 UNIT_LITERAL_THRESHOLD = 1000
 
 
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation at a source location."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: " \
-               f"{self.rule} {self.message}"
-
-    def to_dict(self) -> dict:
-        return {"path": self.path, "line": self.line, "col": self.col,
-                "rule": self.rule, "message": self.message}
-
-
 def _is_sim_scope(path: Path, source: str) -> bool:
     if SIM_SCOPE_DIRS.intersection(path.parts):
         return True
-    head = "\n".join(source.splitlines()[:5])
-    return _SCOPE_PRAGMA.search(head) is not None
-
-
-def _numeric_literal(node: ast.expr) -> Optional[Union[int, float]]:
-    """The value of a bare (possibly negated) numeric literal, else
-    None."""
-    if isinstance(node, ast.UnaryOp) \
-            and isinstance(node.op, (ast.USub, ast.UAdd)):
-        inner = _numeric_literal(node.operand)
-        if inner is None:
-            return None
-        return -inner if isinstance(node.op, ast.USub) else inner
-    if isinstance(node, ast.Constant) \
-            and isinstance(node.value, (int, float)) \
-            and not isinstance(node.value, bool):
-        return node.value
-    return None
-
-
-def _name_of(node: ast.expr) -> Optional[str]:
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    return None
+    return has_scope_pragma(source, "sim")
 
 
 def _is_timestamp_name(node: ast.expr) -> bool:
@@ -463,89 +426,36 @@ def _apply_noqa(findings: list[Finding], source: str, path: str,
     """Filter suppressed findings; in strict mode flag unused noqa.
 
     ``universe`` is the rule catalogue of the calling pass (defaults
-    to this module's ``RULES``).  Coded suppressions naming rules
-    outside the universe are left for the pass that owns them; coded
-    suppressions naming rules inside it that match no finding on the
-    line are flagged as RPR006 per dead code.  Blanket ``# repro:
-    noqa`` comments are judged only by the base pass so multiple
-    passes never double-report the same comment.
+    to this module's ``RULES``).  The base pass — and only the base
+    pass — also judges blanket ``# repro: noqa`` comments in strict
+    mode; the shared machinery lives in :mod:`repro.checks.ir`.
     """
-    suppressors: dict[int, Optional[set[str]]] = {}
-    try:
-        tokens = list(tokenize.generate_tokens(
-            io.StringIO(source).readline))
-    except (tokenize.TokenError, IndentationError):  # pragma: no cover
-        tokens = []
-    for token in tokens:
-        if token.type != tokenize.COMMENT:
-            continue
-        match = _NOQA.search(token.string)
-        if match is None:
-            continue
-        codes = match.group("codes")
-        suppressors[token.start[0]] = None if codes is None else \
-            {code.strip() for code in codes.split(",")}
-    if not suppressors:
-        return findings
-    base_pass = universe is None
-    universe_rules = set(RULES if universe is None else universe)
-    kept: list[Finding] = []
-    used: set[int] = set()
-    used_codes: dict[int, set[str]] = {}
-    for finding in findings:
-        allowed = suppressors.get(finding.line, ...)
-        if allowed is ... or (allowed is not None
-                              and finding.rule not in allowed):
-            kept.append(finding)
-        else:
-            used.add(finding.line)
-            used_codes.setdefault(finding.line, set()).add(
-                finding.rule)
-    if strict:
-        for line_no in sorted(suppressors):
-            codes = suppressors[line_no]
-            if codes is None:
-                # blanket noqa: only the base pass judges it, so
-                # stacked passes never double-report one comment
-                if base_pass and line_no not in used:
-                    kept.append(Finding(
-                        path, line_no, 1, "RPR006",
-                        "suppression comment does not match any "
-                        "finding on this line"))
-                continue
-            relevant = codes & universe_rules
-            if not relevant:
-                # names only another pass's rules: judged there
-                continue
-            dead = relevant - used_codes.get(line_no, set())
-            if dead == relevant and line_no not in used:
-                kept.append(Finding(
-                    path, line_no, 1, "RPR006",
-                    "suppression comment does not match any finding "
-                    "on this line"))
-            else:
-                for code in sorted(dead):
-                    kept.append(Finding(
-                        path, line_no, 1, "RPR006",
-                        f"suppressed code {code} matches no finding "
-                        f"on this line"))
-    return kept
+    return apply_noqa(findings, source, path, strict,
+                      universe=RULES if universe is None else universe,
+                      base_pass=universe is None)
 
 
 def check_source(source: str, path: Union[str, Path],
                  sim_scope: Optional[bool] = None,
-                 strict: bool = False) -> list[Finding]:
-    """Lint one file's source; returns unsuppressed findings."""
+                 strict: bool = False,
+                 tree: Optional[ast.Module] = None) -> list[Finding]:
+    """Lint one file's source; returns unsuppressed findings.
+
+    ``tree`` lets a caller supply the already-parsed AST (the shared
+    :class:`~repro.checks.ir.ParseCache`); without it the source is
+    parsed here and a syntax error becomes RPR000.
+    """
     path = Path(path)
     display = str(path)
     if sim_scope is None:
         sim_scope = _is_sim_scope(path, source)
-    try:
-        tree = ast.parse(source, filename=display)
-    except SyntaxError as error:
-        return [Finding(display, error.lineno or 0,
-                        (error.offset or 0) or 1, "RPR000",
-                        f"file does not parse: {error.msg}")]
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as error:
+            return [Finding(display, error.lineno or 0,
+                            (error.offset or 0) or 1, "RPR000",
+                            f"file does not parse: {error.msg}")]
     checker = _FileChecker(display, sim_scope)
     checker.visit(tree)
     findings = checker.findings + _check_schema_drift(display, tree)
@@ -554,34 +464,27 @@ def check_source(source: str, path: Union[str, Path],
     return findings
 
 
-def iter_python_files(paths: Sequence[Union[str, Path]]
-                      ) -> Iterator[Path]:
-    """Expand files/directories into .py files, deterministically."""
-    for entry in paths:
-        entry = Path(entry)
-        if entry.is_dir():
-            for candidate in sorted(entry.rglob("*.py")):
-                parts = candidate.parts
-                if "__pycache__" in parts \
-                        or any(p.startswith(".") for p in parts):
-                    continue
-                yield candidate
-        else:
-            yield entry
-
-
 def check_paths(paths: Sequence[Union[str, Path]],
-                strict: bool = False) -> list[Finding]:
+                strict: bool = False,
+                cache: Optional[ParseCache] = None) -> list[Finding]:
     """Lint every Python file under ``paths``."""
+    cache = cache if cache is not None else ParseCache()
     findings: list[Finding] = []
-    for path in iter_python_files(paths):
-        try:
-            source = path.read_text()
-        except OSError as error:
-            findings.append(Finding(str(path), 0, 1, "RPR000",
-                                    f"unreadable: {error}"))
+    for record in cache.files(paths):
+        if record.read_error is not None:
+            findings.append(Finding(
+                record.display, 0, 1, "RPR000",
+                f"unreadable: {record.read_error}"))
             continue
-        findings.extend(check_source(source, path, strict=strict))
+        if record.syntax_error is not None:
+            error = record.syntax_error
+            findings.append(Finding(
+                record.display, error.lineno or 0,
+                (error.offset or 0) or 1, "RPR000",
+                f"file does not parse: {error.msg}"))
+            continue
+        findings.extend(check_source(record.source, record.path,
+                                     strict=strict, tree=record.tree))
     return findings
 
 

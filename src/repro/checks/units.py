@@ -46,13 +46,39 @@ skipped here — the base pass already reports them as RPR000.
 from __future__ import annotations
 
 import ast
-import enum
-import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
-from repro.checks.lint import Finding, _apply_noqa, iter_python_files
+from repro.checks.ir import (
+    ANNOTATION_UNITS,
+    DATA_UNITS,
+    RATE_UNITS,
+    SUFFIX_UNITS,
+    TIME_UNITS,
+    UNITS_SCOPE_DIRS,
+    ClassInfo,
+    Finding,
+    FunctionInfo,
+    ModuleInfo,
+    Param,
+    ParseCache,
+    Project,
+    Unit,
+    annotation_class as _annotation_class,
+    annotation_unit as _annotation_unit,
+    apply_noqa,
+    build_project,
+    join,
+    suffix_unit,
+)
+
+__all__ = [
+    "ANNOTATION_UNITS", "DATA_UNITS", "RATE_UNITS", "SUFFIX_UNITS",
+    "TIME_UNITS", "TIME_WORDS", "UNITS_SCOPE_DIRS", "UNIT_RULES",
+    "BuiltinSignature", "BUILTIN_SIGNATURES", "Unit", "build_project",
+    "check_units", "join", "suffix_unit",
+]
 
 UNIT_RULES = {
     "RPR010": "unit-mismatched call argument",
@@ -62,63 +88,6 @@ UNIT_RULES = {
     "RPR013": "raw conversion constant where a checked converter "
               "exists",
 }
-
-#: directories whose files are in sim/diagnosis scope (RPR012 / RPR013)
-UNITS_SCOPE_DIRS = frozenset({"simnet", "core", "live"})
-_SCOPE_PRAGMA = re.compile(r"#\s*repro:\s*check-scope\s+sim\b")
-#: modules allowed to use raw conversion factors (they *define* them)
-_CONVERTER_MODULES = frozenset({"repro.simnet.units", "repro.core.units"})
-
-
-class Unit(enum.Enum):
-    """One point of the unit lattice."""
-
-    SECONDS = "s"
-    MILLISECONDS = "ms"
-    MICROSECONDS = "us"
-    NANOSECONDS = "ns"
-    BYTES = "bytes"
-    BITS = "bits"
-    BPS = "bps"
-    GBPS = "gbps"
-    DIMENSIONLESS = "dimensionless"
-    UNKNOWN = "unknown"
-
-    @property
-    def known(self) -> bool:
-        return self not in (Unit.DIMENSIONLESS, Unit.UNKNOWN)
-
-
-TIME_UNITS = frozenset({Unit.SECONDS, Unit.MILLISECONDS,
-                        Unit.MICROSECONDS, Unit.NANOSECONDS})
-DATA_UNITS = frozenset({Unit.BYTES, Unit.BITS})
-RATE_UNITS = frozenset({Unit.BPS, Unit.GBPS})
-
-#: annotation name (repro.core.units NewTypes) -> unit
-ANNOTATION_UNITS = {
-    "Seconds": Unit.SECONDS,
-    "Milliseconds": Unit.MILLISECONDS,
-    "Microseconds": Unit.MICROSECONDS,
-    "Nanoseconds": Unit.NANOSECONDS,
-    "Bytes": Unit.BYTES,
-    "Bits": Unit.BITS,
-    "BitsPerSecond": Unit.BPS,
-    "Gbps": Unit.GBPS,
-    "Dimensionless": Unit.DIMENSIONLESS,
-}
-
-#: name suffix -> unit (matched case-insensitively, longest first)
-SUFFIX_UNITS = (
-    ("_gbps", Unit.GBPS),
-    ("_bytes", Unit.BYTES),
-    ("_bits", Unit.BITS),
-    ("_bps", Unit.BPS),
-    ("_sec", Unit.SECONDS),
-    ("_ns", Unit.NANOSECONDS),
-    ("_us", Unit.MICROSECONDS),
-    ("_ms", Unit.MILLISECONDS),
-    ("_s", Unit.SECONDS),
-)
 
 #: bare parameter names that denote a time magnitude (RPR012)
 TIME_WORDS = frozenset({
@@ -206,28 +175,6 @@ for _name, _unit in ANNOTATION_UNITS.items():
         [("value", _unit)], _unit)
 
 
-def suffix_unit(name: Optional[str]) -> Unit:
-    """Unit implied by a trailing name suffix, else UNKNOWN."""
-    if not name:
-        return Unit.UNKNOWN
-    lowered = name.lower()
-    for suffix, unit in SUFFIX_UNITS:
-        if lowered.endswith(suffix):
-            return unit
-    return Unit.UNKNOWN
-
-
-def join(a: Unit, b: Unit) -> Unit:
-    """Lattice join: dimensionless is compatible with anything."""
-    if a == b:
-        return a
-    if a == Unit.DIMENSIONLESS:
-        return b
-    if b == Unit.DIMENSIONLESS:
-        return a
-    return Unit.UNKNOWN
-
-
 def _family(unit: Unit) -> Optional[str]:
     if unit in TIME_UNITS:
         return "time"
@@ -251,394 +198,6 @@ def _conversion_factor(unit: Unit, literal: ast.expr) -> Optional[float]:
     if table and value in table:
         return value
     return None
-
-
-# ----------------------------------------------------------------------
-# project model
-# ----------------------------------------------------------------------
-@dataclass
-class Param:
-    name: str
-    unit: Unit
-    annotated: bool            # carries a recognized unit annotation
-    type_name: Optional[str]   # class named by a non-unit annotation
-    lineno: int
-    col: int
-
-
-@dataclass
-class FunctionInfo:
-    name: str
-    node: ast.AST
-    module: "ModuleInfo"
-    class_name: Optional[str]
-    params: list            # of Param, excluding self/cls
-    has_vararg: bool
-    return_unit: Unit
-    return_annotated: bool
-    is_public: bool
-
-    @property
-    def display(self) -> str:
-        if self.class_name:
-            return f"{self.class_name}.{self.name}"
-        return self.name
-
-
-@dataclass
-class ClassInfo:
-    name: str
-    node: ast.ClassDef
-    module: "ModuleInfo"
-    bases: list
-    methods: dict = field(default_factory=dict)
-    attr_units: dict = field(default_factory=dict)
-    attr_types: dict = field(default_factory=dict)
-    #: attr name -> constructor expression name, resolved lazily
-    attr_ctors: dict = field(default_factory=dict)
-    is_dataclass: bool = False
-    fields: list = field(default_factory=list)  # of (Param, default)
-    is_public: bool = True
-
-    def constructor_params(self) -> tuple:
-        """(params, has_vararg) of ``Cls(...)`` calls."""
-        init = self.methods.get("__init__")
-        if init is not None:
-            return init.params, init.has_vararg
-        if self.is_dataclass:
-            return [param for param, _ in self.fields], False
-        return [], True  # unknown constructor: check nothing
-
-
-@dataclass
-class ModuleInfo:
-    path: Path
-    display: str
-    name: str                   # dotted module name
-    tree: ast.Module
-    source: str
-    units_scope: bool
-    functions: dict = field(default_factory=dict)
-    classes: dict = field(default_factory=dict)
-    imports: dict = field(default_factory=dict)
-    constants: dict = field(default_factory=dict)  # name -> Unit
-
-    @property
-    def is_converter_module(self) -> bool:
-        return self.name in _CONVERTER_MODULES
-
-
-def _module_name(path: Path) -> str:
-    parts = list(path.with_suffix("").parts)
-    if parts and parts[-1] == "__init__":
-        parts.pop()
-    if "repro" in parts:
-        parts = parts[len(parts) - 1 - parts[::-1].index("repro"):]
-    else:
-        parts = parts[-1:]
-    return ".".join(parts)
-
-
-def _is_units_scope(path: Path, source: str) -> bool:
-    if UNITS_SCOPE_DIRS.intersection(path.parts) and "repro" in path.parts:
-        return True
-    head = "\n".join(source.splitlines()[:5])
-    return _SCOPE_PRAGMA.search(head) is not None
-
-
-def _annotation_unit(node: Optional[ast.expr]) -> tuple:
-    """(unit, recognized) for an annotation expression."""
-    if node is None:
-        return Unit.UNKNOWN, False
-    if isinstance(node, ast.Name):
-        unit = ANNOTATION_UNITS.get(node.id)
-        return (unit, True) if unit is not None else (Unit.UNKNOWN, False)
-    if isinstance(node, ast.Attribute):
-        unit = ANNOTATION_UNITS.get(node.attr)
-        return (unit, True) if unit is not None else (Unit.UNKNOWN, False)
-    if isinstance(node, ast.Constant) and isinstance(node.value, str):
-        try:
-            inner = ast.parse(node.value, mode="eval").body
-        except SyntaxError:
-            return Unit.UNKNOWN, False
-        return _annotation_unit(inner)
-    if isinstance(node, ast.Subscript):
-        head = node.value
-        if isinstance(head, ast.Attribute):
-            head_name = head.attr
-        elif isinstance(head, ast.Name):
-            head_name = head.id
-        else:
-            return Unit.UNKNOWN, False
-        if head_name in ("Optional", "Final", "ClassVar"):
-            return _annotation_unit(node.slice)
-        if head_name in ("list", "List", "tuple", "Tuple", "set",
-                         "Set", "frozenset", "FrozenSet", "Sequence",
-                         "Iterable", "Iterator", "Collection", "Deque",
-                         "deque"):
-            # a container of unit magnitudes counts as annotated, but
-            # the container itself is not a magnitude
-            inner = node.slice
-            if isinstance(inner, ast.Tuple) and inner.elts:
-                inner = inner.elts[0]
-            _, recognized = _annotation_unit(inner)
-            return Unit.UNKNOWN, recognized
-        if head_name in ("dict", "Dict", "Mapping", "MutableMapping",
-                         "DefaultDict", "defaultdict"):
-            inner = node.slice
-            if isinstance(inner, ast.Tuple) and len(inner.elts) == 2:
-                _, recognized = _annotation_unit(inner.elts[1])
-                return Unit.UNKNOWN, recognized
-            return Unit.UNKNOWN, False
-    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
-        # Nanoseconds | None
-        for side in (node.left, node.right):
-            if isinstance(side, ast.Constant) and side.value is None:
-                continue
-            return _annotation_unit(side)
-    return Unit.UNKNOWN, False
-
-
-def _annotation_class(node: Optional[ast.expr]) -> Optional[str]:
-    """Class name referenced by an annotation, for call resolution."""
-    if node is None:
-        return None
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Constant) and isinstance(node.value, str):
-        name = node.value.strip()
-        return name if name.isidentifier() else None
-    if isinstance(node, ast.Subscript):
-        head = _annotation_class(node.value)
-        if head == "Optional":
-            return _annotation_class(node.slice)
-    return None
-
-
-def _decorator_names(node) -> set:
-    names = set()
-    for decorator in node.decorator_list:
-        target = decorator.func if isinstance(decorator, ast.Call) \
-            else decorator
-        if isinstance(target, ast.Name):
-            names.add(target.id)
-        elif isinstance(target, ast.Attribute):
-            names.add(target.attr)
-    return names
-
-
-def _collect_params(node, skip_first: bool) -> tuple:
-    """(params, has_vararg) for a function definition."""
-    args = node.args
-    params = []
-    positional = list(args.posonlyargs) + list(args.args)
-    if skip_first and positional:
-        positional = positional[1:]
-    for arg in positional + list(args.kwonlyargs):
-        unit, annotated = _annotation_unit(arg.annotation)
-        if not annotated:
-            unit = suffix_unit(arg.arg)
-        params.append(Param(
-            arg.arg, unit, annotated,
-            None if annotated else _annotation_class(arg.annotation),
-            arg.lineno, arg.col_offset + 1))
-    return params, args.vararg is not None
-
-
-class Project:
-    """All analyzed modules plus cross-module resolution indexes."""
-
-    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
-        self.modules = list(modules)
-        self.functions_q: dict = {}
-        self.classes_q: dict = {}
-        self._classes_simple: dict = {}
-        for module in self.modules:
-            for name, fn in module.functions.items():
-                self.functions_q[f"{module.name}.{name}"] = fn
-            for name, cls in module.classes.items():
-                self.classes_q[f"{module.name}.{name}"] = cls
-                if name in self._classes_simple:
-                    self._classes_simple[name] = None  # ambiguous
-                else:
-                    self._classes_simple[name] = cls
-
-    def class_named(self, module: ModuleInfo,
-                    name: Optional[str]) -> Optional[ClassInfo]:
-        if not name:
-            return None
-        if name in module.classes:
-            return module.classes[name]
-        qualified = module.imports.get(name)
-        if qualified is not None and qualified in self.classes_q:
-            return self.classes_q[qualified]
-        return self._classes_simple.get(name)
-
-    def method_of(self, cls: Optional[ClassInfo],
-                  name: str) -> Optional[FunctionInfo]:
-        seen = 0
-        while cls is not None and seen < 8:
-            if name in cls.methods:
-                return cls.methods[name]
-            nxt = None
-            for base in cls.bases:
-                candidate = self.class_named(cls.module, base)
-                if candidate is not None:
-                    nxt = candidate
-                    break
-            cls = nxt
-            seen += 1
-        return None
-
-    def attr_info(self, cls: Optional[ClassInfo], name: str) -> tuple:
-        """(unit, type_name) for an attribute, walking base classes."""
-        seen = 0
-        while cls is not None and seen < 8:
-            if name in cls.attr_units or name in cls.attr_types:
-                return (cls.attr_units.get(name, Unit.UNKNOWN),
-                        cls.attr_types.get(name))
-            nxt = None
-            for base in cls.bases:
-                candidate = self.class_named(cls.module, base)
-                if candidate is not None:
-                    nxt = candidate
-                    break
-            cls = nxt
-            seen += 1
-        return Unit.UNKNOWN, None
-
-
-# ----------------------------------------------------------------------
-# collection
-# ----------------------------------------------------------------------
-def _collect_imports(module: ModuleInfo) -> None:
-    for node in ast.walk(module.tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                module.imports[alias.asname or
-                               alias.name.split(".")[0]] = \
-                    alias.name if alias.asname else \
-                    alias.name.split(".")[0]
-                if alias.asname:
-                    module.imports[alias.asname] = alias.name
-        elif isinstance(node, ast.ImportFrom):
-            base = node.module or ""
-            if node.level:
-                package = module.name.rsplit(".", node.level)[0] \
-                    if module.name.count(".") >= node.level else ""
-                base = f"{package}.{base}".strip(".") if base else package
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                module.imports[alias.asname or alias.name] = \
-                    f"{base}.{alias.name}" if base else alias.name
-
-
-def _collect_class(module: ModuleInfo, node: ast.ClassDef) -> ClassInfo:
-    cls = ClassInfo(
-        name=node.name, node=node, module=module,
-        bases=[b.id if isinstance(b, ast.Name) else b.attr
-               for b in node.bases
-               if isinstance(b, (ast.Name, ast.Attribute))],
-        is_dataclass="dataclass" in _decorator_names(node),
-        is_public=not node.name.startswith("_"))
-    for item in node.body:
-        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            decorators = _decorator_names(item)
-            skip_first = "staticmethod" not in decorators
-            params, has_vararg = _collect_params(item, skip_first)
-            ret_unit, ret_annotated = _annotation_unit(item.returns)
-            cls.methods[item.name] = FunctionInfo(
-                item.name, item, module, node.name, params, has_vararg,
-                ret_unit if ret_annotated else Unit.UNKNOWN,
-                ret_annotated,
-                is_public=cls.is_public
-                and (not item.name.startswith("_")
-                     or item.name == "__init__"))
-        elif isinstance(item, ast.AnnAssign) \
-                and isinstance(item.target, ast.Name):
-            unit, annotated = _annotation_unit(item.annotation)
-            if not annotated:
-                unit = suffix_unit(item.target.id)
-            param = Param(item.target.id, unit, annotated,
-                          None if annotated
-                          else _annotation_class(item.annotation),
-                          item.lineno, item.col_offset + 1)
-            cls.fields.append((param, item.value))
-            if unit != Unit.UNKNOWN:
-                cls.attr_units[param.name] = unit
-            type_name = _annotation_class(item.annotation)
-            if type_name and not annotated:
-                cls.attr_types[param.name] = type_name
-    # instance attributes assigned in methods (self.x = ..., self.x: T)
-    for method in cls.methods.values():
-        for stmt in ast.walk(method.node):
-            if isinstance(stmt, ast.AnnAssign) \
-                    and isinstance(stmt.target, ast.Attribute) \
-                    and isinstance(stmt.target.value, ast.Name) \
-                    and stmt.target.value.id == "self":
-                unit, annotated = _annotation_unit(stmt.annotation)
-                if annotated:
-                    cls.attr_units.setdefault(stmt.target.attr, unit)
-                else:
-                    type_name = _annotation_class(stmt.annotation)
-                    if type_name:
-                        cls.attr_types.setdefault(stmt.target.attr,
-                                                  type_name)
-            elif isinstance(stmt, ast.Assign):
-                for target in stmt.targets:
-                    if isinstance(target, ast.Attribute) \
-                            and isinstance(target.value, ast.Name) \
-                            and target.value.id == "self" \
-                            and isinstance(stmt.value, ast.Call):
-                        ctor = stmt.value.func
-                        name = ctor.id if isinstance(ctor, ast.Name) \
-                            else ctor.attr \
-                            if isinstance(ctor, ast.Attribute) else None
-                        if name:
-                            cls.attr_ctors.setdefault(target.attr, name)
-    return cls
-
-
-def _collect_module(path: Path, source: str,
-                    tree: ast.Module) -> ModuleInfo:
-    module = ModuleInfo(
-        path=path, display=str(path), name=_module_name(path),
-        tree=tree, source=source,
-        units_scope=_is_units_scope(path, source))
-    _collect_imports(module)
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            params, has_vararg = _collect_params(node, skip_first=False)
-            ret_unit, ret_annotated = _annotation_unit(node.returns)
-            module.functions[node.name] = FunctionInfo(
-                node.name, node, module, None, params, has_vararg,
-                ret_unit if ret_annotated else Unit.UNKNOWN,
-                ret_annotated,
-                is_public=not node.name.startswith("_"))
-        elif isinstance(node, ast.ClassDef):
-            module.classes[node.name] = _collect_class(module, node)
-        elif isinstance(node, ast.Assign):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    unit = suffix_unit(target.id)
-                    if unit != Unit.UNKNOWN:
-                        module.constants[target.id] = unit
-        elif isinstance(node, ast.AnnAssign) \
-                and isinstance(node.target, ast.Name):
-            unit, annotated = _annotation_unit(node.annotation)
-            if not annotated:
-                unit = suffix_unit(node.target.id)
-            if unit != Unit.UNKNOWN:
-                module.constants[node.target.id] = unit
-    # resolve deferred constructor names into attribute types
-    for cls in module.classes.values():
-        for attr, ctor in cls.attr_ctors.items():
-            if attr not in cls.attr_types:
-                cls.attr_types[attr] = ctor
-    return module
 
 
 # ----------------------------------------------------------------------
@@ -1046,21 +605,8 @@ class _Analysis:
 
 
 # ----------------------------------------------------------------------
-# whole-program driver
+# whole-program driver (build_project itself lives in repro.checks.ir)
 # ----------------------------------------------------------------------
-def build_project(paths: Sequence[Union[str, Path]]) -> Project:
-    """Parse and index every Python file under ``paths``."""
-    modules = []
-    for path in iter_python_files(paths):
-        try:
-            source = path.read_text()
-            tree = ast.parse(source, filename=str(path))
-        except (OSError, SyntaxError):
-            continue  # unreadable/unparseable: RPR000 in the base pass
-        modules.append(_collect_module(path, source, tree))
-    return Project(modules)
-
-
 def _iter_functions(project: Project):
     for module in project.modules:
         for fn in module.functions.values():
@@ -1159,14 +705,19 @@ def _check_signatures(project: Project, findings: set) -> None:
 
 
 def check_units(paths: Sequence[Union[str, Path]],
-                strict: bool = False) -> list:
+                strict: bool = False,
+                cache: Optional[ParseCache] = None,
+                project: Optional[Project] = None) -> list:
     """Run the interprocedural units pass over ``paths``.
 
     The units rules are identical in both modes; ``strict``
     additionally flags ``# repro: noqa`` comments naming RPR010-series
-    codes that match no finding on their line (RPR006).
+    codes that match no finding on their line (RPR006).  ``cache``
+    and ``project`` let ``repro check --all`` share one parse and one
+    symbol table across passes.
     """
-    project = build_project(paths)
+    if project is None:
+        project = build_project(paths, cache=cache)
     _propagate_returns(project)
     findings: set = set()
     _check_signatures(project, findings)
@@ -1183,9 +734,9 @@ def check_units(paths: Sequence[Union[str, Path]],
     for module in project.modules:
         module_findings = by_file.get(module.display, [])
         if module_findings or strict:
-            kept.extend(_apply_noqa(module_findings,
-                                    module.source, module.display,
-                                    strict=strict,
-                                    universe=UNIT_RULES))
+            kept.extend(apply_noqa(module_findings,
+                                   module.source, module.display,
+                                   strict=strict,
+                                   universe=UNIT_RULES))
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return kept

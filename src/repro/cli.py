@@ -173,9 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
         "check",
         help="static analysis: determinism / unit-safety / event-loop "
              "rules (RPR001-RPR006), plus interprocedural unit "
-             "dataflow with --units (RPR010-RPR013) and the "
-             "concurrency & durability pass with --concurrency "
-             "(RPR020-RPR025)")
+             "dataflow with --units (RPR010-RPR013), the concurrency "
+             "& durability pass with --concurrency (RPR020-RPR025), "
+             "the exception-safety & resource-lifecycle pass with "
+             "--lifecycle (RPR030-RPR036), or every pass at once "
+             "with --all (one parse per file)")
     chk.add_argument("paths", nargs="*", default=["src"],
                      help="files or directories to lint (default: src)")
     chk.add_argument("--strict", action="store_true",
@@ -187,6 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
     chk.add_argument("--concurrency", action="store_true",
                      help="also run the concurrency & durability "
                           "discipline pass (RPR020-RPR025)")
+    chk.add_argument("--lifecycle", action="store_true",
+                     help="also run the exception-safety & resource-"
+                          "lifecycle pass (RPR030-RPR036)")
+    chk.add_argument("--all", dest="all_passes", action="store_true",
+                     help="run every rule family in one invocation "
+                          "(base lint + units + concurrency + "
+                          "lifecycle), parsing each file once")
     chk.add_argument("--json", action="store_true",
                      help="emit findings as a JSON array "
                           "(same as --format json)")
@@ -745,6 +754,7 @@ def _github_annotation(finding) -> str:
 def cmd_check(args) -> int:
     import json
 
+    from repro.checks.ir import ParseCache
     from repro.checks.lint import (check_paths, iter_python_files,
                                    render_findings)
 
@@ -753,16 +763,37 @@ def cmd_check(args) -> int:
               f"{', '.join(args.paths)}", file=sys.stderr)
         return 2
     fmt = args.format or ("json" if args.json else "text")
-    findings = check_paths(args.paths, strict=args.strict)
-    if args.units:
+    run_units = args.units or args.all_passes
+    run_concurrency = args.concurrency or args.all_passes
+    run_lifecycle = args.lifecycle or args.all_passes
+    # one parse per file and one symbol table, shared by every pass
+    cache = ParseCache()
+    project = None
+    if run_units or run_lifecycle:
+        from repro.checks.ir import build_project
+
+        project = build_project(args.paths, cache=cache)
+    findings = check_paths(args.paths, strict=args.strict,
+                           cache=cache)
+    if run_units:
         from repro.checks.units import check_units
 
-        findings.extend(check_units(args.paths, strict=args.strict))
-    if args.concurrency:
+        findings.extend(check_units(args.paths, strict=args.strict,
+                                    cache=cache, project=project))
+    if run_concurrency:
         from repro.checks.concurrency import check_concurrency
 
         findings.extend(check_concurrency(args.paths,
-                                          strict=args.strict))
+                                          strict=args.strict,
+                                          cache=cache,
+                                          project=project))
+    if run_lifecycle:
+        from repro.checks.lifecycle import check_lifecycle
+
+        findings.extend(check_lifecycle(args.paths,
+                                        strict=args.strict,
+                                        cache=cache,
+                                        project=project))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     if fmt == "json":
         print(json.dumps([f.to_dict() for f in findings], indent=2))
@@ -1087,4 +1118,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except KeyboardInterrupt:
+        # the documented interrupted-by-user code (128 + SIGINT)
+        raise SystemExit(130) from None

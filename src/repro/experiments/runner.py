@@ -166,7 +166,7 @@ class ResultCache:
         except BaseException:
             try:
                 os.unlink(tmp)
-            except OSError:
+            except OSError:  # repro: noqa RPR030 - best-effort tmp cleanup; the original error re-raises below
                 pass
             raise
 

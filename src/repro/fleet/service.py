@@ -449,7 +449,7 @@ def write_status(path: str, snapshot: FleetSnapshot) -> None:
     except BaseException:
         try:
             os.unlink(tmp)
-        except OSError:
+        except OSError:  # repro: noqa RPR030 - best-effort tmp cleanup; the original error re-raises below
             pass
         raise
 

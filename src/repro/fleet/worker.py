@@ -87,7 +87,7 @@ def write_report(path: str, report: ShardReport) -> None:
     except BaseException:
         try:
             os.unlink(tmp)
-        except OSError:
+        except OSError:  # repro: noqa RPR030 - best-effort tmp cleanup; the original error re-raises below
             pass
         raise
 
@@ -164,16 +164,22 @@ def run_worker_process(spec: dict, ctx=None,
     armed = bool(hang_flag) and not os.path.exists(hang_flag)
     process.start()
     killed = False
-    while process.is_alive():
-        process.join(poll_s)
-        if armed and not killed and process.is_alive() \
-                and os.path.exists(hang_flag):
-            assert process.pid is not None
-            os.kill(process.pid, signal.SIGKILL)
-            killed = True
-            if on_kill is not None:
-                on_kill(process.pid)
-    process.join()
+    try:
+        while process.is_alive():
+            process.join(poll_s)
+            if armed and not killed and process.is_alive() \
+                    and os.path.exists(hang_flag):
+                assert process.pid is not None
+                os.kill(process.pid, signal.SIGKILL)
+                killed = True
+                if on_kill is not None:
+                    on_kill(process.pid)
+    finally:
+        # an on_kill callback raising (or a KeyboardInterrupt in the
+        # poll loop) must not orphan the spawned child
+        if process.is_alive():
+            process.kill()
+        process.join()
     return process.exitcode
 
 

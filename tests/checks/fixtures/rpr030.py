@@ -1,0 +1,49 @@
+# repro: check-scope lifecycle
+"""RPR030 fixture: except blocks that swallow failures the fleet
+needs to see — no re-raise, no warning+, no counter, no quarantine."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def ingest(records):
+    """Broad handler, nothing surfaced: bad records silently vanish."""
+    parsed = []
+    for record in records:
+        try:
+            parsed.append(int(record))
+        except Exception:  # expect: RPR030
+            continue
+    return parsed
+
+
+def load_snapshot(path):
+    """Narrow type but a pass-only body: the OSError disappears."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError:  # expect: RPR030
+        pass
+    return None
+
+
+def flush(queue, sink):
+    """Bare except around the sink write: even SystemExit vanishes."""
+    while queue:
+        item = queue.pop()
+        try:
+            sink.append(item)
+        except:  # noqa: E722  # expect: RPR030
+            pass
+
+
+def admit(records):
+    """Compliant: the failure is logged at warning with its cause."""
+    accepted = []
+    for record in records:
+        try:
+            accepted.append(int(record))
+        except ValueError as error:
+            log.warning("bad record %r: %s", record, error)
+    return accepted

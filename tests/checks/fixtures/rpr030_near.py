@@ -1,0 +1,66 @@
+# repro: check-scope lifecycle
+"""RPR030 near-miss twin: every handler surfaces the failure —
+re-raise, warning+ logging, a counter, quarantine, or the
+import-gating idiom — so the pass stays silent."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def parse_all(records):
+    parsed = []
+    for record in records:
+        try:
+            parsed.append(int(record))
+        except ValueError as error:
+            log.warning("bad record %r: %s", record, error)
+    return parsed
+
+
+class Intake:
+    """A counted failure is an observable failure."""
+
+    def __init__(self):
+        self.errors = 0
+
+    def consume(self, record):
+        try:
+            return int(record)
+        except ValueError:
+            self.errors += 1
+            return None
+
+
+def keep_good(records, robustness):
+    kept = []
+    for record in records:
+        try:
+            kept.append(int(record))
+        except Exception:
+            robustness.quarantine(record)
+    return kept
+
+
+def checked(record):
+    try:
+        return int(record)
+    except Exception:
+        raise
+
+
+def optional_fast_path():
+    """The optional-dependency gate is exempt by design."""
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+def bubble_up(record, decode):
+    """Using the bound exception counts as surfacing it."""
+    try:
+        return decode(record)
+    except Exception as error:
+        return {"error": str(error)}

@@ -1,0 +1,41 @@
+"""RPR031 fixture: worker/serve loops whose broad handlers retain
+KeyboardInterrupt/SystemExit — the loop keeps going, so Ctrl-C and
+the graceful-drain signal can never stop it."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def serve_forever(queue, handler):
+    while True:
+        try:
+            handler(queue.get())
+        except BaseException as error:  # expect: RPR031
+            log.warning("request failed: %s", error)
+
+
+def worker_body(jobs, results):
+    for job in jobs:
+        try:
+            results.append(job())
+        except:  # noqa: E722  # expect: RPR031
+            log.error("job failed")
+
+
+def poll_sources(sources, sink):
+    while sources:
+        source = sources[-1]
+        try:
+            sink.append(source.pop())
+        except (KeyboardInterrupt, SystemExit) as error:  # expect: RPR031
+            log.warning("interrupted mid-poll: %s", error)
+
+
+def run_supervised(task):
+    """Compliant: Exception cannot eat the shutdown signals."""
+    while True:
+        try:
+            task()
+        except Exception as error:
+            log.warning("retrying after: %s", error)

@@ -1,0 +1,55 @@
+"""RPR031 near-miss twin: broad handlers that stop the loop
+(re-raise, break, return, sys.exit), or loops that are not
+worker/serve loops at all — all silent."""
+
+import logging
+import sys
+
+log = logging.getLogger(__name__)
+
+
+def serve(queue, handler):
+    while True:
+        try:
+            handler(queue.get())
+        except BaseException:
+            raise
+
+
+def drain_jobs(jobs):
+    done = []
+    for job in jobs:
+        try:
+            done.append(job())
+        except KeyboardInterrupt:
+            break
+    return done
+
+
+def main_cycle(tasks):
+    for task in tasks:
+        try:
+            task()
+        except SystemExit:
+            sys.exit(1)
+
+
+def collect(batches):
+    """Not a worker/serve loop: the function name carries no
+    long-lived-loop contract."""
+    gathered = []
+    for batch in batches:
+        try:
+            gathered.extend(batch)
+        except BaseException as error:
+            log.warning("batch dropped: %s", error)
+    return gathered
+
+
+def handle_one(request):
+    """Broad handler outside any loop: nothing keeps looping."""
+    try:
+        return request()
+    except BaseException as error:
+        log.warning("request failed: %s", error)
+        return None

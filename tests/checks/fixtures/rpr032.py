@@ -1,0 +1,31 @@
+"""RPR032 fixture: resources acquired without deterministic release —
+handles that leak the moment any statement before the close raises."""
+
+import multiprocessing
+import socket
+import tempfile
+
+
+def record_events(events, path):
+    handle = open(path, "w", encoding="utf-8")  # expect: RPR032
+    for event in events:
+        handle.write(event + "\n")
+    handle.close()
+
+
+def spawn_shard(spec):
+    process = multiprocessing.Process(target=spec)  # expect: RPR032
+    process.start()
+    process.join()
+    return process.exitcode
+
+
+def probe(host, port):
+    sock = socket.create_connection((host, port))  # expect: RPR032
+    sock.sendall(b"ping")
+    return sock.recv(4)
+
+
+def scratch_space():
+    workdir = tempfile.TemporaryDirectory()  # expect: RPR032
+    return workdir.name

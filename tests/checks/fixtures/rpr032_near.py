@@ -1,0 +1,44 @@
+"""RPR032 near-miss twin: every resource has a deterministic owner —
+a context manager, a try/finally release, a hand-off to the caller,
+or a registered close callback — so the pass stays silent."""
+
+import multiprocessing
+import socket
+import tempfile
+
+
+def record_events(events, path):
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(event + "\n")
+
+
+def spawn_shard(spec):
+    process = multiprocessing.Process(target=spec)
+    process.start()
+    try:
+        process.join()
+    finally:
+        if process.is_alive():
+            process.kill()
+        process.join()
+    return process.exitcode
+
+
+def open_stream(path):
+    handle = open(path, "r", encoding="utf-8")
+    return handle  # ownership moves to the caller
+
+
+def probe(host, port, registry):
+    sock = socket.create_connection((host, port))
+    registry.register(sock.close)  # registered close owns the socket
+    return sock.recv(4)
+
+
+def scratch_space(jobs, execute):
+    workdir = tempfile.TemporaryDirectory()
+    try:
+        return execute(jobs, workdir.name)
+    finally:
+        workdir.cleanup()

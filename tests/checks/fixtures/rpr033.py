@@ -1,0 +1,26 @@
+"""RPR033 fixture: lock acquire() without release() on the exception
+path — a raise mid-critical-section wedges every other thread."""
+
+import threading
+
+
+def update(lock, table, key, value):
+    lock.acquire()  # expect: RPR033
+    table[key] = value  # a raising __setitem__ leaves the lock held
+    lock.release()
+
+
+def acquire_only(lock, flags):
+    if lock.acquire(timeout=1):  # expect: RPR033
+        flags.append(True)
+
+
+class Register:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self, delta):
+        self._lock.acquire()  # expect: RPR033
+        self.value = self.value + delta
+        self._lock.release()

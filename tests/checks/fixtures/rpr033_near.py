@@ -1,0 +1,38 @@
+"""RPR033 near-miss twin: with-statements, try/finally pairing, the
+__enter__/__exit__ protocol, and hand-offs to another owner — all
+silent."""
+
+import threading
+
+
+def update(lock, table, key, value):
+    with lock:
+        table[key] = value
+
+
+def bump(lock, counter):
+    lock.acquire()
+    try:
+        counter.append(1)
+    finally:
+        lock.release()
+
+
+class Gate:
+    """acquire in __enter__, release in __exit__: the pass pairs
+    them across methods."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def __enter__(self):
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._lock.release()
+
+
+def hand_off(lock, registry):
+    lock.acquire()
+    registry.append(lock)  # released by whoever drains the registry

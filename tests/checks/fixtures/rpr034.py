@@ -1,0 +1,26 @@
+"""RPR034 fixture: finally blocks that cancel an in-flight exception
+— a return, loop-escaping break/continue, or raise on the cleanup
+path silently replaces whatever was propagating."""
+
+
+def close_quietly(reader):
+    try:
+        return reader.consume()
+    finally:
+        return None  # expect: RPR034
+
+
+def flush_each(queue, sink):
+    for item in queue:
+        try:
+            sink.append(item)
+        finally:
+            continue  # expect: RPR034
+
+
+def publish(report, validate):
+    try:
+        return report
+    finally:
+        if not validate(report):
+            raise ValueError("invalid report")  # expect: RPR034

@@ -1,0 +1,30 @@
+"""RPR034 near-miss twin: cleanup that cannot cancel an in-flight
+exception — plain calls, loop-local break, and raises shielded by a
+local try/except — all silent."""
+
+
+def close_quietly(reader, handle):
+    try:
+        return reader.consume()
+    finally:
+        handle.close()
+
+
+def retry_flush(sink, attempts):
+    try:
+        return sink.flush()
+    finally:
+        for _ in range(attempts):
+            if sink.ready():
+                break  # loop-local: escapes the for, not the finally
+
+
+def shielded(cleanup):
+    try:
+        return cleanup.stage()
+    finally:
+        try:
+            if cleanup.corrupt():
+                raise OSError("corrupt scratch dir")
+        except OSError as error:
+            cleanup.record_error(error)

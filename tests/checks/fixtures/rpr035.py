@@ -1,0 +1,23 @@
+"""RPR035 fixture: exits outside the documented contract — 0 clean,
+1 findings/error, 2 no input, 130 interrupted.  Anything else (or a
+message string, which implicitly exits 1) breaks scripted callers."""
+
+import os
+import sys
+
+
+def bail():
+    sys.exit("fatal: bad spec")  # expect: RPR035
+
+
+def crash_child():
+    os._exit(3)  # expect: RPR035
+
+
+def reject():
+    raise SystemExit(64)  # expect: RPR035
+
+
+def usage_error():
+    """Compliant: 2 is the documented no-input code."""
+    sys.exit(2)

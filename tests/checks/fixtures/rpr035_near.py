@@ -1,0 +1,29 @@
+"""RPR035 near-miss twin: documented codes, computed statuses, and
+implicit zero — all within the contract, all silent."""
+
+import os
+import sys
+
+
+def clean_exit():
+    sys.exit(0)
+
+
+def report_findings(count):
+    sys.exit(1 if count else 0)  # computed: degrades to silence
+
+
+def forward(status):
+    os._exit(status)
+
+
+def no_input():
+    raise SystemExit(2)
+
+
+def interrupted():
+    sys.exit(130)
+
+
+def implicit_zero():
+    sys.exit()

@@ -1,0 +1,29 @@
+"""RPR036 fixture: re-raises that drop the original cause — the
+traceback no longer shows the error that actually happened."""
+
+
+class SpecError(ValueError):
+    pass
+
+
+def load_spec(text, parser):
+    try:
+        return parser(text)
+    except KeyError:
+        raise SpecError("missing field")  # expect: RPR036
+
+
+def decode(blob):
+    try:
+        return blob.decode("utf-8")
+    except UnicodeDecodeError:
+        raise ValueError("undecodable blob")  # expect: RPR036
+
+
+def convert(value):
+    try:
+        return int(value)
+    except ValueError as error:
+        if value is None:
+            raise TypeError("value is required")  # expect: RPR036
+        raise SpecError(str(error)) from error

@@ -1,0 +1,41 @@
+"""RPR036 near-miss twin: the cause is chained (``from err``),
+deliberately disowned (``from None``), or nothing new is raised at
+all — all silent."""
+
+
+class SpecError(ValueError):
+    pass
+
+
+def load_spec(text, parser):
+    try:
+        return parser(text)
+    except KeyError as error:
+        raise SpecError("missing field") from error
+
+
+def reparse(text, parser):
+    try:
+        return parser(text)
+    except KeyError:
+        raise SpecError("missing field") from None
+
+
+def passthrough(text, parser):
+    try:
+        return parser(text)
+    except KeyError:
+        raise
+
+
+def stash_and_raise(text, parser):
+    try:
+        return parser(text)
+    except KeyError as error:
+        raise error
+
+
+def outside(parser, text):
+    if parser is None:
+        raise ValueError("parser is required")  # not in an except
+    return parser(text)

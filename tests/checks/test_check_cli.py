@@ -213,8 +213,54 @@ def test_all_passes_stack_and_sort(tmp_path, capsys):
     assert reported == sorted(reported, key=int)
 
 
+def test_all_flag_runs_every_rule_family(tmp_path, capsys):
+    """``--all`` stacks base + units + concurrency + lifecycle in one
+    invocation, still sorted by file/line."""
+    write_tree(
+        tmp_path,
+        mixed="""\
+        import threading
+
+
+        def f(now, end_time):
+            return now == end_time
+
+
+        def spawn(shared):
+            def fill():
+                shared["x"] = 1
+
+            worker = threading.Thread(target=fill)
+            worker.start()
+            return shared["x"]
+
+
+        def close_quietly(reader):
+            try:
+                return reader.consume()
+            finally:
+                return None
+        """)
+    code = main(["check", "--all", str(tmp_path)])
+    assert code == 1
+    captured = capsys.readouterr()
+    for rule in ("RPR003", "RPR020", "RPR034"):
+        assert rule in captured.out
+    reported = [line.split(":")[1] for line in
+                captured.out.splitlines() if ".py:" in line]
+    assert reported == sorted(reported, key=int)
+
+
 def test_cli_check_whole_repo_strict_all_passes():
-    """The acceptance gate: every pass, strict, whole src tree."""
-    code = main(["check", "--strict", "--units", "--concurrency",
+    """The acceptance gate: every pass, strict, whole src tree, one
+    consolidated invocation (what CI and pre-commit now run)."""
+    code = main(["check", "--strict", "--all",
                  str(REPO_ROOT / "src")])
+    assert code == 0
+
+
+def test_cli_check_whole_repo_strict_stacked_flags():
+    """The per-pass flags still work and still agree with --all."""
+    code = main(["check", "--strict", "--units", "--concurrency",
+                 "--lifecycle", str(REPO_ROOT / "src")])
     assert code == 0

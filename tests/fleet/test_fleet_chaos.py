@@ -75,3 +75,41 @@ def test_sigkilled_fleet_recovers_bit_equal(trace_path, tmp_path):
     assert as_dict["passed"] is True
     assert as_dict["victims"] == report.victims
     assert "PASS" in report.summary_line()
+
+
+@pytest.mark.slow
+def test_poll_failure_does_not_orphan_the_worker(trace_path, tmp_path):
+    """If the parent's polling loop dies while the child is alive
+    (here: a bad poll interval; in production: KeyboardInterrupt or a
+    raising on_kill callback), run_worker_process must still reap the
+    spawned child instead of leaving it spinning forever."""
+    import multiprocessing
+
+    from repro.fleet.tenancy import TenantPolicy as _TenantPolicy
+    from repro.fleet.worker import make_shard_spec, run_worker_process
+
+    tenants = replicate_tenants([str(trace_path)], replicate=1)
+    config = FleetConfig(shards=1, policy=_TenantPolicy(),
+                         batch_events=64)
+    # hang_at=1 puts the worker into its spin-until-SIGKILL state, so
+    # an unreaped child would outlive the parent call indefinitely
+    spec = make_shard_spec(config, 0, tenants,
+                           str(tmp_path / "shard-000.json"), hang_at=1)
+
+    spawned = []
+    real_ctx = multiprocessing.get_context("spawn")
+
+    class RecordingContext:
+        def Process(self, *args, **kwargs):
+            process = real_ctx.Process(*args, **kwargs)
+            spawned.append(process)
+            return process
+
+    with pytest.raises(TypeError):
+        run_worker_process(spec, ctx=RecordingContext(),
+                           poll_s=object())
+    assert len(spawned) == 1
+    child = spawned[0]
+    child.join(timeout=10)
+    assert not child.is_alive()
+    assert child.exitcode is not None
