@@ -32,7 +32,12 @@ disciplines statically:
 * **RPR025** — unbounded growth: a long-lived ``list`` / ``dict`` /
   ``deque`` appended to in serve-loop code with no eviction, bound,
   or reset anywhere in its class (scoped to ``live`` / ``fleet``
-  directories, plus ``# repro: check-scope concurrency`` opt-in).
+  directories, plus ``# repro: check-scope concurrency`` opt-in);
+* **RPR026** — an unbudgeted retry/poll loop: a ``while`` loop that
+  calls ``time.sleep`` with no bounded attempt count or deadline in
+  sight (no comparison in the loop test, no ``Deadline``-style
+  identifier, no counter incremented and compared in the body).
+  Bounded waiting belongs to :mod:`repro.core.retry`.
 
 Analyses that cannot resolve a dynamic construct (computed thread
 targets, non-constant open modes, dict keys built at runtime) degrade
@@ -73,6 +78,7 @@ CONCURRENCY_RULES = {
     "RPR023": "signal handler does more than set flags/counters",
     "RPR024": "state_dict/load_state checkpoint key drift",
     "RPR025": "long-lived container grows without bound or eviction",
+    "RPR026": "retry/poll loop sleeps without attempt cap or deadline",
 }
 
 #: directories whose classes are long-lived serve-loop state (RPR025)
@@ -102,6 +108,10 @@ _HANDLER_SAFE_QUALIFIED = frozenset({("os", "_exit"), ("os", "kill"),
 _HANDLER_SAFE_ATTR_CALLS = frozenset({"set"})  # threading.Event flags
 _HANDLER_SAFE_NAME_CALLS = frozenset({"int", "float", "str", "bool",
                                       "min", "max", "len", "abs"})
+
+#: identifier evidence that a sleep loop runs on a time budget (RPR026)
+_DEADLINE_FRAGMENT = "deadline"
+_DEADLINE_NAMES = frozenset({"expired", "remaining", "remaining_s"})
 
 def _is_lock_ctor(node: ast.expr) -> bool:
     """``threading.Lock()`` / ``Lock()`` / ``RLock()``."""
@@ -209,6 +219,7 @@ class _ModuleChecker:
         self._check_thread_closures()
         self._check_signal_handlers()
         self._check_module_growth()
+        self._check_sleep_loops()
         return self.findings
 
     # -- discovery walk ------------------------------------------------
@@ -713,6 +724,86 @@ class _ModuleChecker:
                 if attr is not None:
                     attrs.add(attr)
         return frozenset(attrs)
+
+    # -- RPR026: unbudgeted sleep loops --------------------------------
+    def _check_sleep_loops(self) -> None:
+        """Flag ``while`` loops that call ``time.sleep`` with no
+        visible bound.  Each sleep is attributed to its innermost
+        enclosing ``while``; a nested function body resets the
+        attribution (the sleep belongs to whoever calls it)."""
+        flagged: set[int] = set()
+
+        def visit(node: ast.AST, loop: Optional[ast.While]) -> None:
+            if isinstance(node, _SCOPE_NODES):
+                loop = None  # new scope: sleeps belong to its callers
+            elif isinstance(node, ast.While):
+                loop = node
+            elif isinstance(node, ast.Call) \
+                    and self.aliases.resolves(node.func, "time",
+                                              "sleep") \
+                    and loop is not None \
+                    and id(loop) not in flagged \
+                    and not self._loop_is_budgeted(loop):
+                flagged.add(id(loop))
+                self.report(
+                    node, "RPR026",
+                    "retry/poll loop sleeps without a bounded attempt "
+                    "count or deadline; budget the wait with "
+                    "repro.core.retry (RetryPolicy / Deadline)")
+            for child in ast.iter_child_nodes(node):
+                visit(child, loop)
+
+        visit(self.tree, None)
+
+    @classmethod
+    def _loop_is_budgeted(cls, loop: ast.While) -> bool:
+        """Evidence the loop terminates on a budget; anything the
+        analysis cannot prove unbounded degrades to silence."""
+        if any(isinstance(node, ast.Compare)
+               for node in ast.walk(loop.test)):
+            return True  # ``while attempts < n`` / ``while now < t``
+        if cls._deadline_tokens(ast.walk(loop.test)):
+            return True
+        body_nodes = [node for stmt in loop.body
+                      for node in _walk_local(stmt)] \
+            + list(loop.body)
+        if cls._deadline_tokens(body_nodes):
+            return True  # ``if deadline.expired(): raise`` et al.
+        counters = set()
+        for node in body_nodes:
+            if isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    counters.add(node.target.id)
+                else:
+                    attr = _is_self_attr(node.target)
+                    if attr is not None:
+                        counters.add(attr)
+        if counters:
+            for node in body_nodes:
+                if not isinstance(node, ast.If):
+                    continue
+                for sub in ast.walk(node.test):
+                    if not isinstance(sub, ast.Compare):
+                        continue
+                    for name in ast.walk(sub):
+                        if (isinstance(name, ast.Name)
+                                and name.id in counters) \
+                                or _is_self_attr(name) in counters:
+                            return True  # counted attempts
+        return False
+
+    @staticmethod
+    def _deadline_tokens(nodes) -> bool:
+        for node in nodes:
+            token: Optional[str] = None
+            if isinstance(node, ast.Name):
+                token = node.id.lower()
+            elif isinstance(node, ast.Attribute):
+                token = node.attr.lower()
+            if token is not None and (_DEADLINE_FRAGMENT in token
+                                      or token in _DEADLINE_NAMES):
+                return True
+        return False
 
     def _check_module_growth(self) -> None:
         if not self.growth_scope:

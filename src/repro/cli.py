@@ -174,7 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="static analysis: determinism / unit-safety / event-loop "
              "rules (RPR001-RPR006), plus interprocedural unit "
              "dataflow with --units (RPR010-RPR013), the concurrency "
-             "& durability pass with --concurrency (RPR020-RPR025), "
+             "& durability pass with --concurrency (RPR020-RPR026), "
              "the exception-safety & resource-lifecycle pass with "
              "--lifecycle (RPR030-RPR036), or every pass at once "
              "with --all (one parse per file)")
@@ -188,7 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "dataflow pass (RPR010-RPR013)")
     chk.add_argument("--concurrency", action="store_true",
                      help="also run the concurrency & durability "
-                          "discipline pass (RPR020-RPR025)")
+                          "discipline pass (RPR020-RPR026)")
     chk.add_argument("--lifecycle", action="store_true",
                      help="also run the exception-safety & resource-"
                           "lifecycle pass (RPR030-RPR036)")
@@ -240,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail --fleet when p99 snapshot lateness "
                             "exceeds this many seconds (0 = report "
                             "only)")
+    bench.add_argument("--fleet-mode",
+                       choices=["process", "inprocess"],
+                       default="process",
+                       help="--fleet execution mode: supervised "
+                            "worker processes streaming reports over "
+                            "the socket transport (default) or the "
+                            "single-process reference service")
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("--id", required=True,
@@ -341,6 +348,30 @@ def build_parser() -> argparse.ArgumentParser:
     fchaos.add_argument("--workdir",
                         help="experiment directory (default: a "
                              "temporary directory)")
+    fchaos.add_argument("--transport", action="store_true",
+                        help="stream reports over the socket "
+                             "transport with injected network faults "
+                             "and health-aware degraded snapshots")
+    fchaos.add_argument("--net-drop", type=float, default=0.0,
+                        help="with --transport: probability of "
+                             "dropping a received chunk")
+    fchaos.add_argument("--net-garble", type=float, default=0.0,
+                        help="with --transport: probability of "
+                             "garbling a received chunk (CRC resets "
+                             "the connection)")
+    fchaos.add_argument("--net-resets", type=int, default=0,
+                        help="with --transport: connection resets to "
+                             "inject")
+    fchaos.add_argument("--stall-heartbeats", type=float, default=0.0,
+                        help="with --transport: probability of "
+                             "stalling a worker heartbeat")
+    fchaos.add_argument("--port", type=int, default=None,
+                        help="with --transport: serve live /metrics "
+                             "on this port during the experiment "
+                             "(0 = ephemeral; omit = no exporter)")
+    fchaos.add_argument("--linger", type=float, default=0.0,
+                        help="keep serving /metrics this many seconds "
+                             "after the experiment finishes")
     fchaos.add_argument("--json", action="store_true",
                         help="emit the machine-readable chaos report")
     return parser
@@ -724,7 +755,7 @@ def cmd_tail(args) -> int:
                 saw_final = True
         if not args.follow or saw_final:
             return 0
-        _time.sleep(args.interval)
+        _time.sleep(args.interval)  # repro: noqa RPR026 - tail -f follows forever until the final snapshot or Ctrl-C
 
 
 def cmd_metrics(args) -> int:
@@ -824,6 +855,7 @@ def cmd_bench(args) -> int:
             out=args.out,
             max_lateness_p99_s=args.max_lateness_p99,
             as_json=args.json,
+            mode=args.fleet_mode,
         )
     from repro.perf.bench import bench_main
 
@@ -1053,9 +1085,15 @@ def cmd_fleet_status(args) -> int:
 def cmd_fleet_chaos(args) -> int:
     import json
     import tempfile
+    import threading
+    import time as _time
 
     from repro.fleet import replicate_tenants
-    from repro.fleet.chaos import FleetChaosPlan, run_fleet_chaos
+    from repro.fleet.chaos import (
+        FleetChaosPlan,
+        run_fleet_chaos,
+        transport_health_policy,
+    )
 
     specs = replicate_tenants(args.trace, args.replicate)
     plan = FleetChaosPlan(
@@ -1064,24 +1102,76 @@ def cmd_fleet_chaos(args) -> int:
         kill_event_frac=args.kill_frac,
         corrupt_checkpoint=args.corrupt_checkpoint,
         truncate_checkpoint=args.truncate_checkpoint,
+        transport=args.transport,
+        net_drop=args.net_drop,
+        net_garble=args.net_garble,
+        net_resets=args.net_resets,
+        stall_heartbeats=args.stall_heartbeats,
     )
     config = _fleet_config(args, None)
+
+    # optional live exporter during a transport experiment: the CLI
+    # owns the aggregator so /metrics can watch the degraded window
+    aggregator = None
+    exporter = None
+    on_merge = None
+    if args.transport and args.port is not None:
+        from repro.fleet.aggregator import FleetAggregator
+        from repro.fleet.exporter import MetricsExporter
+        from repro.fleet.service import registry_from_snapshot
+        from repro.live.metrics import MetricsRegistry
+
+        aggregator = FleetAggregator(
+            range(config.shards), config.mailbox_capacity,
+            health=transport_health_policy())
+        state_lock = threading.Lock()
+        latest = {}
+
+        def on_merge(snapshot):
+            with state_lock:
+                latest["snapshot"] = snapshot
+
+        def registry_fn():
+            with state_lock:
+                snapshot = latest.get("snapshot")
+            registry = MetricsRegistry() if snapshot is None \
+                else registry_from_snapshot(
+                    snapshot, aggregator.dropped_total())
+            return aggregator.export_into(registry)
+
+        exporter = MetricsExporter(registry_fn, port=args.port)
+        port = exporter.start()
+        print(f"chaos metrics exporter on "
+              f"http://127.0.0.1:{port}/metrics", flush=True)
+
     try:
         if args.workdir:
             report = run_fleet_chaos(specs, args.workdir, plan,
-                                     config=config)
+                                     config=config,
+                                     on_merge=on_merge,
+                                     aggregator=aggregator)
         else:
             with tempfile.TemporaryDirectory(
                     prefix="repro-fleet-chaos-") as workdir:
                 report = run_fleet_chaos(specs, workdir, plan,
-                                         config=config)
+                                         config=config,
+                                         on_merge=on_merge,
+                                         aggregator=aggregator)
     except (OSError, ValueError) as error:
+        if exporter is not None:
+            exporter.stop()
         print(f"error: {error}", file=sys.stderr)
         return 2
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.summary_line())
+    if exporter is not None:
+        if args.linger > 0:
+            print(f"lingering {args.linger:g}s for final scrapes",
+                  flush=True)
+            _time.sleep(args.linger)
+        exporter.stop()
     return 0 if report.passed else 1
 
 

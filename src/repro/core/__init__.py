@@ -18,6 +18,10 @@
   together into structured diagnostic results.
 * :mod:`repro.core.system` — :class:`VedrfolnirSystem`, the deployable
   bundle (monitors + agents + analyzer) applications attach to a run.
+* :mod:`repro.core.failpoints` — named, seeded fault injection at
+  annotated sites (``REPRO_FAILPOINTS``).
+* :mod:`repro.core.retry` — retry policies, monotonic deadlines and a
+  circuit breaker shared by the live / fleet resilience paths.
 
 Exports resolve lazily (PEP 562) so that leaf modules — in particular
 :mod:`repro.core.units`, which :mod:`repro.simnet` imports at runtime —
@@ -52,6 +56,13 @@ _EXPORTS = {
     "replay_pairwise_weights": "repro.core.replay",
     "render_json": "repro.core.reports",
     "render_text": "repro.core.reports",
+    "FailpointError": "repro.core.failpoints",
+    "FailpointSpec": "repro.core.failpoints",
+    "Deadline": "repro.core.retry",
+    "RetryPolicy": "repro.core.retry",
+    "CircuitBreaker": "repro.core.retry",
+    "RetryBudgetExceeded": "repro.core.retry",
+    "call_with_retry": "repro.core.retry",
 }
 
 __all__ = sorted(_EXPORTS)

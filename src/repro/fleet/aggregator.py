@@ -16,6 +16,14 @@ Shard reports arrive through bounded :class:`ShardMailbox`\\ es
 (drop-oldest): a slow or dead shard can stale *its own* tenants'
 entries in the fleet snapshot (it appears in ``stale_shards``) but
 never blocks the other shards' fan-in.
+
+With a :class:`HealthPolicy` the aggregator also tracks per-shard
+*liveness* from report/heartbeat arrival times: a shard unheard-of
+past ``stale_after_s`` is ``stale``, past ``dead_after_s`` it is
+``dead`` and excluded from the fleet watermark — the snapshot keeps
+flowing, flagged ``degraded``, instead of stalling behind a corpse
+(**degraded, never wrong**: the dead shard's tenants still appear
+with their last-known digests).
 """
 
 from __future__ import annotations
@@ -23,11 +31,13 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.live.metrics import Histogram
+from repro.core.units import Seconds
+from repro.live.metrics import Histogram, MetricsRegistry
 from repro.live.pipeline import DiagnosisSnapshot
 
 
@@ -134,6 +144,29 @@ class TenantDigest:
         )
 
 
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Staleness/death thresholds for per-shard liveness tracking.
+
+    Ages are measured since the shard's last report *or* heartbeat.
+    A ``dead`` shard is excluded from the fleet watermark (after this
+    grace it must not hold event-time progress hostage); a ``stale``
+    one is only flagged.
+    """
+
+    #: unheard-of this long -> reported ``stale``
+    stale_after_s: Seconds = 2.0
+    #: unheard-of this long -> ``dead``: excluded from the watermark
+    dead_after_s: Seconds = 10.0
+
+    def classify(self, age_s: Seconds) -> str:
+        if age_s >= self.dead_after_s:
+            return "dead"
+        if age_s >= self.stale_after_s:
+            return "stale"
+        return "live"
+
+
 @dataclass
 class ShardReport:
     """One shard's contribution to a fleet merge."""
@@ -144,6 +177,15 @@ class ShardReport:
     restarts: int = 0
     checkpoints_written: int = 0
     events_consumed: int = 0
+    # transport-channel observability (stamped by the worker's
+    # ReportPublisher; operational — never part of the diagnosis)
+    publish_failures: int = 0
+    publish_fallbacks: int = 0
+    transport_retries: int = 0
+    breaker_state: int = 0
+    #: optional serialized lateness Histogram state (process-mode
+    #: bench carries ingest-to-snapshot latency home through this)
+    lateness: Optional[dict] = None
 
     @property
     def watermark_ns(self) -> Optional[float]:
@@ -162,6 +204,11 @@ class ShardReport:
             "restarts": self.restarts,
             "checkpoints_written": self.checkpoints_written,
             "events_consumed": self.events_consumed,
+            "publish_failures": self.publish_failures,
+            "publish_fallbacks": self.publish_fallbacks,
+            "transport_retries": self.transport_retries,
+            "breaker_state": self.breaker_state,
+            "lateness": self.lateness,
             "tenants": [t.to_dict()
                         for t in sorted(self.tenants,
                                         key=lambda t: t.tenant)],
@@ -178,6 +225,11 @@ class ShardReport:
             checkpoints_written=int(
                 data.get("checkpoints_written", 0)),
             events_consumed=int(data.get("events_consumed", 0)),
+            publish_failures=int(data.get("publish_failures", 0)),
+            publish_fallbacks=int(data.get("publish_fallbacks", 0)),
+            transport_retries=int(data.get("transport_retries", 0)),
+            breaker_state=int(data.get("breaker_state", 0)),
+            lateness=data.get("lateness"),
         )
 
 
@@ -192,6 +244,12 @@ class FleetSnapshot:
     stale_shards: list[int]
     tenants: list[TenantDigest]
     totals: dict
+    #: per-shard liveness ("live" / "stale" / "dead"), keyed by the
+    #: shard id as a string (JSON object keys); empty without a
+    #: HealthPolicy — zero behavior change for health-blind callers
+    shard_health: dict = field(default_factory=dict)
+    #: True when this merge excluded dead shards from the watermark
+    degraded: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -200,6 +258,8 @@ class FleetSnapshot:
             "watermark_ns": self.watermark_ns,
             "shards": list(self.shards),
             "stale_shards": list(self.stale_shards),
+            "shard_health": dict(self.shard_health),
+            "degraded": self.degraded,
             "totals": dict(self.totals),
             "tenants": [t.to_dict() for t in self.tenants],
         }
@@ -213,16 +273,22 @@ class FleetSnapshot:
 
     #: totals that describe fleet *operations*, not the diagnosis —
     #: a crashed-and-resumed fleet legitimately differs here
-    OPERATIONAL_KEYS = ("restarts", "checkpoints_written")
+    OPERATIONAL_KEYS = ("restarts", "checkpoints_written",
+                        "publish_failures", "publish_fallbacks",
+                        "transport_retries")
 
     def diagnosis_dict(self) -> dict:
         """:meth:`to_dict` minus operational fields (merge count,
-        restart/checkpoint totals).  This is the form the fleet
-        recovery contract compares bit-for-bit: a fleet that was
-        SIGKILLed and resumed must match an uninterrupted one here,
-        while its restart counters may not."""
+        restart/checkpoint/transport totals, liveness).  This is the
+        form the fleet recovery contract compares bit-for-bit: a
+        fleet that was SIGKILLed and resumed — or that streamed its
+        reports over a faulty socket — must match an uninterrupted
+        in-process one here, while its restart/retry counters and
+        health map may not."""
         data = self.to_dict()
         data.pop("seq", None)
+        data.pop("shard_health", None)
+        data.pop("degraded", None)
         for key in self.OPERATIONAL_KEYS:
             data["totals"].pop(key, None)
         return data
@@ -242,20 +308,27 @@ class FleetSnapshot:
         anomalous = self.totals["tenants_with_findings"]
         stale = f" stale={self.stale_shards}" if self.stale_shards \
             else ""
+        mode = " DEGRADED" if self.degraded else ""
         return (f"[{tag}] fleet wm={wm} "
                 f"shards={len(self.shards)} "
                 f"tenants={len(self.tenants)} "
                 f"anomalous={anomalous} degraded={degraded}"
-                f"{stale}")
+                f"{stale}{mode}")
 
 
 def merge_reports(reports: Iterable[ShardReport],
                   expected_shards: Iterable[int],
-                  seq: int = 0, final: bool = False) -> FleetSnapshot:
+                  seq: int = 0, final: bool = False,
+                  dead_shards: Iterable[int] = (),
+                  shard_health: Optional[dict] = None
+                  ) -> FleetSnapshot:
     """The deterministic fan-in merge (see module docstring).
 
     ``expected_shards`` lists every shard the fleet should hear from;
     expected shards with no report land in ``stale_shards``.
+    ``dead_shards`` (health-dead past the grace period) keep their
+    tenants' last-known digests in the snapshot but are excluded from
+    the fleet watermark; a merge that excluded any is ``degraded``.
     """
     by_shard: dict[int, ShardReport] = {}
     for report in reports:
@@ -277,9 +350,12 @@ def merge_reports(reports: Iterable[ShardReport],
 
     # a shard with no tenants owns no stream, so it cannot hold the
     # fleet watermark back; a shard whose tenants have not produced a
-    # watermark yet does (None stays None until every stream starts)
+    # watermark yet does (None stays None until every stream starts);
+    # a dead shard stops counting after the grace period — the fleet
+    # watermark may then run ahead of its last-known digests
+    dead = set(dead_shards)
     marks = [by_shard[s].watermark_ns for s in present
-             if by_shard[s].tenants]
+             if by_shard[s].tenants and s not in dead]
     watermark = None
     if marks and all(m is not None for m in marks):
         watermark = min(marks)
@@ -299,6 +375,12 @@ def merge_reports(reports: Iterable[ShardReport],
         "restarts": sum(by_shard[s].restarts for s in present),
         "checkpoints_written": sum(by_shard[s].checkpoints_written
                                    for s in present),
+        "publish_failures": sum(by_shard[s].publish_failures
+                                for s in present),
+        "publish_fallbacks": sum(by_shard[s].publish_fallbacks
+                                 for s in present),
+        "transport_retries": sum(by_shard[s].transport_retries
+                                 for s in present),
     }
     return FleetSnapshot(
         seq=seq,
@@ -308,6 +390,8 @@ def merge_reports(reports: Iterable[ShardReport],
         stale_shards=stale,
         tenants=tenants,
         totals=totals,
+        shard_health=dict(shard_health or {}),
+        degraded=bool(dead & set(expected)),
     )
 
 
@@ -335,14 +419,30 @@ class ShardMailbox:
 
 
 class FleetAggregator:
-    """Holds one mailbox per shard and produces fleet snapshots."""
+    """Holds one mailbox per shard and produces fleet snapshots.
+
+    With a :class:`HealthPolicy` it also tracks per-shard liveness
+    from :meth:`offer` / :meth:`heartbeat` arrival times; merges then
+    carry the health map, exclude dead shards from the watermark and
+    flag themselves ``degraded``.  Without one (``health=None``,
+    the default) nothing changes — health-blind callers get the
+    exact merges they always did.
+    """
 
     def __init__(self, expected_shards: Iterable[int],
-                 mailbox_capacity: int = 4) -> None:
+                 mailbox_capacity: int = 4,
+                 health: Optional[HealthPolicy] = None,
+                 clock=time.monotonic) -> None:
         self.expected = sorted(set(expected_shards))
         self.mailboxes = {shard: ShardMailbox(mailbox_capacity)
                           for shard in self.expected}
         self._seq = 0
+        self.health = health
+        self.clock = clock
+        self._started_at = clock()
+        self._last_seen: dict[int, float] = {}
+        self.heartbeats = 0
+        self.degraded_snapshots = 0
         self.merge_seconds = Histogram(
             "fleet_merge_seconds",
             "wall time to merge per-shard reports into one fleet "
@@ -354,29 +454,130 @@ class FleetAggregator:
             raise ValueError(
                 f"report from unknown shard {report.shard_id}")
         mailbox.offer(report)
+        self._last_seen[report.shard_id] = self.clock()
+
+    def heartbeat(self, shard_id: int) -> None:
+        """A liveness beat from a shard (no report attached)."""
+        if shard_id not in self.mailboxes:
+            raise ValueError(
+                f"heartbeat from unknown shard {shard_id}")
+        self.heartbeats += 1
+        self._last_seen[shard_id] = self.clock()
+
+    def last_seen_age_s(self, shard_id: int) -> float:
+        """Seconds since the shard's last report or heartbeat (a
+        never-heard-of shard ages from aggregator construction)."""
+        seen = self._last_seen.get(shard_id, self._started_at)
+        return max(0.0, self.clock() - seen)
+
+    def shard_health(self) -> dict[int, str]:
+        """Per-shard liveness now; empty without a health policy."""
+        if self.health is None:
+            return {}
+        return {shard: self.health.classify(
+            self.last_seen_age_s(shard)) for shard in self.expected}
 
     def merge(self, final: bool = False,
               clock=None) -> FleetSnapshot:
         """Merge the freshest report per shard; never blocks on a
-        shard whose mailbox is empty (it is reported stale)."""
+        shard whose mailbox is empty (it is reported stale) or on a
+        health-dead shard (excluded from the watermark; the snapshot
+        goes out ``degraded`` instead of late)."""
         import time as _time
 
         clock = clock or _time.perf_counter
         start = clock()
         self._seq += 1
+        health = self.shard_health()
+        dead = [shard for shard, state in sorted(health.items())
+                if state == "dead"]
         reports = [box.latest() for box in self.mailboxes.values()]
         snapshot = merge_reports(
             [r for r in reports if r is not None],
-            self.expected, seq=self._seq, final=final)
+            self.expected, seq=self._seq, final=final,
+            dead_shards=dead,
+            shard_health={str(shard): state
+                          for shard, state in sorted(health.items())})
+        if snapshot.degraded:
+            self.degraded_snapshots += 1
         self.merge_seconds.observe(max(0.0, clock() - start))
         return snapshot
 
     def dropped_total(self) -> int:
         return sum(box.dropped for box in self.mailboxes.values())
 
+    # ------------------------------------------------------------------
+    def export_into(self, registry: MetricsRegistry
+                    ) -> MetricsRegistry:
+        """Aggregation-tier operational series: per-shard mailbox
+        drops, transport counters from the freshest reports, breaker
+        state, heartbeat ages and liveness codes.  Distinct names
+        from the snapshot-level series, so both can share a registry.
+        """
+        health = self.shard_health()
+        registry.counter(
+            "fleet_heartbeats_total",
+            "shard liveness heartbeats received",
+        ).inc(self.heartbeats)
+        registry.counter(
+            "fleet_degraded_snapshots_total",
+            "rolling merges that excluded health-dead shards",
+        ).inc(self.degraded_snapshots)
+        for shard in self.expected:
+            labels = {"shard": str(shard)}
+            box = self.mailboxes[shard]
+            registry.counter(
+                "fleet_shard_reports_offered_total",
+                "reports offered to the shard's bounded mailbox",
+                labels=labels).inc(box.offered)
+            registry.counter(
+                "fleet_shard_reports_dropped_total",
+                "reports shed (drop-oldest) by the shard's bounded "
+                "mailbox",
+                labels=labels).inc(box.dropped)
+            report = box.latest()
+            registry.counter(
+                "fleet_shard_publish_failures_total",
+                "report publishes the shard's transport channel "
+                "gave up on",
+                labels=labels).inc(
+                report.publish_failures if report else 0)
+            registry.counter(
+                "fleet_shard_publish_fallbacks_total",
+                "reports the shard fell back to the atomic report "
+                "file for",
+                labels=labels).inc(
+                report.publish_fallbacks if report else 0)
+            registry.counter(
+                "fleet_shard_transport_retries_total",
+                "transport send/connect retries by the shard's "
+                "publisher",
+                labels=labels).inc(
+                report.transport_retries if report else 0)
+            registry.gauge(
+                "fleet_shard_breaker_state",
+                "shard publisher circuit breaker (0 closed, "
+                "1 half-open, 2 open)",
+                labels=labels).set(
+                report.breaker_state if report else 0)
+            if self.health is not None:
+                registry.gauge(
+                    "fleet_shard_heartbeat_age_seconds",
+                    "seconds since the shard's last report or "
+                    "heartbeat",
+                    labels=labels).set(
+                    round(self.last_seen_age_s(shard), 6))
+                registry.gauge(
+                    "fleet_shard_health",
+                    "shard liveness (0 live, 1 stale, 2 dead)",
+                    labels=labels).set(
+                    {"live": 0, "stale": 1, "dead": 2}[health[shard]])
+        return registry
+
 
 __all__ = [
     "TenantDigest",
+    "HealthPolicy",
     "ShardReport",
     "FleetSnapshot",
     "ShardMailbox",

@@ -11,9 +11,19 @@ p99 snapshot lateness.  One bench run:
    :class:`~repro.live.pipeline.LivePipeline` — the concurrency is
    real, the disk I/O is not, so the number measures the diagnosis
    fleet rather than the filesystem);
-3. drives the in-process :class:`~repro.fleet.service.FleetService`
-   to completion and reports throughput, rolling-merge cost, and the
-   fleet-wide ingest-to-snapshot lateness distribution (p50/p99/max).
+3. drives the fleet to completion and reports throughput,
+   rolling-merge cost, and the fleet-wide ingest-to-snapshot
+   lateness distribution (p50/p99/max).
+
+Two execution modes:
+
+* ``process`` (the default) — real supervised worker processes, one
+  per shard, streaming reports over the socket transport; each
+  worker decodes the trace once (``preload_traces``) so disk I/O
+  stays out of the measurement, and ships its lateness histogram
+  home inside its final :class:`~repro.fleet.aggregator.ShardReport`;
+* ``inprocess`` — the original single-process
+  :class:`~repro.fleet.service.FleetService` reference semantics.
 
 Entries append to ``benchmarks/results/BENCH_fleet.json`` in the same
 schema-1 trajectory format as ``BENCH_simcore.json``.
@@ -31,8 +41,9 @@ from pathlib import Path
 from typing import Optional
 
 from repro.fleet.service import FleetConfig, FleetService
-from repro.fleet.sharding import TenantSpec
+from repro.fleet.sharding import HashRing, TenantSpec
 from repro.fleet.tenancy import TenantPolicy, TenantRuntime
+from repro.live.metrics import Histogram
 
 BENCH_SCHEMA_VERSION = 1
 
@@ -68,14 +79,25 @@ def run_fleet_bench(tenants: int = 1024, shards: int = 8,
                     scale: float = BENCH_SCALE, seed: int = 42,
                     batch_events: int = 64,
                     merge_every_rounds: int = 4,
-                    snapshot_every: int = 32) -> dict:
+                    snapshot_every: int = 32,
+                    mode: str = "process") -> dict:
     """One fleet bench measurement (see module docstring)."""
     from repro.traces.stream import merged_events, read_header
 
+    if mode not in ("process", "inprocess"):
+        raise ValueError(f"unknown fleet bench mode {mode!r}")
     with tempfile.TemporaryDirectory(
             prefix="repro-fleet-bench-") as root:
         trace = record_bench_trace(Path(root), scenario=scenario,
                                    scale=scale, seed=seed)
+        if mode == "process":
+            # the trace file must outlive the run: worker processes
+            # preload it themselves (decode once per worker)
+            return _run_bench_process(
+                trace, Path(root), tenants=tenants, shards=shards,
+                scenario=scenario, batch_events=batch_events,
+                merge_every_rounds=merge_every_rounds,
+                snapshot_every=snapshot_every)
         header = read_header(trace)
         events = list(merged_events(trace))
 
@@ -104,10 +126,76 @@ def run_fleet_bench(tenants: int = 1024, shards: int = 8,
         + final.totals["events_shed"]
     shard_sizes = [len(shard.tenants) for shard in service.shards]
     return {
+        "mode": "inprocess",
         "tenants": tenants,
         "shards": shards,
         "scenario": scenario,
         "events_per_tenant": len(events),
+        "events_total": events_total,
+        "wall_s": round(wall_s, 4),
+        "events_per_sec": round(events_total / wall_s)
+        if wall_s else 0,
+        "tenants_finished": final.totals["tenants_final"],
+        "fleet_merges": final.seq,
+        "merge_p50_s": round(merges.percentile(50), 6),
+        "merge_p99_s": round(merges.percentile(99), 6),
+        "snapshot_lateness_count": lateness.total,
+        "snapshot_lateness_p50_s": round(lateness.percentile(50), 6),
+        "snapshot_lateness_p99_s": round(lateness.percentile(99), 6),
+        "snapshot_lateness_max_s": round(
+            lateness.max if lateness.total else 0.0, 6),
+        "shard_tenants_min": min(shard_sizes),
+        "shard_tenants_max": max(shard_sizes),
+    }
+
+
+def _run_bench_process(trace: Path, root: Path,
+                       tenants: int, shards: int, scenario: str,
+                       batch_events: int, merge_every_rounds: int,
+                       snapshot_every: int) -> dict:
+    """The multiprocess measurement: supervised workers streaming
+    reports over the socket transport, lateness histograms shipped
+    home inside the final ShardReports."""
+    from repro.fleet.transport import run_fleet_streaming
+    from repro.traces.stream import merged_events
+
+    events_per_tenant = sum(1 for _ in merged_events(trace))
+    policy = TenantPolicy(snapshot_every=snapshot_every,
+                          checkpoint_every=0)
+    specs = [TenantSpec(tenant=f"tenant-{i:04d}", trace=str(trace))
+             for i in range(tenants)]
+    config = FleetConfig(shards=shards, policy=policy,
+                         batch_events=batch_events,
+                         merge_every_rounds=merge_every_rounds)
+    plan = HashRing(config.shards, config.vnodes).assign(specs)
+
+    start = time.perf_counter()
+    outcome = run_fleet_streaming(
+        config, plan, str(root / "reports"),
+        report_every_rounds=merge_every_rounds,
+        merge_every_s=0.05, preload_traces=True)
+    wall_s = time.perf_counter() - start
+
+    final = outcome.final
+    merges = outcome.aggregator.merge_seconds
+    lateness = Histogram(
+        "fleet_ingest_to_snapshot_seconds",
+        "wall time from event arrival to the snapshot including it, "
+        "across every tenant of the fleet")
+    for report in outcome.results.values():
+        if report.lateness:
+            lateness.merge_from(
+                Histogram("shard_lateness").load_state(
+                    report.lateness))
+    events_total = final.totals["events_admitted"] \
+        + final.totals["events_shed"]
+    shard_sizes = [len(plan[s]) for s in sorted(plan)]
+    return {
+        "mode": "process",
+        "tenants": tenants,
+        "shards": shards,
+        "scenario": scenario,
+        "events_per_tenant": events_per_tenant,
         "events_total": events_total,
         "wall_s": round(wall_s, 4),
         "events_per_sec": round(events_total / wall_s)
@@ -159,8 +247,9 @@ def append_entry(path, entry: dict) -> dict:
 
 def render_entry(entry: dict) -> str:
     fleet = entry["fleet"]
+    mode = fleet.get("mode", "inprocess")
     return "\n".join([
-        f"fleet bench '{entry['label']}' "
+        f"fleet bench '{entry['label']}' [{mode}] "
         f"(python {entry['python']}, {entry['machine']})",
         f"  fleet:    {fleet['tenants']} tenants / "
         f"{fleet['shards']} shards "
@@ -184,7 +273,8 @@ def fleet_bench_main(tenants: int = 1024, shards: int = 8,
                      label: str = "dev",
                      out: Optional[str] = None,
                      max_lateness_p99_s: float = 0.0,
-                     as_json: bool = False) -> int:
+                     as_json: bool = False,
+                     mode: str = "process") -> int:
     """CLI body for ``repro bench --fleet``.
 
     ``max_lateness_p99_s`` > 0 turns the measured p99 snapshot
@@ -196,7 +286,8 @@ def fleet_bench_main(tenants: int = 1024, shards: int = 8,
         "implementation": platform.python_implementation(),
         "machine": f"{platform.system()}-{platform.machine()}",
         "unix_time": round(time.time(), 1),
-        "fleet": run_fleet_bench(tenants=tenants, shards=shards),
+        "fleet": run_fleet_bench(tenants=tenants, shards=shards,
+                                 mode=mode),
     }
     if as_json:
         print(json.dumps(entry, indent=2))

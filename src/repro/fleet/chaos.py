@@ -14,6 +14,16 @@ Kill points are deterministic (the worker hang-flag protocol in
 :mod:`repro.fleet.worker`): the victim worker spins at an exact event
 count and the supervisor SIGKILLs it, so the same seed reproduces the
 same experiment.
+
+``transport=True`` raises the stakes once more: workers stream their
+reports over the socket channel (:mod:`repro.fleet.transport`) while
+seeded network faults drop/garble received chunks, reset connections
+and stall heartbeats — and the SIGKILLed shard's restart backoff is
+tuned long enough that the health tracker declares it *dead*, forcing
+degraded rolling snapshots.  The experiment passes only if the fleet
+went degraded-then-recovered **and** the final diagnosis is still
+bit-equal to the uninterrupted baseline (the atomic report files are
+always the final fan-in, so no streamed fault can corrupt it).
 """
 
 from __future__ import annotations
@@ -21,9 +31,14 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
-from repro.fleet.aggregator import FleetAggregator, FleetSnapshot
+from repro.core import failpoints
+from repro.fleet.aggregator import (
+    FleetAggregator,
+    FleetSnapshot,
+    HealthPolicy,
+)
 from repro.fleet.service import FleetConfig, FleetService
 from repro.fleet.sharding import (
     HashRing,
@@ -54,6 +69,17 @@ class FleetChaosPlan:
     corrupt_checkpoint: bool = False
     #: truncate (instead of bit-flip) that checkpoint
     truncate_checkpoint: bool = False
+    #: stream reports over the socket transport with injected
+    #: network faults and health-aware degraded snapshots
+    transport: bool = False
+    #: parent-side probability of dropping a received chunk
+    net_drop: float = 0.0
+    #: parent-side probability of garbling a received chunk
+    net_garble: float = 0.0
+    #: parent-side connection resets to inject (count)
+    net_resets: int = 0
+    #: worker-side probability of stalling a heartbeat
+    stall_heartbeats: float = 0.0
 
 
 @dataclass
@@ -71,11 +97,16 @@ class FleetChaosReport:
     recovered_digest: str = ""
     equal: bool = False
     survivors_clean: bool = False
+    # transport-mode observations (zero / empty in file-only runs)
+    degraded_snapshots: int = 0
+    recovered: bool = True
+    transport_stats: dict = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
         return self.equal and self.survivors_clean \
-            and self.kills_delivered >= len(self.victims)
+            and self.kills_delivered >= len(self.victims) \
+            and self.recovered
 
     def to_dict(self) -> dict:
         return {
@@ -84,6 +115,7 @@ class FleetChaosReport:
             "kill_event_frac": self.plan.kill_event_frac,
             "corrupt_checkpoint": self.plan.corrupt_checkpoint,
             "truncate_checkpoint": self.plan.truncate_checkpoint,
+            "transport": self.plan.transport,
             "shards": self.shards,
             "tenants": self.tenants,
             "victims": list(self.victims),
@@ -94,6 +126,9 @@ class FleetChaosReport:
             "recovered_digest": self.recovered_digest,
             "equal": self.equal,
             "survivors_clean": self.survivors_clean,
+            "degraded_snapshots": self.degraded_snapshots,
+            "recovered": self.recovered,
+            "transport_stats": dict(self.transport_stats),
             "passed": self.passed,
         }
 
@@ -103,6 +138,10 @@ class FleetChaosReport:
         if self.checkpoints_corrupted:
             extras.append(
                 f"corrupted={self.checkpoints_corrupted}")
+        if self.plan.transport:
+            extras.append(f"degraded={self.degraded_snapshots}")
+            extras.append(
+                f"recovered={str(self.recovered).lower()}")
         tail = f" {' '.join(extras)}" if extras else ""
         return (f"[{verdict}] seed={self.plan.seed} "
                 f"shards={self.shards} tenants={self.tenants} "
@@ -122,6 +161,44 @@ def default_restart_policy(seed: int = 0) -> RestartPolicy:
                          seed=seed)
 
 
+def transport_restart_policy(seed: int = 0) -> RestartPolicy:
+    """Slow first backoff for transport chaos: the SIGKILLed shard
+    stays down well past ``dead_after_s``, so the health tracker
+    deterministically declares it dead and the fleet publishes
+    degraded snapshots before the restart recovers it."""
+    return RestartPolicy(max_restarts=8, window_s=60.0,
+                         backoff_base_s=1.0, backoff_factor=2.0,
+                         backoff_cap_s=2.0, jitter_frac=0.1,
+                         seed=seed)
+
+
+def transport_health_policy() -> HealthPolicy:
+    """Grace periods matched to :func:`transport_restart_policy`:
+    a killed shard (>=1s down) sails past ``dead_after_s``."""
+    return HealthPolicy(stale_after_s=0.15, dead_after_s=0.3)
+
+
+def transport_failpoints(plan: FleetChaosPlan) -> tuple[str, str]:
+    """The plan's network faults as ``REPRO_FAILPOINTS`` spec strings
+    — ``(parent_side, worker_side)``.  Parent-side faults mangle the
+    receive path (dropped/garbled chunks, connection resets); the
+    worker side stalls heartbeats."""
+    parent = []
+    if plan.net_drop > 0:
+        parent.append(f"transport.recv.drop:drop@{plan.net_drop}")
+    if plan.net_garble > 0:
+        parent.append(
+            f"transport.recv.garble:garble@{plan.net_garble}")
+    if plan.net_resets > 0:
+        parent.append(
+            f"transport.conn.reset:drop@0.2x{plan.net_resets}")
+    worker = []
+    if plan.stall_heartbeats > 0:
+        worker.append(
+            f"transport.heartbeat:drop@{plan.stall_heartbeats}")
+    return ",".join(parent), ",".join(worker)
+
+
 def _shard_event_total(specs: Sequence[TenantSpec]) -> int:
     return sum(sum(1 for _ in merged_events(spec.trace))
                for spec in specs)
@@ -137,7 +214,11 @@ def run_fleet_chaos(tenants: Sequence[TenantSpec],
                     workdir: Union[str, Path],
                     plan: FleetChaosPlan,
                     config: Optional[FleetConfig] = None,
-                    restart_policy: Optional[RestartPolicy] = None
+                    restart_policy: Optional[RestartPolicy] = None,
+                    health: Optional[HealthPolicy] = None,
+                    on_merge: Optional[Callable[[FleetSnapshot],
+                                                None]] = None,
+                    aggregator: Optional[FleetAggregator] = None
                     ) -> FleetChaosReport:
     """Execute one seeded fleet chaos experiment.
 
@@ -147,6 +228,11 @@ def run_fleet_chaos(tenants: Sequence[TenantSpec],
     ``workdir``, the planned victims SIGKILLed mid-replay and
     supervised back to completion.  Both fleets' final snapshots are
     compared on their diagnosis content.
+
+    With ``plan.transport`` the chaos run streams its reports over
+    the socket channel under the plan's network faults; ``on_merge``
+    observes every rolling snapshot and ``aggregator`` lets a caller
+    (the CLI's metrics exporter) hold the live aggregation state.
     """
     workdir = Path(workdir)
     workdir.mkdir(parents=True, exist_ok=True)
@@ -200,18 +286,43 @@ def run_fleet_chaos(tenants: Sequence[TenantSpec],
             report.checkpoints_corrupted += 1
         corrupt_done["done"] = True
 
-    results = run_fleet_multiprocess(
-        chaos_config, fleet_plan, str(workdir / "reports"),
-        hang_at=hang_at,
-        policy=restart_policy or default_restart_policy(plan.seed),
-        on_crash=on_crash)
-    report.restarts = sum(r.restarts for r in results.values())
+    if plan.transport:
+        from repro.fleet.transport import run_fleet_streaming
 
-    aggregator = FleetAggregator(sorted(fleet_plan),
-                                 config.mailbox_capacity)
-    for shard_report in results.values():
-        aggregator.offer(shard_report)
-    recovered_final = aggregator.merge(final=True)
+        parent_faults, worker_faults = transport_failpoints(plan)
+        failpoints.configure(parent_faults, seed=plan.seed)
+        try:
+            outcome = run_fleet_streaming(
+                chaos_config, fleet_plan, str(workdir / "reports"),
+                health=health or transport_health_policy(),
+                hang_at=hang_at,
+                policy=restart_policy
+                or transport_restart_policy(plan.seed),
+                on_crash=on_crash, on_merge=on_merge,
+                merge_every_s=0.05,
+                worker_failpoints=worker_faults,
+                failpoint_seed=plan.seed,
+                aggregator=aggregator)
+        finally:
+            failpoints.clear()
+        results = outcome.results
+        recovered_final = outcome.final
+        report.degraded_snapshots = outcome.degraded_snapshots
+        report.recovered = not recovered_final.degraded
+        report.transport_stats = dict(outcome.transport)
+    else:
+        results = run_fleet_multiprocess(
+            chaos_config, fleet_plan, str(workdir / "reports"),
+            hang_at=hang_at,
+            policy=restart_policy
+            or default_restart_policy(plan.seed),
+            on_crash=on_crash)
+        final_aggregator = FleetAggregator(sorted(fleet_plan),
+                                           config.mailbox_capacity)
+        for shard_report in results.values():
+            final_aggregator.offer(shard_report)
+        recovered_final = final_aggregator.merge(final=True)
+    report.restarts = sum(r.restarts for r in results.values())
     report.recovered_digest = recovered_final.diagnosis_digest()
     report.equal = recovered_final.diagnosis_json() \
         == baseline_final.diagnosis_json()
@@ -225,5 +336,8 @@ __all__ = [
     "FleetChaosPlan",
     "FleetChaosReport",
     "default_restart_policy",
+    "transport_restart_policy",
+    "transport_health_policy",
+    "transport_failpoints",
     "run_fleet_chaos",
 ]

@@ -278,6 +278,9 @@ class FleetService:
         ).inc(self.aggregator.dropped_total())
         registry.attach(self.aggregator.merge_seconds)
         registry.attach(self.snapshot_lateness())
+        # aggregation-tier operational series (per-shard mailbox
+        # drops, transport counters, health when tracked)
+        self.aggregator.export_into(registry)
 
         for shard in self.shards:
             labels = {"shard": str(shard.shard_id)}
@@ -384,6 +387,23 @@ def registry_from_snapshot(snapshot: FleetSnapshot,
         "fleet_restarts_total",
         "supervised shard worker restarts",
     ).inc(snapshot.totals.get("restarts", 0))
+    registry.gauge(
+        "fleet_degraded",
+        "1 when the newest merge excluded health-dead shards from "
+        "the fleet watermark",
+    ).set(int(snapshot.degraded))
+    registry.counter(
+        "fleet_publish_failures_total",
+        "report publishes shard transport channels gave up on",
+    ).inc(snapshot.totals.get("publish_failures", 0))
+    registry.counter(
+        "fleet_publish_fallbacks_total",
+        "reports that fell back to the atomic report file",
+    ).inc(snapshot.totals.get("publish_fallbacks", 0))
+    registry.counter(
+        "fleet_transport_retries_total",
+        "transport send/connect retries across the fleet",
+    ).inc(snapshot.totals.get("transport_retries", 0))
 
     by_shard: dict[int, list[TenantDigest]] = {}
     for digest in snapshot.tenants:

@@ -34,6 +34,7 @@ import threading
 import time
 from typing import Callable, Optional
 
+from repro.core import failpoints
 from repro.fleet.aggregator import ShardReport
 from repro.fleet.service import FleetConfig, build_shard_runtime
 from repro.fleet.sharding import TenantSpec
@@ -57,7 +58,12 @@ class WorkerCrashed(RuntimeError):
 def make_shard_spec(config: FleetConfig, shard_id: int,
                     specs: list[TenantSpec], report_path: str,
                     hang_at: int = 0,
-                    report_every_rounds: int = 8) -> dict:
+                    report_every_rounds: int = 8,
+                    endpoint: Optional[list] = None,
+                    heartbeat_every_rounds: int = 1,
+                    worker_failpoints: str = "",
+                    failpoint_seed: int = 0,
+                    preload_traces: bool = False) -> dict:
     return {
         "shard_id": shard_id,
         "tenants": [spec.to_dict() for spec in specs],
@@ -68,12 +74,25 @@ def make_shard_spec(config: FleetConfig, shard_id: int,
         "report_path": report_path,
         "hang_at": hang_at,
         "hang_flag": f"{report_path}.hang",
+        # streaming channel (None = report files only)
+        "endpoint": endpoint,
+        "heartbeat_every_rounds": heartbeat_every_rounds,
+        # worker-side fault injection (chaos; "" = none)
+        "failpoints": worker_failpoints,
+        "failpoint_seed": failpoint_seed,
+        # decode each distinct trace once, replay from memory (bench)
+        "preload_traces": preload_traces,
     }
 
 
 def write_report(path: str, report: ShardReport) -> None:
     """Atomic publish (tmp + fsync + rename): a reader never sees a
-    torn report, and a SIGKILL mid-write leaves the previous one."""
+    torn report, and a SIGKILL mid-write leaves the previous one.
+
+    Failpoint site ``worker.report.write`` (``error`` fails the
+    publish, ``drop`` silently skips it, ``delay`` stalls it)."""
+    if failpoints.fire("worker.report.write") == "drop":
+        return
     target = os.path.abspath(path)
     directory = os.path.dirname(target) or "."
     os.makedirs(directory, exist_ok=True)
@@ -104,38 +123,109 @@ def read_report(path: str) -> Optional[ShardReport]:
 # worker process body
 # ----------------------------------------------------------------------
 
+def _preload_factory(tenants: list[TenantSpec]):
+    """A tenant factory replaying each distinct trace from memory
+    (decode once per trace file, not once per tenant) — the bench's
+    in-memory idiom, available to worker processes via the
+    ``preload_traces`` spec key."""
+    from repro.fleet.tenancy import TenantRuntime
+    from repro.traces.stream import merged_events, read_header
+
+    cache = {}
+    for spec in tenants:
+        if spec.trace not in cache:
+            cache[spec.trace] = (read_header(spec.trace),
+                                 list(merged_events(spec.trace)))
+
+    def factory(spec, shard_id, tenant_policy, ckpt_dir):
+        header, events = cache[spec.trace]
+        return TenantRuntime(spec.tenant, shard_id, tenant_policy,
+                             events=iter(events), header=header,
+                             checkpoint_dir=ckpt_dir)
+
+    return factory
+
+
 def worker_main(spec: dict) -> int:
-    """Run one shard to completion inside the current process."""
+    """Run one shard to completion inside the current process.
+
+    With an ``endpoint`` in the spec, rolling reports and heartbeats
+    stream to the parent's :class:`~repro.fleet.transport
+    .ReportListener`; a broken channel falls back to the atomic
+    report file, and the **final** report is always written to the
+    file regardless — the streamed copies only make the parent's
+    rolling snapshots fresher, never the final diagnosis different.
+    """
     from repro.fleet.tenancy import TenantPolicy
+
+    if spec.get("failpoints"):
+        failpoints.configure(spec["failpoints"],
+                             seed=int(spec.get("failpoint_seed", 0)))
+    else:
+        failpoints.configure_from_env(
+            seed=int(spec.get("failpoint_seed", 0)))
 
     policy = TenantPolicy.from_dict(spec["policy"])
     tenants = [TenantSpec.from_dict(t) for t in spec["tenants"]]
+    factory = _preload_factory(tenants) \
+        if spec.get("preload_traces") else None
     runtime = build_shard_runtime(
-        spec["shard_id"], tenants, policy, spec.get("workdir"))
+        spec["shard_id"], tenants, policy, spec.get("workdir"),
+        tenant_factory=factory)
     batch = int(spec.get("batch_events", 64))
     report_every = max(1, int(spec.get("report_every_rounds", 8)))
     report_path = spec["report_path"]
     hang_at = int(spec.get("hang_at", 0) or 0)
     hang_flag = spec.get("hang_flag")
+    endpoint = spec.get("endpoint")
+    heartbeat_every = max(1, int(spec.get("heartbeat_every_rounds",
+                                          1)))
+    publisher = None
+    if endpoint:
+        from repro.fleet.transport import ReportPublisher
+        publisher = ReportPublisher(endpoint, spec["shard_id"])
     rounds = 0
 
-    while not runtime.done:
-        runtime.step(batch)
-        rounds += 1
-        if hang_at and hang_flag \
-                and runtime.events_consumed >= hang_at \
-                and not os.path.exists(hang_flag):
-            # deterministic chaos kill point: raise the flag, then
-            # spin until the supervising parent SIGKILLs us.  The
-            # flag outlives the kill, so the restart runs through.
-            with open(hang_flag, "w", encoding="utf-8") as handle:
-                handle.write(str(runtime.events_consumed))
-            while True:  # pragma: no cover - terminated by SIGKILL
-                time.sleep(0.05)
-        if rounds % report_every == 0:
-            write_report(report_path, runtime.report(final=False))
-    runtime.finalize()
-    write_report(report_path, runtime.report(final=True))
+    def emit(final: bool) -> ShardReport:
+        """Publish one report: stream when the channel works, fall
+        back to (and, for final reports, always also use) the file."""
+        report = runtime.report(final=final)
+        report.lateness = runtime.merged_latency().state_dict()
+        if publisher is not None:
+            publisher.stamp(report)
+        streamed = publisher.publish(report) \
+            if publisher is not None else False
+        if final or not streamed:
+            if streamed is False and publisher is not None:
+                publisher.fallbacks += 1
+                publisher.stamp(report)
+            write_report(report_path, report)
+        return report
+
+    try:
+        while not runtime.done:
+            runtime.step(batch)
+            rounds += 1
+            if hang_at and hang_flag \
+                    and runtime.events_consumed >= hang_at \
+                    and not os.path.exists(hang_flag):
+                # deterministic chaos kill point: raise the flag, then
+                # spin until the supervising parent SIGKILLs us.  The
+                # flag outlives the kill, so the restart runs through.
+                with open(hang_flag, "w", encoding="utf-8") as handle:
+                    handle.write(str(runtime.events_consumed))
+                while True:  # pragma: no cover - terminated by SIGKILL
+                    time.sleep(0.05)  # repro: noqa RPR026 - unbounded by design: the supervising parent SIGKILLs this pid
+            if publisher is not None \
+                    and rounds % heartbeat_every == 0:
+                publisher.heartbeat()
+            if rounds % report_every == 0:
+                emit(final=False)
+        runtime.finalize()
+        emit(final=True)
+    finally:
+        if publisher is not None:
+            publisher.close()
     return 0
 
 
@@ -206,27 +296,13 @@ def run_shard_supervised(spec: dict,
     return report
 
 
-def run_fleet_multiprocess(
-        config: FleetConfig,
-        plan: dict[int, list[TenantSpec]],
-        report_dir: str,
-        hang_at: Optional[dict[int, int]] = None,
+def run_fleet_supervised(
+        specs: dict[int, dict],
         policy: Optional[RestartPolicy] = None,
         on_crash=None,
-        report_every_rounds: int = 8,
 ) -> dict[int, ShardReport]:
-    """Run every shard of ``plan`` as a supervised worker process
-    (one supervising thread per shard) and collect final reports."""
-    os.makedirs(report_dir, exist_ok=True)
-    hang_at = hang_at or {}
-    specs = {
-        shard_id: make_shard_spec(
-            config, shard_id, tenant_specs,
-            os.path.join(report_dir, f"shard-{shard_id:03d}.json"),
-            hang_at=hang_at.get(shard_id, 0),
-            report_every_rounds=report_every_rounds)
-        for shard_id, tenant_specs in sorted(plan.items())
-    }
+    """Run prepared shard specs under supervision, one supervising
+    thread per shard, and collect the final (file-read) reports."""
     results: dict[int, ShardReport] = {}
     errors: dict[int, BaseException] = {}
 
@@ -255,6 +331,43 @@ def run_fleet_multiprocess(
     return results
 
 
+def run_fleet_multiprocess(
+        config: FleetConfig,
+        plan: dict[int, list[TenantSpec]],
+        report_dir: str,
+        hang_at: Optional[dict[int, int]] = None,
+        policy: Optional[RestartPolicy] = None,
+        on_crash=None,
+        report_every_rounds: int = 8,
+        endpoint: Optional[list] = None,
+        heartbeat_every_rounds: int = 1,
+        worker_failpoints: str = "",
+        failpoint_seed: int = 0,
+        preload_traces: bool = False,
+) -> dict[int, ShardReport]:
+    """Run every shard of ``plan`` as a supervised worker process
+    (one supervising thread per shard) and collect final reports.
+    With an ``endpoint``, workers additionally stream rolling reports
+    and heartbeats there (see :mod:`repro.fleet.transport`)."""
+    os.makedirs(report_dir, exist_ok=True)
+    hang_at = hang_at or {}
+    specs = {
+        shard_id: make_shard_spec(
+            config, shard_id, tenant_specs,
+            os.path.join(report_dir, f"shard-{shard_id:03d}.json"),
+            hang_at=hang_at.get(shard_id, 0),
+            report_every_rounds=report_every_rounds,
+            endpoint=endpoint,
+            heartbeat_every_rounds=heartbeat_every_rounds,
+            worker_failpoints=worker_failpoints,
+            failpoint_seed=failpoint_seed,
+            preload_traces=preload_traces)
+        for shard_id, tenant_specs in sorted(plan.items())
+    }
+    return run_fleet_supervised(specs, policy=policy,
+                                on_crash=on_crash)
+
+
 __all__ = [
     "WorkerCrashed",
     "make_shard_spec",
@@ -264,5 +377,6 @@ __all__ = [
     "worker_entry",
     "run_worker_process",
     "run_shard_supervised",
+    "run_fleet_supervised",
     "run_fleet_multiprocess",
 ]

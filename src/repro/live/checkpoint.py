@@ -160,7 +160,15 @@ class CheckpointManager:
 
     # ------------------------------------------------------------------
     def save(self, state: dict) -> Path:
-        """Atomically persist one pipeline state dict."""
+        """Atomically persist one pipeline state dict.
+
+        Failpoint ``checkpoint.save`` (see
+        :mod:`repro.core.failpoints`) can inject an ``OSError`` or a
+        delay here — the error propagates exactly like a real disk
+        fault, crashing the attempt so supervision restarts it."""
+        from repro.core import failpoints
+
+        failpoints.fire("checkpoint.save")
         cursor = ReplayCursor.from_dict(state.get("cursor") or {})
         path = self.path_for(cursor.published)
         start = time.perf_counter()

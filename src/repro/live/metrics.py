@@ -212,6 +212,33 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full JSON-safe state — unlike :meth:`to_dict` (a rendered
+        summary), this round-trips exactly through
+        :meth:`load_state`, so a worker process can ship its latency
+        distribution home inside a ShardReport."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "min": None if math.isinf(self.min) else self.min,
+            "max": None if math.isinf(self.max) else self.max,
+        }
+
+    def load_state(self, state: dict) -> "Histogram":
+        """Restore from :meth:`state_dict` output (symmetric keys)."""
+        self.bounds = [float(b) for b in state["bounds"]]
+        self.counts = [int(c) for c in state["counts"]]
+        self.total = int(state["total"])
+        self.sum = float(state["sum"])
+        self.min = math.inf if state["min"] is None \
+            else float(state["min"])
+        self.max = -math.inf if state["max"] is None \
+            else float(state["max"])
+        return self
+
     def to_dict(self) -> dict:
         data = {
             "type": "histogram", "help": self.help,

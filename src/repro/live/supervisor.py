@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, TypeVar
 
+from repro.core.retry import RetryPolicy
 from repro.core.units import Seconds
 
 log = logging.getLogger(__name__)
@@ -62,6 +63,18 @@ class RestartPolicy:
     #: ones are evicted so a long-lived supervisor stays bounded
     #: (RPR025) while ``Supervisor.crash_count`` keeps the true total
     max_crash_records: int = 256
+
+    def retry_policy(self) -> RetryPolicy:
+        """This restart policy's backoff, as the shared
+        :class:`~repro.core.retry.RetryPolicy` (same formula, same
+        seed semantics — the supervisor delegates its delays here)."""
+        return RetryPolicy(
+            max_attempts=self.max_restarts,
+            base_delay_s=self.backoff_base_s,
+            factor=self.backoff_factor,
+            max_delay_s=self.backoff_cap_s,
+            jitter_frac=self.jitter_frac,
+            seed=self.seed)
 
 
 class CrashLoopError(RuntimeError):
@@ -144,12 +157,12 @@ class Supervisor:
     # ------------------------------------------------------------------
     def backoff_delay(self, attempt: int) -> float:
         """Deterministic (seeded) capped exponential backoff with
-        jitter for the given consecutive-crash count (0-based)."""
-        policy = self.policy
-        raw = policy.backoff_base_s \
-            * policy.backoff_factor ** attempt
-        jitter = raw * policy.jitter_frac * self._rng.random()
-        return min(raw + jitter, policy.backoff_cap_s)
+        jitter for the given consecutive-crash count (0-based).
+
+        Delegates to :meth:`RestartPolicy.retry_policy`, passing the
+        supervisor's own RNG — the seeded restart schedule is
+        bit-identical to what this method always produced."""
+        return self.policy.retry_policy().delay_s(attempt, self._rng)
 
     def run(self) -> Optional[T]:
         attempt = 0

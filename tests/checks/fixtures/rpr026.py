@@ -1,0 +1,35 @@
+# repro: check-scope concurrency
+"""RPR026 fixture: retry/poll loops that sleep with no attempt cap or
+deadline anywhere in sight."""
+
+import time
+from time import sleep
+
+
+def wait_for_file(path) -> None:
+    while not path.exists():
+        time.sleep(0.1)  # expect: RPR026
+
+
+def poll_until_ready(client) -> dict:
+    while True:
+        status = client.status()
+        if status.get("ready"):
+            return status
+        sleep(0.5)  # expect: RPR026
+
+
+class Follower:
+    def __init__(self, source) -> None:
+        self.source = source
+
+    def follow(self) -> None:
+        while True:
+            line = self.source.readline()
+            if line:
+                self.handle(line)
+            else:
+                time.sleep(0.05)  # expect: RPR026
+
+    def handle(self, line) -> None:
+        del line

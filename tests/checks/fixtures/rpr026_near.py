@@ -1,0 +1,61 @@
+# repro: check-scope concurrency
+"""Near-misses for RPR026: budgeted waits stay silent — a comparison
+in the loop test, a deadline identifier, a counted attempt, a bounded
+``for``, or a sleep that belongs to a nested function."""
+
+import time
+
+
+def wait_with_test_bound(path, max_attempts) -> bool:
+    attempts = 0
+    while attempts < max_attempts:
+        if path.exists():
+            return True
+        attempts += 1
+        time.sleep(0.1)  # loop test compares: bounded
+    return False
+
+
+def wait_with_deadline(client, deadline) -> dict:
+    while True:
+        status = client.status()
+        if status.get("ready"):
+            return status
+        if deadline.expired():
+            raise TimeoutError("gave up")
+        time.sleep(deadline.remaining_s())  # deadline budget
+
+
+def wait_with_counter(client) -> dict:
+    failures = 0
+    while True:
+        status = client.status()
+        if status.get("ready"):
+            return status
+        failures += 1
+        if failures > 10:
+            raise TimeoutError("gave up")
+        time.sleep(0.2)  # counted attempts: bounded
+
+
+def wait_bounded_for(path) -> bool:
+    for _ in range(20):
+        if path.exists():
+            return True
+        time.sleep(0.1)  # for loop: bounded by the iterable
+    return False
+
+
+def make_backoff(interval):
+    def pause() -> None:
+        time.sleep(interval)  # belongs to pause()'s callers
+
+    results = []
+    while not results:
+        results = poll(pause)
+    return results
+
+
+def poll(pause):
+    pause()
+    return [1]

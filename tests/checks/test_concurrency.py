@@ -1,5 +1,5 @@
 """Exact-location tests for the concurrency & durability pass
-(``repro check --concurrency``, rules RPR020-RPR025).
+(``repro check --concurrency``, rules RPR020-RPR026).
 
 Mirrors ``test_lint.py`` / ``test_units.py``: each
 ``fixtures/rpr02x.py`` file tags its deliberately-bad lines with a
@@ -23,7 +23,7 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 _EXPECT = re.compile(r"#\s*expect:\s*(RPR\d{3})")
 
 FIXTURE_NAMES = ["rpr020", "rpr021", "rpr022", "rpr023", "rpr024",
-                 "rpr025"]
+                 "rpr025", "rpr026"]
 
 
 def expected_findings(path: Path) -> set:
@@ -301,7 +301,7 @@ def test_rpr025_pragma_opts_a_file_in(tmp_path):
 # catalog and CLI
 # ----------------------------------------------------------------------
 def test_rules_catalog_covers_reported_ids():
-    assert set(CONCURRENCY_RULES) == {f"RPR02{i}" for i in range(6)}
+    assert set(CONCURRENCY_RULES) == {f"RPR02{i}" for i in range(7)}
 
 
 def test_cli_concurrency_flag_gates_the_pass(capsys):

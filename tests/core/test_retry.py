@@ -1,0 +1,224 @@
+"""Retry policies, deadlines, circuit breaking, call_with_retry."""
+
+import random
+
+import pytest
+
+from repro.core.retry import (
+    CircuitBreaker,
+    Deadline,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    call_with_retry,
+)
+from repro.live.supervisor import RestartPolicy, Supervisor
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+def test_delay_formula_is_capped_exponential_with_jitter():
+    policy = RetryPolicy(base_delay_s=0.1, factor=2.0, max_delay_s=1.0,
+                         jitter_frac=0.5, seed=3)
+    # with a caller-owned rng the stream is exactly reproducible
+    rng = random.Random(3)
+    delays = [policy.delay_s(a, rng) for a in range(8)]
+    shadow = random.Random(3)
+    expected = []
+    for attempt in range(8):
+        raw = 0.1 * 2.0 ** attempt
+        expected.append(min(raw + raw * 0.5 * shadow.random(), 1.0))
+    assert delays == expected
+    assert delays[-1] == 1.0  # cap reached, jitter included
+
+
+def test_default_rng_restarts_the_jitter_stream():
+    policy = RetryPolicy(seed=7)
+    assert policy.delay_s(2) == policy.delay_s(2)
+
+
+def test_supervisor_backoff_is_bit_identical_to_retry_policy():
+    """The supervisor's historical restart schedule survives its
+    delegation to RetryPolicy: same seed, same delays, bit for bit."""
+    restart = RestartPolicy(backoff_base_s=0.25, backoff_factor=2.0,
+                            backoff_cap_s=4.0, jitter_frac=0.2,
+                            seed=21)
+    supervisor = Supervisor(lambda attempt: None, policy=restart)
+    rng = random.Random(21)
+    expected = [restart.retry_policy().delay_s(a, rng)
+                for a in range(6)]
+    assert [supervisor.backoff_delay(a) for a in range(6)] == expected
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+def test_deadline_budget_accounting():
+    clock = FakeClock()
+    deadline = Deadline(2.0, clock=clock)
+    assert not deadline.expired()
+    assert deadline.remaining_s() == 2.0
+    clock.advance(1.5)
+    assert deadline.elapsed_s() == 1.5
+    assert deadline.remaining_s() == pytest.approx(0.5)
+    clock.advance(1.0)
+    assert deadline.expired()
+    assert deadline.remaining_s() == 0.0  # clamped, never negative
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+def test_breaker_opens_after_threshold_and_admits_one_trial():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=3, reset_after_s=10.0,
+                             clock=clock)
+    assert breaker.state_code() == 0
+    for _ in range(2):
+        breaker.record_failure()
+        assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert breaker.state_code() == 2
+    assert not breaker.allow()
+    clock.advance(9.0)
+    assert not breaker.allow()  # cooldown not elapsed
+    clock.advance(1.0)
+    assert breaker.allow()  # the half-open trial
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    assert breaker.state_code() == 1
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.consecutive_failures == 0
+
+
+def test_breaker_failed_trial_reopens_for_a_full_cooldown():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=2, reset_after_s=5.0,
+                             clock=clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.opened_total == 1
+    clock.advance(5.0)
+    assert breaker.allow()
+    breaker.record_failure()  # trial failed: straight back to open
+    assert breaker.state == CircuitBreaker.OPEN
+    assert breaker.opened_total == 2
+    assert not breaker.allow()
+    clock.advance(4.9)
+    assert not breaker.allow()
+
+
+# ----------------------------------------------------------------------
+# call_with_retry
+# ----------------------------------------------------------------------
+def flaky(failures: int, error=OSError):
+    state = {"calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["calls"] <= failures:
+            raise error(f"boom {state['calls']}")
+        return state["calls"]
+
+    fn.state = state
+    return fn
+
+
+def test_retry_succeeds_and_sleeps_the_policy_schedule():
+    policy = RetryPolicy(max_attempts=5, base_delay_s=0.1, factor=2.0,
+                         max_delay_s=10.0, jitter_frac=0.0, seed=0)
+    slept = []
+    observed = []
+    result = call_with_retry(
+        flaky(3), policy=policy, sleep=slept.append,
+        on_retry=lambda attempt, error, delay:
+        observed.append((attempt, str(error), delay)))
+    assert result == 4
+    assert slept == [0.1, 0.2, 0.4]
+    assert [(a, d) for a, _, d in observed] == [
+        (1, 0.1), (2, 0.2), (3, 0.4)]
+    assert observed[0][1] == "boom 1"
+
+
+def test_retry_reraises_once_attempts_run_out():
+    policy = RetryPolicy(max_attempts=3, jitter_frac=0.0)
+    slept = []
+    fn = flaky(99)
+    with pytest.raises(OSError, match="boom 3"):
+        call_with_retry(fn, policy=policy, sleep=slept.append)
+    assert fn.state["calls"] == 3
+    assert len(slept) == 2  # no sleep after the final failure
+
+
+def test_retry_only_catches_retry_on():
+    policy = RetryPolicy(max_attempts=5)
+    fn = flaky(2, error=KeyError)
+    with pytest.raises(KeyError):
+        call_with_retry(fn, policy=policy, sleep=lambda _s: None)
+    assert fn.state["calls"] == 1  # not retried at all
+
+
+def test_retry_respects_the_deadline_budget():
+    clock = FakeClock()
+    deadline = Deadline(1.0, clock=clock)
+    policy = RetryPolicy(max_attempts=50, base_delay_s=0.4,
+                         factor=1.0, max_delay_s=0.4, jitter_frac=0.0)
+    slept = []
+
+    def sleep(delay):
+        slept.append(delay)
+        clock.advance(delay)
+
+    fn = flaky(99)
+    with pytest.raises(OSError):
+        call_with_retry(fn, policy=policy, deadline=deadline,
+                        sleep=sleep)
+    # 0.4 + 0.4 spent; the third delay is clamped to the remaining
+    # 0.2, after which the deadline is expired and the error surfaces
+    assert slept == [0.4, 0.4, pytest.approx(0.2)]
+    assert fn.state["calls"] == 4
+
+
+def test_unlimited_attempts_require_a_deadline():
+    with pytest.raises(ValueError):
+        call_with_retry(lambda: 1, policy=RetryPolicy(max_attempts=0))
+    clock = FakeClock()
+    result = call_with_retry(
+        lambda: "ok", policy=RetryPolicy(max_attempts=0),
+        deadline=Deadline(1.0, clock=clock))
+    assert result == "ok"
+
+
+def test_open_breaker_rejects_without_calling():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_after_s=60.0,
+                             clock=clock)
+    breaker.record_failure()
+    fn = flaky(0)
+    with pytest.raises(RetryBudgetExceeded):
+        call_with_retry(fn, breaker=breaker, sleep=lambda _s: None)
+    assert fn.state["calls"] == 0
+    assert isinstance(RetryBudgetExceeded("x"), OSError)
+
+
+def test_breaker_records_outcomes_through_call_with_retry():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=10, clock=clock)
+    policy = RetryPolicy(max_attempts=5, jitter_frac=0.0,
+                         base_delay_s=0.0)
+    call_with_retry(flaky(2), policy=policy, breaker=breaker,
+                    sleep=lambda _s: None)
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.consecutive_failures == 0  # success reset it

@@ -74,6 +74,60 @@ def test_render_labeled_histogram_keeps_labels_on_every_sample():
     assert 'fleet_shard_latency_seconds_count{shard="2"} 1' in text
 
 
+def test_aggregator_exports_labeled_transport_series():
+    """Mailbox drop-oldest counts and worker publish failures surface
+    as per-shard labeled series (the fan-in observability contract)."""
+    from repro.fleet.aggregator import FleetAggregator, ShardReport
+
+    aggregator = FleetAggregator([0, 1], mailbox_capacity=1)
+    for events in (10, 20, 30):  # capacity 1: two drop-oldest evictions
+        aggregator.offer(ShardReport(shard_id=0, final=False,
+                                     events_consumed=events))
+    aggregator.offer(ShardReport(
+        shard_id=1, final=True, events_consumed=5,
+        publish_failures=3, publish_fallbacks=2, transport_retries=7,
+        breaker_state=2))
+    registry = aggregator.export_into(MetricsRegistry())
+    text = render_prometheus(registry)
+    assert 'fleet_shard_reports_offered_total{shard="0"} 3' in text
+    assert 'fleet_shard_reports_dropped_total{shard="0"} 2' in text
+    assert 'fleet_shard_reports_dropped_total{shard="1"} 0' in text
+    assert 'fleet_shard_publish_failures_total{shard="1"} 3' in text
+    assert 'fleet_shard_publish_fallbacks_total{shard="1"} 2' in text
+    assert 'fleet_shard_transport_retries_total{shard="1"} 7' in text
+    assert 'fleet_shard_breaker_state{shard="1"} 2' in text
+    # health-blind aggregator: no liveness series at all
+    assert "fleet_shard_health" not in text
+    assert "fleet_shard_heartbeat_age_seconds" not in text
+
+
+def test_aggregator_exports_health_series_with_policy():
+    from repro.fleet.aggregator import (
+        FleetAggregator,
+        HealthPolicy,
+        ShardReport,
+    )
+
+    clock_now = [0.0]
+    aggregator = FleetAggregator(
+        [0, 1],
+        health=HealthPolicy(stale_after_s=1.0, dead_after_s=2.0),
+        clock=lambda: clock_now[0])
+    aggregator.offer(ShardReport(shard_id=0, final=False,
+                                 events_consumed=1))
+    aggregator.heartbeat(1)
+    clock_now[0] = 2.5
+    aggregator.offer(ShardReport(shard_id=0, final=False,
+                                 events_consumed=2))
+    aggregator.merge()  # shard 1 dead -> degraded snapshot
+    text = render_prometheus(aggregator.export_into(MetricsRegistry()))
+    assert 'fleet_shard_health{shard="0"} 0' in text
+    assert 'fleet_shard_health{shard="1"} 2' in text
+    assert 'fleet_shard_heartbeat_age_seconds{shard="1"} 2.5' in text
+    assert "fleet_heartbeats_total 1" in text
+    assert "fleet_degraded_snapshots_total 1" in text
+
+
 @pytest.fixture
 def exporter():
     registry = MetricsRegistry()

@@ -78,6 +78,57 @@ def test_sigkilled_fleet_recovers_bit_equal(trace_path, tmp_path):
 
 
 @pytest.mark.slow
+def test_transport_chaos_goes_degraded_then_recovers_bit_equal(
+        trace_path, tmp_path):
+    """The transport tentpole, end to end: stream reports over the
+    socket channel while seeded network faults drop/garble chunks,
+    reset connections and stall heartbeats, AND SIGKILL one shard so
+    it goes health-dead — the fleet publishes degraded snapshots
+    instead of stalling, then recovers, and the final diagnosis is
+    still bit-equal to the uninterrupted baseline."""
+    from repro.fleet.chaos import transport_failpoints
+
+    tenants = replicate_tenants([str(trace_path)], replicate=4)
+    config = FleetConfig(
+        shards=2,
+        policy=TenantPolicy(snapshot_every=32, checkpoint_every=64),
+        batch_events=64, merge_every_rounds=2)
+    plan = FleetChaosPlan(seed=7, kills=1, kill_event_frac=0.5,
+                          transport=True, net_drop=0.05,
+                          net_garble=0.05, net_resets=2,
+                          stall_heartbeats=0.2)
+    parent_faults, worker_faults = transport_failpoints(plan)
+    assert "transport.recv.drop:drop@0.05" in parent_faults
+    assert "transport.conn.reset:drop@0.2x2" in parent_faults
+    assert worker_faults == "transport.heartbeat:drop@0.2"
+
+    rolling = []
+    report = run_fleet_chaos(tenants, tmp_path / "chaos", plan,
+                             config=config, on_merge=rolling.append)
+    assert report.kills_delivered == 1
+    assert report.restarts >= 1
+    # the killed shard outlived dead_after_s: degraded window observed
+    assert report.degraded_snapshots >= 1
+    assert any(s.degraded for s in rolling)
+    # ... and the final snapshot recovered (every shard live again)
+    assert report.recovered
+    assert not rolling[-1].degraded
+    assert rolling[-1].final
+    # degraded, never wrong: bit-equal despite every injected fault
+    assert report.equal, (
+        f"diagnosis diverged: baseline={report.baseline_digest} "
+        f"recovered={report.recovered_digest}")
+    assert report.survivors_clean
+    assert report.passed
+    assert report.transport_stats.get("reports_received", 0) >= 1
+    as_dict = report.to_dict()
+    assert as_dict["transport"] is True
+    assert as_dict["degraded_snapshots"] == report.degraded_snapshots
+    assert "degraded=" in report.summary_line()
+    assert "recovered=true" in report.summary_line()
+
+
+@pytest.mark.slow
 def test_poll_failure_does_not_orphan_the_worker(trace_path, tmp_path):
     """If the parent's polling loop dies while the child is alive
     (here: a bad poll interval; in production: KeyboardInterrupt or a
