@@ -17,11 +17,18 @@ of leaving them to post-hoc debugging of divergent traces:
 * **RPR005** — event callbacks must not mutate ``Simulator.now`` or
   schedule into the past;
 * **RPR006** — (``--strict`` only) a ``# repro: noqa`` comment that
-  suppresses nothing is itself an error.
+  suppresses nothing is itself an error;
+* **RPR027** — no raw ``json.loads``/``json.dumps`` over trace
+  records outside the trace store: hand-rolled line parsing silently
+  diverges from the columnar format, quarantine semantics and resume
+  cursors that :mod:`repro.traces` centralises.
 
 Scope: RPR001 and RPR005 apply to files under ``simnet``/``core``/
 ``collective`` directories, plus any file that opts in with a
-``# repro: check-scope sim`` pragma.  The other rules apply everywhere.
+``# repro: check-scope sim`` pragma.  RPR027 skips files under a
+``traces`` directory (the store, serializers and converters) and
+files that declare ``# repro: check-scope trace-store``.  The other
+rules apply everywhere.
 
 Suppression: append ``# repro: noqa`` (all rules) or
 ``# repro: noqa RPR003`` / ``# repro: noqa RPR001,RPR003`` (specific
@@ -59,10 +66,23 @@ RULES = {
     "RPR005": "event-loop discipline (clock mutation / scheduling into "
               "the past)",
     "RPR006": "suppression comment that suppresses nothing (strict)",
+    "RPR027": "raw json over trace records outside the trace store "
+              "(use repro.traces readers/writers)",
 }
 
 #: directories whose files are simulation-critical (RPR001 / RPR005)
 SIM_SCOPE_DIRS = frozenset({"simnet", "core", "collective"})
+
+#: directories whose files ARE the trace store (exempt from RPR027)
+TRACE_STORE_DIRS = frozenset({"traces"})
+
+#: the record kinds the trace store owns (RPR027)
+TRACE_RECORD_KINDS = frozenset({
+    "meta", "schedule", "flow_key", "expected",
+    "step_record", "switch_report",
+})
+#: argument-name fragments that mark a json payload as trace data
+_TRACE_ARG_TOKENS = ("trace", "jsonl", "record")
 
 #: ``time`` module functions that read host clocks
 _WALL_CLOCK_FNS = frozenset({
@@ -88,6 +108,12 @@ def _is_sim_scope(path: Path, source: str) -> bool:
     return has_scope_pragma(source, "sim")
 
 
+def _is_trace_store_scope(path: Path, source: str) -> bool:
+    if TRACE_STORE_DIRS.intersection(path.parts):
+        return True
+    return has_scope_pragma(source, "trace-store")
+
+
 def _is_timestamp_name(node: ast.expr) -> bool:
     name = _name_of(node)
     if name is None:
@@ -98,9 +124,11 @@ def _is_timestamp_name(node: ast.expr) -> bool:
 class _FileChecker(ast.NodeVisitor):
     """Single-file visitor implementing RPR001/002/003/005."""
 
-    def __init__(self, path: str, sim_scope: bool) -> None:
+    def __init__(self, path: str, sim_scope: bool,
+                 trace_store_scope: bool = False) -> None:
         self.path = path
         self.sim_scope = sim_scope
+        self.trace_store_scope = trace_store_scope
         self.findings: list[Finding] = []
         #: local aliases of the random/time/datetime modules
         self._module_alias: dict[str, str] = {}
@@ -117,12 +145,12 @@ class _FileChecker(ast.NodeVisitor):
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             root = alias.name.split(".")[0]
-            if root in ("random", "time", "datetime"):
+            if root in ("random", "time", "datetime", "json"):
                 self._module_alias[alias.asname or root] = root
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module in ("random", "time", "datetime"):
+        if node.module in ("random", "time", "datetime", "json"):
             for alias in node.names:
                 self._from_imports[alias.asname or alias.name] = \
                     f"{node.module}.{alias.name}"
@@ -310,12 +338,64 @@ class _FileChecker(ast.NodeVisitor):
                             "schedule_at(now - ...) targets the past; "
                             "events must be scheduled at >= now")
 
+    # -- RPR027: raw json over trace records ---------------------------
+    def _json_call_target(self, node: ast.Call) -> Optional[str]:
+        """``json.loads``/``json.dumps``/``json.load``/``json.dump``
+        (through aliases), else None."""
+        func = node.func
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name) \
+                and self._module_alias.get(func.value.id) == "json":
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            target = self._from_imports.get(func.id, "")
+            if not target.startswith("json."):
+                return None
+            name = target[len("json."):]
+        else:
+            return None
+        return name if name in ("loads", "dumps", "load", "dump") \
+            else None
+
+    def _check_raw_trace_json(self, node: ast.Call) -> None:
+        if self.trace_store_scope:
+            return
+        name = self._json_call_target(node)
+        if name is None or not node.args:
+            return
+        payload = node.args[0]
+        # hand-built record: json.dumps({"kind": "step_record", ...})
+        if name in ("dumps", "dump") and isinstance(payload, ast.Dict):
+            for key, value in zip(payload.keys, payload.values):
+                if isinstance(key, ast.Constant) \
+                        and key.value == "kind" \
+                        and isinstance(value, ast.Constant) \
+                        and value.value in TRACE_RECORD_KINDS:
+                    self.report(
+                        node, "RPR027",
+                        f"hand-built trace record {value.value!r} "
+                        f"serialized with json.{name}(); emit through "
+                        f"repro.traces (TraceRecorder / serialize)")
+                    return
+        # trace-named payloads: json.loads(trace_line), dumps(record)
+        arg_name = _name_of(payload)
+        if arg_name is None:
+            return
+        lowered = arg_name.lower()
+        if any(token in lowered for token in _TRACE_ARG_TOKENS):
+            self.report(
+                node, "RPR027",
+                f"raw json.{name}() over {arg_name!r} bypasses the "
+                f"trace store; use the repro.traces readers/writers "
+                f"(trace_events, write_columnar, write_jsonl)")
+
     # -- shared call dispatcher ----------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         if self.sim_scope:
             self._check_nondeterministic_call(node)
         self._check_call_units(node)
         self._check_schedule_call(node)
+        self._check_raw_trace_json(node)
         self.generic_visit(node)
 
 
@@ -456,7 +536,8 @@ def check_source(source: str, path: Union[str, Path],
             return [Finding(display, error.lineno or 0,
                             (error.offset or 0) or 1, "RPR000",
                             f"file does not parse: {error.msg}")]
-    checker = _FileChecker(display, sim_scope)
+    checker = _FileChecker(display, sim_scope,
+                           _is_trace_store_scope(path, source))
     checker.visit(tree)
     findings = checker.findings + _check_schema_drift(display, tree)
     findings = _apply_noqa(findings, source, display, strict)

@@ -7,6 +7,8 @@
     python -m repro run-scenario --scenario flow_contention --system vedrfolnir \
         --case 3 --scale 0.005 --trace run.jsonl
     python -m repro diagnose --trace run.jsonl
+    python -m repro trace convert run.jsonl run.vcol
+    python -m repro trace info run.vcol
     python -m repro serve --trace run.jsonl --speed 10
     python -m repro serve --trace run.jsonl --checkpoint-dir ckpt --resume
     python -m repro chaos --trace run.jsonl --seed 7 --kills 3
@@ -15,6 +17,7 @@
     python -m repro figure --id 13b --cases 2
     python -m repro check src/ --strict --units
     python -m repro bench --quick --baseline benchmarks/results/BENCH_simcore.json
+    python -m repro bench --traceio --out benchmarks/results/BENCH_traceio.json
     python -m repro fleet serve --trace run.jsonl --replicate 8 --shards 4
     python -m repro fleet chaos --trace run.jsonl --kills 2 --corrupt-checkpoint
     python -m repro bench --fleet --tenants 1024 --out benchmarks/results/BENCH_fleet.json
@@ -63,11 +66,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     diag = sub.add_parser("diagnose",
                           help="offline analysis of a recorded trace")
-    diag.add_argument("--trace", required=True, help="JSONL trace file")
+    diag.add_argument("--trace", required=True,
+                      help="trace file (JSONL or columnar)")
     diag.add_argument("--top", type=int, default=5,
                       help="contributors to print")
     diag.add_argument("--json", action="store_true",
                       help="emit the machine-readable report")
+
+    trace = sub.add_parser(
+        "trace",
+        help="on-disk trace store utilities (convert / info)")
+    trace_sub = trace.add_subparsers(dest="trace_command",
+                                     required=True)
+    tconv = trace_sub.add_parser(
+        "convert",
+        help="convert a trace between JSONL and the columnar store "
+             "(direction auto-detected from the input format)")
+    tconv.add_argument("input", help="source trace (JSONL or columnar)")
+    tconv.add_argument("output", help="destination path")
+    tconv.add_argument("--no-verify", action="store_true",
+                       help="skip the canonical-JSONL digest round-"
+                            "trip check after converting")
+    tinfo = trace_sub.add_parser(
+        "info", help="describe a trace file (format, counts, header)")
+    tinfo.add_argument("path", help="trace file (JSONL or columnar)")
 
     serve = sub.add_parser(
         "serve",
@@ -172,7 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     chk = sub.add_parser(
         "check",
         help="static analysis: determinism / unit-safety / event-loop "
-             "rules (RPR001-RPR006), plus interprocedural unit "
+             "rules (RPR001-RPR006, RPR027), plus interprocedural unit "
              "dataflow with --units (RPR010-RPR013), the concurrency "
              "& durability pass with --concurrency (RPR020-RPR026), "
              "the exception-safety & resource-lifecycle pass with "
@@ -227,6 +249,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "comparable baseline entry")
     bench.add_argument("--json", action="store_true",
                        help="emit the entry as JSON")
+    bench.add_argument("--traceio", action="store_true",
+                       help="benchmark the trace read path instead "
+                            "(JSONL vs columnar, cold vs mmap-warm; "
+                            "appends to BENCH_traceio.json via --out)")
+    bench.add_argument("--min-read-speedup", type=float, default=0.0,
+                       help="fail --traceio when the columnar mmap-"
+                            "warm read speedup over JSONL falls below "
+                            "this factor (0 = report only)")
     bench.add_argument("--fleet", action="store_true",
                        help="benchmark the sharded fleet service "
                             "instead (appends to BENCH_fleet.json "
@@ -506,7 +536,8 @@ def cmd_serve(args) -> int:
         RestartPolicy,
         Supervisor,
     )
-    from repro.traces.stream import merged_events, read_header
+    from repro.traces import trace_events
+    from repro.traces.stream import read_header
 
     try:
         header = read_header(args.trace)
@@ -574,8 +605,8 @@ def cmd_serve(args) -> int:
             last_time[0] = event.time if last is None \
                 else max(last, event.time)
 
-        events = merged_events(args.trace, on_error=quarantine_line,
-                               resume=cursor.resume_map())
+        events = trace_events(args.trace, on_error=quarantine_line,
+                              cursor=cursor)
         replayer = TraceReplayer(
             pipeline, events, manager, cursor, pacing=pacing,
             should_stop=lambda: shutdown.requested)
@@ -844,7 +875,115 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_trace_convert(args) -> int:
+    from repro.traces.columnar import (
+        jsonl_digest,
+        sniff_format,
+        write_columnar,
+        write_jsonl,
+    )
+
+    malformed: list = []
+
+    def preserve(line_no: int, reason: str, snippet: str) -> None:
+        malformed.append((line_no, reason))
+
+    try:
+        source = sniff_format(args.input)
+        if source == "jsonl":
+            write_columnar(args.input, args.output, on_error=preserve)
+            direction = "jsonl -> columnar"
+        else:
+            write_jsonl(args.input, args.output)
+            direction = "columnar -> jsonl"
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"converted {direction}: {args.input} -> {args.output}")
+    if malformed:
+        first = malformed[0]
+        print(f"warning: {len(malformed)} malformed line(s) preserved "
+              f"byte-exact (first: line {first[0]}: {first[1]})",
+              file=sys.stderr)
+    if not args.no_verify:
+        before = jsonl_digest(args.input)
+        after = jsonl_digest(args.output)
+        if before != after:
+            print(f"round-trip verification FAILED:\n"
+                  f"  source {before}\n  output {after}",
+                  file=sys.stderr)
+            return 1
+        print(f"canonical JSONL digest verified: {before}")
+    return 0
+
+
+def cmd_trace_info(args) -> int:
+    from pathlib import Path
+
+    from repro.traces.columnar import ColumnarTrace, sniff_format
+    from repro.traces.stream import read_header
+
+    path = Path(args.path)
+    try:
+        fmt = sniff_format(path)
+        print(f"{path}: {fmt} trace, {path.stat().st_size:,} bytes")
+        header = read_header(str(path))
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    schedule = header.schedule
+    print(f"  schedule: {schedule.algorithm} {schedule.op.value} over "
+          f"{len(schedule.nodes)} nodes")
+    print(f"  flow keys: {len(header.flow_keys)}, expected step "
+          f"times: {len(header.expected_step_times)}")
+    if fmt == "columnar":
+        with ColumnarTrace(path) as trace:
+            print(f"  columnar v{trace.version}: "
+                  + ", ".join(f"{kind}={count:,}" for kind, count
+                              in sorted(trace.counts.items())))
+            print(f"  dictionaries: {len(trace.strings)} strings, "
+                  f"{len(trace.flows)} flows; "
+                  f"{len(trace.directory['columns'])} columns")
+            if trace.unknown_kinds:
+                print("  quarantined unknown kinds: "
+                      + ", ".join(f"{k}={c}" for k, c in
+                                  sorted(trace.unknown_kinds.items())))
+    else:
+        from repro.traces.stream import merged_events
+
+        counts: dict = {}
+        for event in merged_events(str(path)):
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        print("  records: "
+              + (", ".join(f"{kind}={count:,}" for kind, count
+                           in sorted(counts.items())) or "(none)"))
+    return 0
+
+
+TRACE_COMMANDS = {
+    "convert": cmd_trace_convert,
+    "info": cmd_trace_info,
+}
+
+
+def cmd_trace(args) -> int:
+    return TRACE_COMMANDS[args.trace_command](args)
+
+
 def cmd_bench(args) -> int:
+    if args.traceio:
+        from repro.perf.traceio import traceio_bench_main
+
+        return traceio_bench_main(
+            quick=args.quick,
+            repeats=args.repeats,
+            label=args.label,
+            out=args.out,
+            baseline=args.baseline,
+            max_regression_pct=args.max_regression_pct,
+            min_read_speedup=args.min_read_speedup,
+            as_json=args.json,
+        )
     if args.fleet:
         from repro.fleet.bench import fleet_bench_main
 
@@ -1191,6 +1330,7 @@ COMMANDS = {
     "topology": cmd_topology,
     "run-scenario": cmd_run_scenario,
     "diagnose": cmd_diagnose,
+    "trace": cmd_trace,
     "serve": cmd_serve,
     "chaos": cmd_chaos,
     "tail": cmd_tail,

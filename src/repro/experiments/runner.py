@@ -50,6 +50,7 @@ from repro.experiments.harness import (
     run_case,
 )
 from repro.simnet.network import NetworkConfig
+from repro.traces.columnar import COLUMNAR_VERSION
 from repro.traces.store import FORMAT_VERSION as TRACE_SCHEMA_VERSION
 
 #: bump when CaseResult's serialised shape changes (invalidates cache)
@@ -113,6 +114,7 @@ def case_cache_key(case: ScenarioCase, system_name: str,
     """SHA-256 over everything that determines the case's result."""
     doc = {
         "trace_schema": TRACE_SCHEMA_VERSION,
+        "columnar": COLUMNAR_VERSION,
         "result_schema": RESULT_SCHEMA_VERSION,
         "scenario": case.scenario,
         "case_id": case.case_id,
@@ -124,6 +126,21 @@ def case_cache_key(case: ScenarioCase, system_name: str,
     canonical = json.dumps(doc, sort_keys=True,
                            default=_fingerprint_default)
     return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def trace_fingerprint(path) -> dict:
+    """``key_extra`` fragment for a case whose inputs include a
+    recorded trace.
+
+    The fingerprint is the trace's columnar content address
+    (:func:`repro.traces.content_address`) — a digest over the
+    *deterministic columnar encoding*, so the JSONL capture and its
+    columnar conversion hash identically and a format migration does
+    not invalidate cached results keyed this way.
+    """
+    from repro.traces import content_address
+
+    return {"trace_content": content_address(path)}
 
 
 class ResultCache:

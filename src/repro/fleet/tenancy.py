@@ -36,7 +36,8 @@ from repro.live.checkpoint import (
     resume_or_create,
 )
 from repro.live.pipeline import DiagnosisSnapshot, PipelineConfig
-from repro.traces.stream import TraceEvent, merged_events, read_header
+from repro.traces import trace_events
+from repro.traces.stream import TraceEvent, read_header
 
 
 @dataclass
@@ -119,9 +120,9 @@ class TenantRuntime:
                 raise ValueError(
                     f"tenant {tenant!r} needs a trace or an event "
                     f"iterator")
-            events = merged_events(
+            events = trace_events(
                 trace, on_error=self._quarantine_line,
-                resume=cursor.resume_map())
+                cursor=cursor)
         self.replayer = TraceReplayer(
             pipeline, events, manager, cursor, admit=self._admit)
         self.final: Optional[DiagnosisSnapshot] = None

@@ -129,13 +129,17 @@ def _preload_factory(tenants: list[TenantSpec]):
     in-memory idiom, available to worker processes via the
     ``preload_traces`` spec key."""
     from repro.fleet.tenancy import TenantRuntime
-    from repro.traces.stream import merged_events, read_header
+    from repro.traces import trace_events
+    from repro.traces.stream import read_header
 
     cache = {}
     for spec in tenants:
         if spec.trace not in cache:
+            # trace_events sniffs the on-disk format, so a fleet spec
+            # can point tenants at columnar conversions for the cheap
+            # decode path without any spec change
             cache[spec.trace] = (read_header(spec.trace),
-                                 list(merged_events(spec.trace)))
+                                 list(trace_events(spec.trace)))
 
     def factory(spec, shard_id, tenant_policy, ckpt_dir):
         header, events = cache[spec.trace]

@@ -77,41 +77,67 @@ class CheckpointPolicy:
 class ReplayCursor:
     """Durable position in the trace stream.
 
-    ``published`` counts events delivered by the deterministic merged
-    stream; ``positions`` maps each record kind to the
-    ``[end_offset, next_line]`` of the last event of that kind
-    consumed — the seekable per-kind resume points of
-    :func:`repro.traces.stream.merged_events`.
+    The portable contract is **(format-independent) per-kind record
+    counts**: ``counts`` maps each record kind to how many records of
+    that kind the deterministic merged stream has delivered.  Because
+    the merge order is a pure function of the trace contents, a count
+    cursor resumes against *either* on-disk format — a checkpoint
+    taken while replaying JSONL resumes against the columnar
+    conversion of the same capture, and vice versa (see
+    :func:`repro.traces.trace_events`).
+
+    ``positions`` is the JSONL fast path: each kind's
+    ``[end_offset, next_line]`` of the last event consumed, letting
+    :func:`repro.traces.stream.merged_events` seek instead of
+    re-scanning.  Offsets are only recorded when events carry them
+    (JSONL sources), and only apply to the same JSONL file.
+
+    ``published`` counts all events delivered (both kinds), the
+    checkpoint filename key.
     """
 
     published: int = 0
     positions: dict[str, list[int]] = field(default_factory=dict)
+    #: format-portable per-kind record counts
+    counts: dict[str, int] = field(default_factory=dict)
 
     def advance(self, event: TraceEvent) -> None:
         self.published += 1
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
         if event.end_offset >= 0:
             self.positions[event.kind] = [event.end_offset,
                                           event.line_no + 1]
 
     def resume_map(self) -> Optional[dict[str, tuple[int, int]]]:
         """The ``resume=`` argument for ``merged_events``, or None
-        when no event carried file offsets (synthetic streams)."""
+        when no event carried file offsets (synthetic or columnar
+        streams — resume those via :meth:`resume_counts`)."""
         if not self.positions:
             return None
         return {kind: (int(offset), int(line))
                 for kind, (offset, line) in self.positions.items()}
 
+    def resume_counts(self) -> dict[str, int]:
+        """Per-kind records already consumed — the format-portable
+        resume coordinate for :func:`repro.traces.trace_events`."""
+        return {kind: int(count)
+                for kind, count in self.counts.items()}
+
     def to_dict(self) -> dict:
         return {"published": self.published,
                 "positions": {k: list(v)
-                              for k, v in sorted(self.positions.items())}}
+                              for k, v in sorted(self.positions.items())},
+                "counts": {k: int(v)
+                           for k, v in sorted(self.counts.items())}}
 
     @classmethod
     def from_dict(cls, data: dict) -> "ReplayCursor":
         return cls(published=int(data.get("published", 0)),
                    positions={str(k): [int(v[0]), int(v[1])]
                               for k, v in
-                              (data.get("positions") or {}).items()})
+                              (data.get("positions") or {}).items()},
+                   counts={str(k): int(v) for k, v in
+                           (data.get("counts") or {}).items()})
 
 
 def _checksum(state: dict) -> str:
@@ -279,9 +305,10 @@ class TraceReplayer:
     periodic atomic checkpoints.
 
     ``events`` must already be positioned at ``cursor`` (use
-    :func:`merged_events` with ``resume=cursor.resume_map()``, or skip
-    ``cursor.published`` events of a transformed stream).  Optional
-    hooks:
+    :func:`repro.traces.trace_events` with ``cursor=cursor``, which
+    picks byte-offset seeking for JSONL and record-count skipping for
+    columnar sources; or skip ``cursor.published`` events of a
+    transformed stream).  Optional hooks:
 
     * ``pacing(event)`` — called before each publish (replay-speed
       sleeps in ``repro serve``);

@@ -1,0 +1,363 @@
+# repro: check-scope trace-store -- the workload amplifier below
+# synthesizes trace records on purpose (RPR027 exemption)
+"""The ``repro bench --traceio`` harness behind ``BENCH_traceio.json``.
+
+Measures the trace read path — the hot loop every offline diagnosis,
+live replay and fleet tenant shares — in both on-disk formats:
+
+* **jsonl** — the line-parsing ``merged_events`` reader over the
+  recorder's JSONL capture;
+* **columnar cold** — open + decode of the columnar file per pass
+  (:class:`repro.traces.columnar.ColumnarTrace`), including the mmap
+  setup and directory parse;
+* **columnar warm** — repeated passes over one open mmap, the shape a
+  resident fleet worker or repeated query session sees.
+
+The workload is the gate scenario's monitoring stream (the golden
+ring-allgather on a fat-tree k=4) amplified by time-shifted copies so
+read throughput, not per-file fixed cost, dominates.  Both formats
+read the *same* amplified capture; the bench cross-checks that they
+yield identical event streams and that the columnar round trip
+reproduces the JSONL bytes digest-for-digest before any number is
+reported.
+
+Entries append to ``benchmarks/results/BENCH_traceio.json`` with the
+same trajectory schema and comparability rules as ``BENCH_simcore``;
+``check_traceio_regression`` gates columnar warm records/second
+against the newest comparable entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import tempfile
+import time
+from collections import deque
+from pathlib import Path
+from typing import Optional
+
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    _comparable,
+    append_entry as _append_simcore_entry,
+    load_trajectory,
+)
+
+#: amplification factor for the gate monitoring stream (data records
+#: are repeated this many times with per-copy time shifts)
+FULL_COPIES = 200
+QUICK_COPIES = 40
+
+
+# ----------------------------------------------------------------------
+# workload: the amplified gate trace
+# ----------------------------------------------------------------------
+def _shift_times(record: dict, shift: float) -> None:
+    """Shift every event-time field of one data record in place."""
+    if record["kind"] == "step_record":
+        record["start"] += shift
+        record["end"] += shift
+    else:
+        record["time"] += shift
+        for key in ("pause_received", "pause_sent"):
+            for event in record.get(key, ()):
+                event["time"] += shift
+
+
+def amplify_trace(src: Path, dst: Path, copies: int) -> int:
+    """Write ``copies`` time-shifted repetitions of ``src``'s data
+    records to ``dst`` (prologue kept once), preserving per-kind time
+    sortedness.  Returns the data-record count of the result."""
+    prologue: list[str] = []
+    records: list[dict] = []
+    max_time = 0.0
+    with Path(src).open() as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            obj = json.loads(line)
+            if obj["kind"] in ("step_record", "switch_report"):
+                records.append(obj)
+                max_time = max(max_time, obj.get("end",
+                                                 obj.get("time", 0.0)))
+            else:
+                prologue.append(line)
+    period = max_time + 1.0
+    written = 0
+    with Path(dst).open("w") as handle:
+        handle.writelines(prologue)
+        for copy in range(copies):
+            shift = copy * period
+            for record in records:
+                if shift:
+                    record = json.loads(json.dumps(record))
+                    _shift_times(record, shift)
+                handle.write(json.dumps(record) + "\n")
+                written += 1
+    return written
+
+
+def _gate_trace(tmp: Path, copies: int) -> Path:
+    from repro.perf.golden import golden_ring_allgather
+
+    golden_ring_allgather(tmp)
+    amplified = tmp / "gate_amplified.jsonl"
+    amplify_trace(tmp / "ring_allgather_k4.jsonl", amplified, copies)
+    return amplified
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+def _file_sha256(path: Path) -> str:
+    hasher = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def _best(fn, repeats: int) -> tuple[float, object]:
+    best_s, result = float("inf"), None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best_s:
+            best_s = elapsed
+    return best_s, result
+
+
+def _event_signature(events) -> tuple[int, str]:
+    """(count, digest) over the replay-relevant event coordinates."""
+    hasher = hashlib.sha256()
+    count = 0
+    for event in events:
+        count += 1
+        hasher.update(
+            f"{event.kind}|{event.time!r}|{event.line_no}\n".encode())
+    return count, hasher.hexdigest()
+
+
+def _bench_traceio(quick: bool, repeats: int) -> dict:
+    from repro.traces.columnar import (
+        ColumnarTrace,
+        content_address,
+        write_columnar,
+        write_jsonl,
+    )
+    from repro.traces.stream import merged_events
+
+    copies = QUICK_COPIES if quick else FULL_COPIES
+    with tempfile.TemporaryDirectory(prefix="repro-traceio-") as root:
+        tmp = Path(root)
+        jsonl = _gate_trace(tmp, copies)
+        columnar = tmp / "gate_amplified.vcol"
+
+        convert_s, _ = _best(
+            lambda: write_columnar(jsonl, columnar), 1)
+        back = tmp / "gate_roundtrip.jsonl"
+        back_s, _ = _best(lambda: write_jsonl(columnar, back), 1)
+        if _file_sha256(back) != _file_sha256(jsonl):
+            raise RuntimeError(
+                "columnar round trip diverged from the JSONL source")
+        if content_address(jsonl) != content_address(columnar):
+            raise RuntimeError(
+                "content address differs between formats")
+
+        # equivalence first, outside any timed region: both formats
+        # must yield the same event stream before speed matters
+        jsonl_sig = _event_signature(merged_events(jsonl))
+        records = jsonl_sig[0]
+
+        drain = deque(maxlen=0)
+        jsonl_s, _ = _best(
+            lambda: drain.extend(merged_events(jsonl)), repeats)
+
+        def cold_pass():
+            with ColumnarTrace(columnar) as trace:
+                drain.extend(trace.iter_events())
+
+        cold_s, _ = _best(cold_pass, repeats)
+        with ColumnarTrace(columnar) as trace:
+            if _event_signature(trace.iter_events()) != jsonl_sig:
+                raise RuntimeError(
+                    "event streams differ between formats")
+            warm_s, _ = _best(
+                lambda: drain.extend(trace.iter_events()), repeats)
+
+            times = trace.col("r.time")
+            lo = times[len(times) // 4] if len(times) else 0.0
+            hi = times[(3 * len(times)) // 4] if len(times) else 0.0
+            query_s, hits = _best(
+                lambda: trace.time_range("switch_report", lo, hi),
+                repeats)
+            scan_s, scanned = _best(
+                lambda: [i for i, t in enumerate(times)
+                         if lo <= t <= hi], repeats)
+            if list(hits) != scanned:
+                raise RuntimeError("time_range != filtered full scan")
+        jsonl_bytes = jsonl.stat().st_size
+        columnar_bytes = columnar.stat().st_size
+
+    return {
+        "scenario": "golden ring-allgather stream x"
+                    f"{copies} time-shifted copies",
+        "records": records,
+        "copies": copies,
+        "jsonl_bytes": jsonl_bytes,
+        "columnar_bytes": columnar_bytes,
+        "read": {
+            "jsonl_s": round(jsonl_s, 6),
+            "columnar_cold_s": round(cold_s, 6),
+            "columnar_warm_s": round(warm_s, 6),
+            "speedup_cold": round(jsonl_s / cold_s, 2),
+            "speedup_warm": round(jsonl_s / warm_s, 2),
+            "jsonl_records_per_sec": round(records / jsonl_s),
+            "columnar_warm_records_per_sec": round(records / warm_s),
+        },
+        "convert": {
+            "to_columnar_s": round(convert_s, 6),
+            "to_jsonl_s": round(back_s, 6),
+        },
+        "query": {
+            "time_range_s": round(query_s, 6),
+            "full_scan_filter_s": round(scan_s, 6),
+            "hits": len(scanned),
+        },
+    }
+
+
+def run_traceio_bench(quick: bool = False, repeats: int = 3,
+                      label: str = "dev") -> dict:
+    """Measure one trace-I/O trajectory entry (see module docstring)."""
+    entry = {
+        "label": label,
+        "quick": quick,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": f"{platform.system()}-{platform.machine()}",
+        "unix_time": round(time.time(), 1),
+        "traceio": _bench_traceio(quick, repeats),
+    }
+    return entry
+
+
+# ----------------------------------------------------------------------
+# trajectory file
+# ----------------------------------------------------------------------
+def append_traceio_entry(path, entry: dict) -> dict:
+    """Append ``entry`` to the BENCH_traceio trajectory (created if
+    missing), reusing the simcore writer's atomic-replace plumbing."""
+    path = Path(path)
+    if not path.exists():
+        import os
+
+        doc = {"schema": BENCH_SCHEMA_VERSION, "benchmark": "traceio",
+               "scenario": "golden ring-allgather stream, amplified "
+                           "(JSONL vs columnar read path)",
+               "entries": [entry]}
+        fd, tmp = tempfile.mkstemp(dir=path.parent or Path("."),
+                                   suffix=".tmp")
+        with os.fdopen(fd, "w") as handle:
+            json.dump(doc, handle, indent=1)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return doc
+    return _append_simcore_entry(path, entry)
+
+
+def check_traceio_regression(entry: dict, baseline: dict,
+                             max_regression_pct: float = 20.0
+                             ) -> tuple[bool, str]:
+    """Gate columnar warm records/sec against the newest comparable
+    baseline entry (same quick/full mode, machine kind and Python
+    major.minor — the simcore comparability rules)."""
+    candidates = [e for e in baseline.get("entries", [])
+                  if _comparable(entry, e) and "traceio" in e]
+    if not candidates:
+        return True, ("no comparable baseline entry (machine/python/"
+                      "mode differ) - regression check skipped")
+    ref = candidates[-1]
+    ref_rps = ref["traceio"]["read"]["columnar_warm_records_per_sec"]
+    new_rps = entry["traceio"]["read"]["columnar_warm_records_per_sec"]
+    floor = ref_rps * (1.0 - max_regression_pct / 100.0)
+    delta_pct = 100.0 * (new_rps - ref_rps) / ref_rps
+    message = (f"{new_rps:,} rec/s vs baseline '{ref.get('label')}' "
+               f"{ref_rps:,} rec/s ({delta_pct:+.1f}%)")
+    if new_rps < floor:
+        return False, (f"REGRESSION beyond {max_regression_pct:.0f}%: "
+                       + message)
+    return True, message
+
+
+def render_traceio_entry(entry: dict) -> str:
+    """Human-readable summary of one trace-I/O trajectory entry."""
+    tio = entry["traceio"]
+    read = tio["read"]
+    convert = tio["convert"]
+    query = tio["query"]
+    lines = [
+        f"traceio '{entry['label']}' "
+        f"({'quick' if entry['quick'] else 'full'}, "
+        f"python {entry['python']}, {entry['machine']})",
+        f"  workload: {tio['records']:,} data records "
+        f"({tio['scenario']}, {tio['jsonl_bytes']:,} JSONL bytes)",
+        f"  read:     jsonl {read['jsonl_s'] * 1e3:.2f}ms | columnar "
+        f"cold {read['columnar_cold_s'] * 1e3:.2f}ms "
+        f"({read['speedup_cold']:.2f}x) | warm "
+        f"{read['columnar_warm_s'] * 1e3:.2f}ms "
+        f"({read['speedup_warm']:.2f}x) = "
+        f"{read['columnar_warm_records_per_sec']:,} rec/s",
+        f"  convert:  to-columnar {convert['to_columnar_s'] * 1e3:.2f}"
+        f"ms, back-to-jsonl {convert['to_jsonl_s'] * 1e3:.2f}ms "
+        f"(digest-verified round trip)",
+        f"  query:    time_range {query['time_range_s'] * 1e6:.1f}us "
+        f"vs full-scan filter {query['full_scan_filter_s'] * 1e6:.1f}"
+        f"us ({query['hits']} hits)",
+    ]
+    return "\n".join(lines)
+
+
+def traceio_bench_main(quick: bool = False, repeats: int = 3,
+                       label: str = "dev", out: Optional[str] = None,
+                       baseline: Optional[str] = None,
+                       max_regression_pct: float = 20.0,
+                       min_read_speedup: float = 0.0,
+                       as_json: bool = False) -> int:
+    """CLI body for ``repro bench --traceio`` (exit-status semantics
+    match the simcore bench: 1 on a gate failure, 2 on an unreadable
+    baseline)."""
+    entry = run_traceio_bench(quick=quick, repeats=repeats, label=label)
+    if as_json:
+        print(json.dumps(entry, indent=2))
+    else:
+        print(render_traceio_entry(entry))
+    status = 0
+    if min_read_speedup > 0.0:
+        warm = entry["traceio"]["read"]["speedup_warm"]
+        if warm < min_read_speedup:
+            print(f"speedup gate: warm {warm:.2f}x < required "
+                  f"{min_read_speedup:.2f}x", file=sys.stderr)
+            status = 1
+        else:
+            print(f"speedup gate: warm {warm:.2f}x >= "
+                  f"{min_read_speedup:.2f}x")
+    if baseline:
+        try:
+            doc = load_trajectory(baseline)
+        except (OSError, ValueError) as error:
+            print(f"baseline unreadable: {error}", file=sys.stderr)
+            return 2
+        ok, message = check_traceio_regression(entry, doc,
+                                               max_regression_pct)
+        print(f"regression check: {message}")
+        if not ok:
+            status = 1
+    if out:
+        append_traceio_entry(out, entry)
+        print(f"trajectory entry appended to {out}")
+    return status

@@ -1,0 +1,1050 @@
+"""Columnar on-disk trace store with mmap replay.
+
+The JSONL trace format keeps the capture greppable, but every hot
+consumer — fleet tenant replay, the Fig 9-14 matrix runner, chaos
+resume — pays ``json.loads`` per line per pass, and
+:func:`~repro.traces.stream.merged_events` parses each line *twice*
+(once per per-kind stream).  This module is the read-optimized sibling
+format: the same records, stored as per-kind columns (extending the
+``ColumnarRing`` idiom from :mod:`repro.simnet.ringbuf` onto disk) so a
+replay decodes values straight out of an ``mmap`` with no JSON in the
+path.
+
+File layout (container version ``COLUMNAR_VERSION``)::
+
+    +0   magic  b"VCOL" | u16 version | u16 flags(0)
+    +8   column blobs + raw-line blob, each 8-byte aligned
+    ...  directory (UTF-8 JSON)
+    EOF-16  u64 directory offset | b"VCOLTRLR"
+
+The directory maps column names to ``[offset, byte_length, typecode]``
+triples; columns are plain ``array``-module payloads read back as
+``memoryview.cast`` views over the mmap — zero copies until a record
+is actually decoded.  Variable-length children (port entries, per-flow
+counters, pause events, meters) are flattened Parquet-style: one child
+column set plus a parent offset column of length ``n + 1``, so record
+``i`` owns child rows ``off[i]:off[i+1]``.
+
+Strings (node ids, switch ids, poll ids) and flow 5-tuples are
+dictionary-encoded once per file; the reader interns every flow key
+through :func:`~repro.simnet.packet.intern_flow_key` at open so
+decoded records hit the same identity fast paths as live objects.
+
+Losslessness: the prologue (``meta`` / ``schedule`` / ``flow_key`` /
+``expected``), blank lines, and any unknown-kind or undecodable lines
+are preserved **byte-exact** in a raw-line blob with their original
+line numbers; data records are re-encoded through
+:mod:`repro.traces.serialize` with the same ``json.dumps`` defaults
+the :class:`~repro.traces.store.TraceRecorder` uses.  For any
+recorder-written capture the JSONL -> columnar -> JSONL round trip is
+therefore byte-identical, which ``repro trace convert`` verifies by
+SHA-256 by default.
+
+Replay order: the completion-time merge (time, then step records
+before switch reports, then line number — exactly
+:func:`~repro.traces.stream.merged_events`) is *precomputed at
+conversion time* and stored as a permutation column, so replay is a
+single sequential walk with no heap.
+
+mmap lifetime: column views borrow the mapping.  :meth:`ColumnarTrace.
+close` releases the views before closing the mmap; decoded records
+(``StepRecord`` / ``SwitchReport``) copy everything out and stay valid
+after close.  Do not hold raw column views past ``close()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import struct
+import warnings
+from array import array
+from bisect import bisect_left, bisect_right
+from pathlib import Path
+from typing import BinaryIO, Iterator, Optional, Union
+
+from repro.collective.runtime import StepRecord
+from repro.simnet.packet import FlowKey, intern_flow_key
+from repro.simnet.pfc import PauseEvent, PortRef
+from repro.simnet.telemetry import PortTelemetryEntry, SwitchReport
+from repro.traces import serialize
+from repro.traces.store import FORMAT_VERSION, TraceFormatError
+from repro.traces.stream import (
+    DATA_KINDS,
+    ErrorSink,
+    TraceEvent,
+    TraceHeader,
+    TraceTruncated,
+)
+
+#: container version; bump on incompatible layout changes
+COLUMNAR_VERSION = 1
+
+MAGIC = b"VCOL"
+TRAILER_MAGIC = b"VCOLTRLR"
+_PROLOGUE = struct.Struct("<4sHH")  # magic, version, flags
+_TRAILER = struct.Struct("<Q8s")    # directory offset, trailer magic
+
+#: raw-line classes (the ``raw.cls`` column)
+RAW_BLANK = 0      # whitespace-only line: skipped by every reader
+RAW_PROLOGUE = 1   # meta / schedule / flow_key / expected
+RAW_UNKNOWN = 2    # well-formed JSON with an unrecognized kind
+RAW_MALFORMED = 3  # not JSON / failed decode (kept only when lenient)
+
+_MERGE_RANK = {"step_record": 0, "switch_report": 1}
+
+
+def sniff_format(path: Union[str, Path]) -> str:
+    """``"columnar"`` or ``"jsonl"``, by magic bytes."""
+    with Path(path).open("rb") as handle:
+        return "columnar" if handle.read(4) == MAGIC else "jsonl"
+
+
+# ----------------------------------------------------------------------
+# writer
+# ----------------------------------------------------------------------
+class _Dict:
+    """Insertion-ordered value -> id dictionary (deterministic)."""
+
+    __slots__ = ("ids", "values")
+
+    def __init__(self) -> None:
+        self.ids: dict = {}
+        self.values: list = []
+
+    def add(self, value) -> int:
+        got = self.ids.get(value)
+        if got is None:
+            got = len(self.values)
+            self.ids[value] = got
+            self.values.append(value)
+        return got
+
+
+class _Builder:
+    """Accumulates columns while the converter streams the JSONL."""
+
+    def __init__(self) -> None:
+        self.strings = _Dict()
+        self.flows = _Dict()
+        self.cols: dict[str, array] = {}
+        for name, code in _COLUMN_TYPES.items():
+            self.cols[name] = array(code)
+        # offset columns start with their leading 0
+        for name in _OFFSET_COLUMNS:
+            self.cols[name].append(0)
+        self.raw_blob = bytearray()
+        self.meta: dict = {}
+        self.schedule: Optional[dict] = None
+        self.flow_keys: list = []    # [node, step, flow-5-tuple]
+        self.expected: list = []     # [node, step, time_ns]
+        self.unknown_kinds: dict[str, int] = {}
+
+    def string(self, value: Optional[str]) -> int:
+        return -1 if value is None else self.strings.add(value)
+
+    def flow(self, key5: tuple) -> int:
+        return self.flows.add(key5)
+
+    def raw_line(self, cls: int, kind: Optional[str], line_no: int,
+                 data: bytes) -> None:
+        c = self.cols
+        c["raw.cls"].append(cls)
+        c["raw.kind"].append(self.string(kind))
+        c["raw.line"].append(line_no)
+        c["raw.off"].append(len(self.raw_blob))
+        c["raw.len"].append(len(data))
+        self.raw_blob.extend(data)
+
+    # ------------------------------------------------------------------
+    def add_step_record(self, entry: dict, line_no: int) -> None:
+        record = serialize.decode_step_record(entry)
+        c = self.cols
+        c["s.end"].append(record.end_time)
+        c["s.start"].append(record.start_time)
+        c["s.node"].append(self.strings.add(record.node))
+        c["s.step"].append(record.step_index)
+        c["s.flow"].append(self.flow(tuple(record.flow_key)))
+        c["s.bytes"].append(record.size_bytes)
+        c["s.recv"].append(self.string(record.recv_source))
+        c["s.bind"].append(self.string(record.binding_dependency))
+        c["s.line"].append(line_no)
+
+    def add_switch_report(self, entry: dict, line_no: int) -> None:
+        report = serialize.decode_switch_report(entry)
+        c = self.cols
+        c["r.time"].append(report.time)
+        c["r.switch"].append(self.strings.add(report.switch_id))
+        c["r.poll"].append(self.string(report.poll_id))
+        c["r.size"].append(report.size_bytes)
+        c["r.line"].append(line_no)
+        for port in report.ports:
+            c["p.port"].append(port.port)
+            c["p.qpk"].append(port.qdepth_pkts)
+            c["p.qby"].append(port.qdepth_bytes)
+            c["p.paused"].append(1 if port.paused else 0)
+            for flow, count in port.flow_pkts.items():
+                c["fp.flow"].append(self.flow(tuple(flow)))
+                c["fp.val"].append(count)
+            for flow, count in port.inqueue_flow_pkts.items():
+                c["iq.flow"].append(self.flow(tuple(flow)))
+                c["iq.val"].append(count)
+            for (fi, fj), weight in port.wait_weights.items():
+                c["ww.fi"].append(self.flow(tuple(fi)))
+                c["ww.fj"].append(self.flow(tuple(fj)))
+                c["ww.val"].append(weight)
+            c["p.fp"].append(len(c["fp.flow"]))
+            c["p.iq"].append(len(c["iq.flow"]))
+            c["p.ww"].append(len(c["ww.val"]))
+        for (inp, out), value in report.port_meters.items():
+            c["mt.in"].append(inp)
+            c["mt.out"].append(out)
+            c["mt.val"].append(value)
+        for prefix, pauses in (("pr", report.pause_received),
+                               ("ps", report.pause_sent)):
+            for pause in pauses:
+                c[f"{prefix}.time"].append(pause.time)
+                c[f"{prefix}.sn"].append(
+                    self.strings.add(pause.sender.node))
+                c[f"{prefix}.sp"].append(pause.sender.port)
+                c[f"{prefix}.vn"].append(
+                    self.strings.add(pause.victim.node))
+                c[f"{prefix}.vp"].append(pause.victim.port)
+                c[f"{prefix}.buf"].append(pause.buffer_bytes_at_send)
+                c[f"{prefix}.gen"].append(1 if pause.genuine else 0)
+        for flow, count in report.ttl_drops.items():
+            c["ttl.flow"].append(self.flow(tuple(flow)))
+            c["ttl.val"].append(count)
+        c["r.ports"].append(len(c["p.port"]))
+        c["r.mt"].append(len(c["mt.val"]))
+        c["r.pr"].append(len(c["pr.time"]))
+        c["r.ps"].append(len(c["ps.time"]))
+        c["r.ttl"].append(len(c["ttl.val"]))
+
+    # ------------------------------------------------------------------
+    def finish_merge(self) -> None:
+        """Precompute the completion-time merge permutation."""
+        c = self.cols
+        order = sorted(
+            [(c["s.end"][i], 0, c["s.line"][i], i)
+             for i in range(len(c["s.end"]))] +
+            [(c["r.time"][i], 1, c["r.line"][i], i)
+             for i in range(len(c["r.time"]))])
+        for _time, rank, _line, idx in order:
+            c["mg.kind"].append(rank)
+            c["mg.idx"].append(idx)
+
+
+#: column name -> array typecode.  'I' ids index the string/flow
+#: dictionaries; 'i' ids use -1 for None; offset columns are 'Q' and
+#: one element longer than their parent.
+_COLUMN_TYPES = {
+    # step records
+    "s.end": "d", "s.start": "d", "s.node": "I", "s.step": "I",
+    "s.flow": "I", "s.bytes": "q", "s.recv": "i", "s.bind": "i",
+    "s.line": "Q",
+    # switch reports (+ child offsets)
+    "r.time": "d", "r.switch": "I", "r.poll": "i", "r.size": "q",
+    "r.line": "Q",
+    "r.ports": "Q", "r.mt": "Q", "r.pr": "Q", "r.ps": "Q",
+    "r.ttl": "Q",
+    # port entries (+ per-port child offsets)
+    "p.port": "I", "p.qpk": "q", "p.qby": "q", "p.paused": "B",
+    "p.fp": "Q", "p.iq": "Q", "p.ww": "Q",
+    # per-port flow counters
+    "fp.flow": "I", "fp.val": "d",
+    "iq.flow": "I", "iq.val": "q",
+    "ww.fi": "I", "ww.fj": "I", "ww.val": "d",
+    # per-report meters / pauses / drops
+    "mt.in": "q", "mt.out": "q", "mt.val": "d",
+    "pr.time": "d", "pr.sn": "I", "pr.sp": "q", "pr.vn": "I",
+    "pr.vp": "q", "pr.buf": "q", "pr.gen": "B",
+    "ps.time": "d", "ps.sn": "I", "ps.sp": "q", "ps.vn": "I",
+    "ps.vp": "q", "ps.buf": "q", "ps.gen": "B",
+    "ttl.flow": "I", "ttl.val": "q",
+    # merge permutation
+    "mg.kind": "B", "mg.idx": "Q",
+    # raw (prologue / blank / unknown / malformed) lines
+    "raw.cls": "B", "raw.kind": "i", "raw.line": "Q", "raw.off": "Q",
+    "raw.len": "Q",
+}
+
+_OFFSET_COLUMNS = ("r.ports", "r.mt", "r.pr", "r.ps", "r.ttl",
+                   "p.fp", "p.iq", "p.ww")
+
+
+def _is_sorted(column) -> bool:
+    return all(column[i - 1] <= column[i]
+               for i in range(1, len(column)))
+
+
+def _raw_bytes_lines(handle: BinaryIO) -> Iterator[tuple[int, bytes]]:
+    line_no = 0
+    for raw in handle:
+        line_no += 1
+        yield line_no, raw
+
+
+def _build_from_jsonl(src: Union[str, Path],
+                      on_error: Optional[ErrorSink] = None) -> _Builder:
+    """Stream a JSONL trace once into a column builder.
+
+    Without ``on_error`` any malformed or undecodable line raises
+    (:class:`TraceTruncated` for a missing final newline); with it the
+    line is preserved byte-exact as a ``RAW_MALFORMED`` raw line and
+    reported, mirroring the lenient JSONL readers.
+    """
+    builder = _Builder()
+    with Path(src).open("rb") as handle:
+        for line_no, raw in _raw_bytes_lines(handle):
+            text = raw.decode("utf-8", errors="replace").strip()
+            if not text:
+                builder.raw_line(RAW_BLANK, None, line_no, raw)
+                continue
+            kind: Optional[str] = None
+            try:
+                entry = json.loads(text)
+                if not isinstance(entry, dict):
+                    raise TraceFormatError(
+                        f"expected a JSON object, got "
+                        f"{type(entry).__name__}")
+                kind = entry.get("kind")
+                if kind == "step_record":
+                    builder.add_step_record(entry, line_no)
+                elif kind == "switch_report":
+                    builder.add_switch_report(entry, line_no)
+                elif kind == "meta":
+                    if entry.get("version") != FORMAT_VERSION:
+                        raise TraceFormatError(
+                            f"unsupported trace version: found "
+                            f"{entry.get('version')!r}, expected "
+                            f"{FORMAT_VERSION!r}", line_no)
+                    builder.meta = entry
+                    builder.raw_line(RAW_PROLOGUE, kind, line_no, raw)
+                elif kind == "schedule":
+                    # decode once so a corrupt prologue fails the
+                    # conversion, but store the original JSON form
+                    serialize.decode_schedule(entry["schedule"])
+                    builder.schedule = entry["schedule"]
+                    builder.raw_line(RAW_PROLOGUE, kind, line_no, raw)
+                elif kind == "flow_key":
+                    serialize.decode_flow_key(entry["flow"])
+                    builder.flow_keys.append(
+                        [entry["node"], int(entry["step"]),
+                         list(entry["flow"])])
+                    builder.raw_line(RAW_PROLOGUE, kind, line_no, raw)
+                elif kind == "expected":
+                    builder.expected.append(
+                        [entry["node"], int(entry["step"]),
+                         float(entry["time_ns"])])
+                    builder.raw_line(RAW_PROLOGUE, kind, line_no, raw)
+                else:
+                    label = str(kind)
+                    builder.unknown_kinds[label] = \
+                        builder.unknown_kinds.get(label, 0) + 1
+                    builder.raw_line(RAW_UNKNOWN, label, line_no, raw)
+            except TraceTruncated:
+                raise
+            except Exception as error:  # noqa: BLE001 - quarantine
+                if not raw.endswith(b"\n") \
+                        and isinstance(error, ValueError):
+                    truncated = TraceTruncated(
+                        "file ends mid-record", line_no, None)
+                    if on_error is None:
+                        raise truncated from error
+                    on_error(line_no, f"TraceTruncated: {truncated}",
+                             text)
+                elif on_error is None:
+                    if isinstance(error, TraceFormatError):
+                        raise
+                    raise TraceFormatError(
+                        f"{type(error).__name__}: {error}",
+                        line_no) from error
+                else:
+                    on_error(line_no,
+                             f"{type(error).__name__}: {error}", text)
+                builder.raw_line(RAW_MALFORMED, None, line_no, raw)
+    if builder.schedule is None:
+        raise TraceFormatError(f"{src} contains no schedule record")
+    builder.finish_merge()
+    return builder
+
+
+def _emit(builder: _Builder, sink) -> None:
+    """Serialize a builder into ``sink`` (needs only ``.write``)."""
+    sink.write(_PROLOGUE.pack(MAGIC, COLUMNAR_VERSION, 0))
+    offset = _PROLOGUE.size
+    columns: dict[str, list] = {}
+
+    def aligned_write(data: bytes) -> tuple[int, int]:
+        nonlocal offset
+        pad = (-offset) % 8
+        if pad:
+            sink.write(b"\x00" * pad)
+            offset += pad
+        start = offset
+        sink.write(data)
+        offset += len(data)
+        return start, len(data)
+
+    for name, column in builder.cols.items():
+        start, length = aligned_write(column.tobytes())
+        columns[name] = [start, length, column.typecode]
+    blob_start, blob_len = aligned_write(bytes(builder.raw_blob))
+    directory = {
+        "format": "repro-columnar",
+        "version": COLUMNAR_VERSION,
+        "header": {
+            "meta": builder.meta,
+            "schedule": builder.schedule,
+            "flow_keys": builder.flow_keys,
+            "expected": builder.expected,
+        },
+        "strings": builder.strings.values,
+        "flows": [list(flow) for flow in builder.flows.values],
+        "counts": {
+            "step_record": len(builder.cols["s.end"]),
+            "switch_report": len(builder.cols["r.time"]),
+            "raw": len(builder.cols["raw.cls"]),
+        },
+        "time_sorted": {
+            "step_record": _is_sorted(builder.cols["s.end"]),
+            "switch_report": _is_sorted(builder.cols["r.time"]),
+        },
+        "unknown_kinds": builder.unknown_kinds,
+        "columns": columns,
+        "raw_blob": [blob_start, blob_len],
+    }
+    payload = json.dumps(directory,
+                         separators=(",", ":")).encode("utf-8")
+    directory_offset = offset
+    sink.write(payload)
+    sink.write(_TRAILER.pack(directory_offset, TRAILER_MAGIC))
+
+
+def write_columnar(src: Union[str, Path], dst: Union[str, Path],
+                   on_error: Optional[ErrorSink] = None) -> Path:
+    """Convert a JSONL trace to a columnar file (atomically).
+
+    The output is deterministic — converting the same input twice
+    yields identical bytes — which is what makes
+    :func:`content_address` a stable cache key.
+    """
+    import os
+
+    dst = Path(dst)
+    builder = _build_from_jsonl(src, on_error)
+    tmp = dst.with_name(dst.name + ".tmp")
+    try:
+        with tmp.open("wb") as handle:
+            _emit(builder, handle)
+        os.replace(tmp, dst)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return dst
+
+
+class _HashSink:
+    __slots__ = ("hasher",)
+
+    def __init__(self) -> None:
+        self.hasher = hashlib.sha256()
+
+    def write(self, data: bytes) -> int:
+        self.hasher.update(data)
+        return len(data)
+
+
+def content_address(path: Union[str, Path]) -> str:
+    """SHA-256 content address of a trace *in its columnar form*.
+
+    For a columnar file this is the digest of the file bytes; for a
+    JSONL file the deterministic conversion is streamed through the
+    hash without touching disk.  Both spellings of the same capture
+    therefore share one address — the cache key the experiment runner
+    uses for trace-derived artifacts.
+    """
+    path = Path(path)
+    if sniff_format(path) == "columnar":
+        hasher = hashlib.sha256()
+        with path.open("rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                hasher.update(chunk)
+        return hasher.hexdigest()
+    builder = _build_from_jsonl(path)
+    sink = _HashSink()
+    _emit(builder, sink)
+    return sink.hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# reader
+# ----------------------------------------------------------------------
+class ColumnarTrace:
+    """mmap-backed zero-copy reader for one columnar trace file.
+
+    Opens the file, maps it read-only, and exposes typed column views
+    plus record decoders.  Use as a context manager; see the module
+    docstring for mmap lifetime rules.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 use_mmap: bool = True) -> None:
+        self.path = Path(path)
+        self._mm: Optional[mmap.mmap] = None
+        self._views: dict[str, memoryview] = {}
+        self._header: Optional[TraceHeader] = None
+        handle = self.path.open("rb")
+        try:
+            if use_mmap:
+                self._mm = mmap.mmap(handle.fileno(), 0,
+                                     access=mmap.ACCESS_READ)
+                buf = memoryview(self._mm)
+            else:
+                buf = memoryview(handle.read())
+        finally:
+            handle.close()
+        self._buf = buf
+        if len(buf) < _PROLOGUE.size + _TRAILER.size:
+            raise TraceFormatError(f"{path}: not a columnar trace "
+                                   f"(file too short)")
+        magic, version, _flags = _PROLOGUE.unpack(
+            buf[:_PROLOGUE.size])
+        if magic != MAGIC:
+            raise TraceFormatError(f"{path}: bad magic {magic!r}")
+        if version != COLUMNAR_VERSION:
+            raise TraceFormatError(
+                f"{path}: unsupported columnar version {version} "
+                f"(expected {COLUMNAR_VERSION})")
+        dir_off, trailer = _TRAILER.unpack(buf[-_TRAILER.size:])
+        if trailer != TRAILER_MAGIC:
+            raise TraceFormatError(
+                f"{path}: missing trailer (truncated write?)")
+        try:
+            directory = json.loads(
+                bytes(buf[dir_off:len(buf) - _TRAILER.size]))
+        except ValueError as error:
+            raise TraceFormatError(
+                f"{path}: corrupt directory: {error}") from error
+        self.directory = directory
+        self.version = directory["version"]
+        self.counts: dict[str, int] = directory["counts"]
+        self.time_sorted: dict[str, bool] = directory.get(
+            "time_sorted", {})
+        self.unknown_kinds: dict[str, int] = directory.get(
+            "unknown_kinds", {})
+        self.strings: list[str] = directory["strings"]
+        self.flows: list[FlowKey] = [
+            intern_flow_key(serialize.decode_flow_key(flow))
+            for flow in directory["flows"]]
+        self._flow_ids = {flow: i
+                          for i, flow in enumerate(self.flows)}
+        self._columns = directory["columns"]
+        blob_start, blob_len = directory["raw_blob"]
+        self._raw_blob = buf[blob_start:blob_start + blob_len]
+        self._bind_decoders()
+
+    # ------------------------------------------------------------------
+    def col(self, name: str) -> memoryview:
+        """Zero-copy typed view of one column."""
+        view = self._views.get(name)
+        if view is None:
+            start, length, code = self._columns[name]
+            view = self._buf[start:start + length].cast(code)
+            self._views[name] = view
+        return view
+
+    def close(self) -> None:
+        """Release all column views, then the mapping.
+
+        The record decoders hold views in their closure cells, so
+        they are replaced by stubs here; decoded records are plain
+        owning objects and stay valid.
+        """
+        def closed(_i: int):
+            raise ValueError(f"{self.path}: trace is closed")
+
+        self.step_record = closed
+        self.switch_report = closed
+        self._views.clear()
+        try:
+            self._raw_blob.release()
+            self._buf.release()
+            if self._mm is not None:
+                self._mm.close()
+        except BufferError:
+            # a live traceback or abandoned generator frame still
+            # pins a column view; the map unmaps when it is collected
+            pass
+        self._mm = None
+
+    def __enter__(self) -> "ColumnarTrace":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def header(self) -> TraceHeader:
+        """The prologue, decoded once and cached."""
+        if self._header is None:
+            head = self.directory["header"]
+            meta = head["meta"]
+            self._header = TraceHeader(
+                schedule=serialize.decode_schedule(head["schedule"]),
+                flow_keys={(node, int(step)):
+                           serialize.decode_flow_key(flow)
+                           for node, step, flow in head["flow_keys"]},
+                expected_step_times={(node, int(step)): float(t)
+                                     for node, step, t
+                                     in head["expected"]},
+                pfc_xoff_bytes=int(meta.get("pfc_xoff_bytes", 0)),
+                meta=meta,
+            )
+        return self._header
+
+    # ------------------------------------------------------------------
+    def _bind_decoders(self) -> None:
+        """Build the record decoders as closures over pre-cast column
+        views.
+
+        Decoding is the replay hot path; a per-field ``self.col(...)``
+        dict lookup (~40 per switch report) would dominate it, so the
+        views are bound once into closure cells — free-variable loads
+        are the cheapest name access CPython has.  The closures are
+        installed as instance attributes ``step_record`` /
+        ``switch_report``.
+        """
+        col = self.col
+        strings = self.strings
+        flows = self.flows
+        s_end, s_start = col("s.end"), col("s.start")
+        s_node, s_step = col("s.node"), col("s.step")
+        s_flow, s_bytes = col("s.flow"), col("s.bytes")
+        s_recv, s_bind = col("s.recv"), col("s.bind")
+
+        def step_record(i: int) -> StepRecord:
+            """Decode step record ``i`` (a fresh, owning object)."""
+            recv = s_recv[i]
+            bind = s_bind[i]
+            return StepRecord(
+                strings[s_node[i]], s_step[i], flows[s_flow[i]],
+                s_bytes[i], s_start[i], s_end[i],
+                None if recv < 0 else strings[recv],
+                None if bind < 0 else strings[bind])
+
+        r_time, r_switch = col("r.time"), col("r.switch")
+        r_poll, r_size = col("r.poll"), col("r.size")
+        ports_off = col("r.ports")
+        mt_off, pr_off = col("r.mt"), col("r.pr")
+        ps_off, ttl_off = col("r.ps"), col("r.ttl")
+        p_port, p_qpk = col("p.port"), col("p.qpk")
+        p_qby, p_paused = col("p.qby"), col("p.paused")
+        p_fp, p_iq, p_ww = col("p.fp"), col("p.iq"), col("p.ww")
+        fp_flow, fp_val = col("fp.flow"), col("fp.val")
+        iq_flow, iq_val = col("iq.flow"), col("iq.val")
+        ww_fi, ww_fj, ww_val = col("ww.fi"), col("ww.fj"), col("ww.val")
+        mt_in, mt_out, mt_val = col("mt.in"), col("mt.out"), \
+            col("mt.val")
+        ttl_flow, ttl_val = col("ttl.flow"), col("ttl.val")
+        pr_cols = tuple(col(f"pr.{f}") for f in
+                        ("time", "sn", "sp", "vn", "vp", "buf", "gen"))
+        ps_cols = tuple(col(f"ps.{f}") for f in
+                        ("time", "sn", "sp", "vn", "vp", "buf", "gen"))
+
+        def pauses(cols: tuple, lo: int, hi: int) -> list[PauseEvent]:
+            t, sn, sp, vn, vp, buf, gen = cols
+            return [PauseEvent(t[k],
+                               PortRef(strings[sn[k]], sp[k]),
+                               PortRef(strings[vn[k]], vp[k]),
+                               buf[k], bool(gen[k]))
+                    for k in range(lo, hi)]
+
+        # decode allocates the records via ``__new__`` + a ``__dict__``
+        # literal instead of the dataclass __init__: the per-field
+        # store loop is the single biggest cost at millions of child
+        # entries, and the dict literal is one bytecode.  Empty child
+        # ranges (most pause/ttl lists, many counter maps) skip the
+        # slice+zip machinery entirely.
+        new = object.__new__
+        port_cls, report_cls = PortTelemetryEntry, SwitchReport
+
+        def switch_report(i: int) -> SwitchReport:
+            """Decode switch report ``i`` (a fresh, owning object)."""
+            p0, p1 = ports_off[i], ports_off[i + 1]
+            ports = []
+            f0, q0, w0 = p_fp[p0], p_iq[p0], p_ww[p0]
+            for p in range(p0, p1):
+                f1, q1, w1 = p_fp[p + 1], p_iq[p + 1], p_ww[p + 1]
+                entry = new(port_cls)
+                entry.__dict__ = {
+                    "port": p_port[p],
+                    "qdepth_pkts": p_qpk[p],
+                    "qdepth_bytes": p_qby[p],
+                    "paused": bool(p_paused[p]),
+                    "flow_pkts":
+                        {flows[f]: v
+                         for f, v in zip(fp_flow[f0:f1],
+                                         fp_val[f0:f1])}
+                        if f1 > f0 else {},
+                    "inqueue_flow_pkts":
+                        {flows[f]: v
+                         for f, v in zip(iq_flow[q0:q1],
+                                         iq_val[q0:q1])}
+                        if q1 > q0 else {},
+                    "wait_weights":
+                        {(flows[fi], flows[fj]): v
+                         for fi, fj, v in zip(ww_fi[w0:w1],
+                                              ww_fj[w0:w1],
+                                              ww_val[w0:w1])}
+                        if w1 > w0 else {},
+                }
+                ports.append(entry)
+                f0, q0, w0 = f1, q1, w1
+            m0, m1 = mt_off[i], mt_off[i + 1]
+            t0, t1 = ttl_off[i], ttl_off[i + 1]
+            r0, r1 = pr_off[i], pr_off[i + 1]
+            s0, s1 = ps_off[i], ps_off[i + 1]
+            poll = r_poll[i]
+            report = new(report_cls)
+            report.__dict__ = {
+                "switch_id": strings[r_switch[i]],
+                "time": r_time[i],
+                "poll_id": None if poll < 0 else strings[poll],
+                "ports": ports,
+                "port_meters":
+                    {(inp, out): v
+                     for inp, out, v in zip(mt_in[m0:m1],
+                                            mt_out[m0:m1],
+                                            mt_val[m0:m1])}
+                    if m1 > m0 else {},
+                "pause_received":
+                    pauses(pr_cols, r0, r1) if r1 > r0 else [],
+                "pause_sent":
+                    pauses(ps_cols, s0, s1) if s1 > s0 else [],
+                "ttl_drops":
+                    {flows[f]: v
+                     for f, v in zip(ttl_flow[t0:t1],
+                                     ttl_val[t0:t1])}
+                    if t1 > t0 else {},
+                "size_bytes": r_size[i],
+            }
+            return report
+
+        self.step_record = step_record
+        self.switch_report = switch_report
+
+    # ------------------------------------------------------------------
+    def iter_kind(self, kind: str, start: int = 0
+                  ) -> Iterator[TraceEvent]:
+        """Events of one kind in record order, from index ``start``."""
+        if kind == "step_record":
+            decode, lines = self.step_record, self.col("s.line")
+            times = self.col("s.end")
+        elif kind == "switch_report":
+            decode, lines = self.switch_report, self.col("r.line")
+            times = self.col("r.time")
+        else:
+            raise ValueError(f"unknown data kind: {kind!r}")
+        for i in range(start, self.counts[kind]):
+            yield TraceEvent(kind, times[i], decode(i), lines[i],
+                             index=i)
+
+    def iter_events(self, skip: Optional[dict[str, int]] = None
+                    ) -> Iterator[TraceEvent]:
+        """All data events in completion-time order (the stored merge
+        permutation — identical to :func:`~repro.traces.stream.
+        merged_events` over the JSONL form).
+
+        ``skip`` maps a kind to the number of its records already
+        consumed (a :meth:`~repro.live.checkpoint.ReplayCursor.
+        resume_counts` dict); those are skipped without decoding.
+        """
+        mg_kind, mg_idx = self.col("mg.kind"), self.col("mg.idx")
+        s_skip = w_skip = 0
+        if skip:
+            s_skip = int(skip.get("step_record", 0))
+            w_skip = int(skip.get("switch_report", 0))
+        s_lines, w_lines = self.col("s.line"), self.col("r.line")
+        s_times, w_times = self.col("s.end"), self.col("r.time")
+        step, report = self.step_record, self.switch_report
+        # TraceEvent is a frozen dataclass; its __init__ routes every
+        # field through object.__setattr__, which at replay volume is
+        # measurable — build the instances via __dict__ directly
+        # (object.__setattr__ bypasses the frozen guard)
+        new = object.__new__
+        setattr_ = object.__setattr__
+        event_cls = TraceEvent
+        for j in range(len(mg_kind)):
+            i = mg_idx[j]
+            if mg_kind[j] == 0:
+                if i < s_skip:
+                    continue
+                event = new(event_cls)
+                setattr_(event, "__dict__", {
+                    "kind": "step_record", "time": s_times[i],
+                    "payload": step(i), "line_no": s_lines[i],
+                    "byte_offset": -1, "end_offset": -1, "index": i})
+            else:
+                if i < w_skip:
+                    continue
+                event = new(event_cls)
+                setattr_(event, "__dict__", {
+                    "kind": "switch_report", "time": w_times[i],
+                    "payload": report(i), "line_no": w_lines[i],
+                    "byte_offset": -1, "end_offset": -1, "index": i})
+            yield event
+
+    def iter_raw_lines(self) -> Iterator[tuple[int, Optional[str],
+                                               int, bytes]]:
+        """Yield ``(cls, kind, line_no, original_bytes)`` for every
+        preserved non-data line, in file order."""
+        cls_col = self.col("raw.cls")
+        kind_col = self.col("raw.kind")
+        line_col = self.col("raw.line")
+        off_col, len_col = self.col("raw.off"), self.col("raw.len")
+        blob = self._raw_blob
+        for i in range(len(cls_col)):
+            kind_id = kind_col[i]
+            yield (cls_col[i],
+                   None if kind_id < 0 else self.strings[kind_id],
+                   line_col[i],
+                   bytes(blob[off_col[i]:off_col[i] + len_col[i]]))
+
+    # ------------------------------------------------------------------
+    # zero-copy query layer
+    # ------------------------------------------------------------------
+    def _time_column(self, kind: str) -> memoryview:
+        if kind == "step_record":
+            return self.col("s.end")
+        if kind == "switch_report":
+            return self.col("r.time")
+        raise ValueError(f"unknown data kind: {kind!r}")
+
+    def time_range(self, kind: str, start: float, end: float
+                   ) -> list[int]:
+        """Record indices of ``kind`` with event time in
+        ``[start, end]``, without decoding any record.
+
+        Binary-searches the time column when the writer marked it
+        sorted (always true for recorder-written traces), otherwise
+        scans it.
+        """
+        times = self._time_column(kind)
+        if self.time_sorted.get(kind):
+            return list(range(bisect_left(times, start),
+                              bisect_right(times, end)))
+        return [i for i in range(len(times))
+                if start <= times[i] <= end]
+
+    def flow_id(self, flow: FlowKey) -> Optional[int]:
+        return self._flow_ids.get(intern_flow_key(flow))
+
+    def steps_for_flow(self, flow: FlowKey) -> list[int]:
+        """Step-record indices whose 5-tuple equals ``flow``."""
+        fid = self.flow_id(flow)
+        if fid is None:
+            return []
+        column = self.col("s.flow")
+        return [i for i in range(len(column)) if column[i] == fid]
+
+    def reports_for_flow(self, flow: FlowKey) -> list[int]:
+        """Switch-report indices that mention ``flow`` in any per-port
+        counter (``flow_pkts`` / ``inqueue`` / ``wait_weights``) or in
+        ``ttl_drops`` — an integer scan over child columns only."""
+        fid = self.flow_id(flow)
+        if fid is None:
+            return []
+        col = self.col
+        ports_off = col("r.ports")
+        p_fp, p_iq, p_ww = col("p.fp"), col("p.iq"), col("p.ww")
+        fp_flow, iq_flow = col("fp.flow"), col("iq.flow")
+        ww_fi, ww_fj = col("ww.fi"), col("ww.fj")
+        ttl_off, ttl_flow = col("r.ttl"), col("ttl.flow")
+        hits = []
+        for i in range(self.counts["switch_report"]):
+            found = any(ttl_flow[k] == fid
+                        for k in range(ttl_off[i], ttl_off[i + 1]))
+            for p in range(ports_off[i], ports_off[i + 1]):
+                if found:
+                    break
+                found = (
+                    any(fp_flow[k] == fid
+                        for k in range(p_fp[p], p_fp[p + 1]))
+                    or any(iq_flow[k] == fid
+                           for k in range(p_iq[p], p_iq[p + 1]))
+                    or any(ww_fi[k] == fid or ww_fj[k] == fid
+                           for k in range(p_ww[p], p_ww[p + 1])))
+            if found:
+                hits.append(i)
+        return hits
+
+    def reports_for_port(self, switch_id: str, port: int
+                         ) -> list[int]:
+        """Switch-report indices from ``switch_id`` carrying a
+        telemetry entry for ``port``."""
+        try:
+            sid = self.strings.index(switch_id)
+        except ValueError:
+            return []
+        col = self.col
+        switches = col("r.switch")
+        ports_off, p_port = col("r.ports"), col("p.port")
+        return [i for i in range(self.counts["switch_report"])
+                if switches[i] == sid
+                and any(p_port[p] == port
+                        for p in range(ports_off[i],
+                                       ports_off[i + 1]))]
+
+
+# ----------------------------------------------------------------------
+# columnar -> JSONL reconstruction
+# ----------------------------------------------------------------------
+def iter_jsonl_lines(trace: ColumnarTrace) -> Iterator[bytes]:
+    """Yield the reconstructed JSONL file line by line.
+
+    Raw-preserved lines are emitted byte-exact; data records are
+    re-encoded with the recorder's ``json.dumps`` defaults.  For any
+    recorder-written source the concatenation equals the original
+    file's bytes.
+    """
+    dumps = json.dumps
+    entries: list[tuple[int, int, int]] = []  # (line_no, tag, idx)
+    for i, line_no in enumerate(trace.col("raw.line")):
+        entries.append((line_no, 0, i))
+    for i, line_no in enumerate(trace.col("s.line")):
+        entries.append((line_no, 1, i))
+    for i, line_no in enumerate(trace.col("r.line")):
+        entries.append((line_no, 2, i))
+    entries.sort()
+    raw_off, raw_len = trace.col("raw.off"), trace.col("raw.len")
+    blob = trace._raw_blob
+    for _line_no, tag, i in entries:
+        if tag == 0:
+            yield bytes(blob[raw_off[i]:raw_off[i] + raw_len[i]])
+        elif tag == 1:
+            payload = serialize.encode_step_record(
+                trace.step_record(i))
+            yield (dumps({"kind": "step_record", **payload})
+                   + "\n").encode("utf-8")
+        else:
+            payload = serialize.encode_switch_report(
+                trace.switch_report(i))
+            yield (dumps({"kind": "switch_report", **payload})
+                   + "\n").encode("utf-8")
+
+
+def write_jsonl(src: Union[str, Path], dst: Union[str, Path]) -> Path:
+    """Convert a columnar trace back to JSONL (atomically)."""
+    import os
+
+    dst = Path(dst)
+    tmp = dst.with_name(dst.name + ".tmp")
+    try:
+        with ColumnarTrace(src) as trace, tmp.open("wb") as handle:
+            for line in iter_jsonl_lines(trace):
+                handle.write(line)
+        os.replace(tmp, dst)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return dst
+
+
+def jsonl_digest(path: Union[str, Path]) -> str:
+    """SHA-256 of the trace's canonical JSONL bytes.
+
+    For a JSONL file this is simply the file digest (matching the
+    ``trace_sha256`` golden pins); for a columnar file the JSONL form
+    is reconstructed through the streaming hash.
+    """
+    hasher = hashlib.sha256()
+    path = Path(path)
+    if sniff_format(path) == "jsonl":
+        with path.open("rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                hasher.update(chunk)
+    else:
+        with ColumnarTrace(path) as trace:
+            for line in iter_jsonl_lines(trace):
+                hasher.update(line)
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# batch load (Trace parity with the JSONL loader)
+# ----------------------------------------------------------------------
+def load_columnar_trace(path: Union[str, Path],
+                        quarantine=None):
+    """Load a columnar file into a :class:`~repro.traces.store.Trace`
+    with the same quarantine/warning semantics as the JSONL loader."""
+    from repro.live.robustness import Quarantine
+    from repro.traces.store import Trace
+
+    if quarantine is None:
+        quarantine = Quarantine()
+    with ColumnarTrace(path) as trace:
+        header = trace.header()
+        unknown_kinds: dict[str, int] = {}
+        for cls, kind, line_no, raw in trace.iter_raw_lines():
+            if cls == RAW_UNKNOWN:
+                label = str(kind)
+                if label not in unknown_kinds:
+                    warnings.warn(
+                        f"skipping unknown trace record kind "
+                        f"{label!r} (first at line {line_no})",
+                        stacklevel=2)
+                unknown_kinds[label] = unknown_kinds.get(label, 0) + 1
+                quarantine.admit(
+                    line_no, f"unknown trace record kind: {label}",
+                    raw.decode("utf-8", errors="replace").strip())
+            elif cls == RAW_MALFORMED:
+                # the strict JSONL loader would have raised here
+                raise TraceFormatError(
+                    "columnar trace preserves a malformed source "
+                    "line", line_no)
+        step_records = [trace.step_record(i)
+                        for i in range(trace.counts["step_record"])]
+        reports = [trace.switch_report(i)
+                   for i in range(trace.counts["switch_report"])]
+        return Trace(
+            schedule=header.schedule,
+            flow_keys=header.flow_keys,
+            expected_step_times=header.expected_step_times,
+            step_records=step_records,
+            reports=reports,
+            pfc_xoff_bytes=header.pfc_xoff_bytes,
+            meta=header.meta,
+            unknown_kinds=unknown_kinds,
+            quarantine=quarantine,
+        )
+
+
+def columnar_events(path: Union[str, Path],
+                    on_error: Optional[ErrorSink] = None,
+                    skip: Optional[dict[str, int]] = None
+                    ) -> Iterator[TraceEvent]:
+    """Standalone merged-order event stream over a columnar file.
+
+    Mirrors :func:`~repro.traces.stream.merged_events`: preserved
+    malformed lines are routed to ``on_error`` (or raise without one)
+    exactly as the lenient JSONL scan would report them.
+    """
+    with ColumnarTrace(path) as trace:
+        if trace.counts.get("raw"):
+            for cls, _kind, line_no, raw in trace.iter_raw_lines():
+                if cls != RAW_MALFORMED:
+                    continue
+                snippet = raw.decode("utf-8",
+                                     errors="replace").strip()
+                if on_error is None:
+                    raise TraceFormatError(
+                        "columnar trace preserves a malformed "
+                        "source line", line_no)
+                on_error(line_no, "preserved malformed line",
+                         snippet)
+        yield from trace.iter_events(skip=skip)
+
+
+assert set(_OFFSET_COLUMNS) <= set(_COLUMN_TYPES), \
+    "offset columns must be declared"

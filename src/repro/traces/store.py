@@ -1,10 +1,13 @@
 """Trace files: capture a live run, reload it, re-run the analysis.
 
-The format is JSONL — one JSON object per line, each tagged with a
-``kind``: ``meta`` (versioning + network parameters), ``schedule`` (the
-decomposition), ``flow_key`` (the (node, step) → 5-tuple map),
-``expected`` (per-step ideal execution times), ``step_record`` and
-``switch_report`` (the monitoring stream, in arrival order).
+The capture format is JSONL — one JSON object per line, each tagged
+with a ``kind``: ``meta`` (versioning + network parameters),
+``schedule`` (the decomposition), ``flow_key`` (the (node, step) →
+5-tuple map), ``expected`` (per-step ideal execution times),
+``step_record`` and ``switch_report`` (the monitoring stream, in
+arrival order).  The read-optimized columnar sibling
+(:mod:`repro.traces.columnar`) stores the same records; every loader
+here accepts either file.
 """
 
 from __future__ import annotations
@@ -151,12 +154,19 @@ def load_trace(path: Union[str, Path],
     online streams report rejects identically.  Pass a ``quarantine``
     to accumulate across several loads; otherwise a fresh one is
     created and returned on :attr:`Trace.quarantine`.
+
+    Accepts either on-disk format: columnar files (see
+    :mod:`repro.traces.columnar`) are decoded through the mmap reader
+    with identical quarantine/warning semantics.
     """
     # imported lazily: repro.live.__init__ imports the pipeline, which
     # reads traces via this module — a top-level import would cycle
     from repro.live.robustness import Quarantine
+    from repro.traces import columnar
 
     path = Path(path)
+    if columnar.sniff_format(path) == "columnar":
+        return columnar.load_columnar_trace(path, quarantine)
     if quarantine is None:
         quarantine = Quarantine()
     schedule: Optional[StepSchedule] = None

@@ -18,12 +18,21 @@ Every reader takes an optional quarantine callback
 reported and skipped instead of raising, so one truncated line cannot
 take down a tailing pipeline.
 
-Resumability: every :class:`TraceEvent` carries the byte offset of its
-record (``byte_offset``) and of the byte just past its terminating
-newline (``end_offset``).  A consumer that remembers, per kind, the
-``(end_offset, line_no + 1)`` of the last event it fully processed can
-restart :func:`merged_events` from exactly that point via ``resume=``
-— the durable cursor the live service's checkpoints are keyed to.  A
+All readers here sniff the on-disk format: a columnar file (see
+:mod:`repro.traces.columnar`) is dispatched to the mmap reader, so
+every consumer of :func:`read_header` / :func:`merged_events` accepts
+either format transparently.
+
+Resumability: for JSONL sources every :class:`TraceEvent` carries the
+byte offset of its record (``byte_offset``) and of the byte just past
+its terminating newline (``end_offset``).  A consumer that remembers,
+per kind, the ``(end_offset, line_no + 1)`` of the last event it fully
+processed can restart :func:`merged_events` from exactly that point
+via ``resume=`` — the fast-path cursor for the live service's
+checkpoints.  Byte offsets are a JSONL implementation detail; the
+format-portable coordinate is the per-kind record index
+(:attr:`TraceEvent.index` / cursor record counts — see
+:func:`repro.traces.trace_events`).  A
 file that ends mid-record (a crashed writer, a live tail racing the
 recorder) raises :class:`TraceTruncated`, whose ``byte_offset`` is the
 first byte of the partial record — i.e. the position to resume reading
@@ -86,7 +95,12 @@ class TraceEvent:
     ``time`` is the event's completion/emission time in simulation
     nanoseconds — a step record's ``end_time``, a switch report's
     ``time``.  ``byte_offset``/``end_offset`` bracket the record's
-    bytes in the source file (-1 for synthetic, non-file events).
+    bytes in the source file; they are JSONL-specific and -1 for
+    synthetic events and for columnar files.  ``index`` is the
+    format-portable coordinate: the event's per-kind record index
+    (0-based position among records of its kind), -1 when unknown —
+    this is what lets a checkpoint taken against one on-disk format
+    resume against the other.
     """
 
     kind: str
@@ -95,6 +109,7 @@ class TraceEvent:
     line_no: int
     byte_offset: int = -1
     end_offset: int = -1
+    index: int = -1
 
 
 @dataclass(frozen=True)
@@ -154,9 +169,25 @@ def _parse(line: _Line,
 # ----------------------------------------------------------------------
 # header
 # ----------------------------------------------------------------------
+def _is_columnar(path: Union[str, Path]) -> bool:
+    from repro.traces import columnar
+
+    return columnar.sniff_format(path) == "columnar"
+
+
 def read_header(path: Union[str, Path],
                 on_error: Optional[ErrorSink] = None) -> TraceHeader:
-    """Scan the prologue; stop at the first monitoring-stream record."""
+    """The prologue of a trace in either on-disk format.
+
+    JSONL files are scanned up to the first monitoring-stream record;
+    columnar files decode the header straight out of the directory
+    (no scan at all).
+    """
+    if _is_columnar(path):
+        from repro.traces.columnar import ColumnarTrace
+
+        with ColumnarTrace(path) as trace:
+            return trace.header()
     schedule: Optional[StepSchedule] = None
     flow_keys: dict[tuple[str, int], FlowKey] = {}
     expected: dict[tuple[str, int], float] = {}
@@ -219,7 +250,24 @@ def stream_events(path: Union[str, Path],
 
     ``start_offset``/``start_line`` resume the scan mid-file — pass the
     ``end_offset`` and ``line_no + 1`` of the last event consumed.
+    Byte-offset resume is a JSONL concept; columnar files support only
+    a whole-file scan here (``start_offset == 0``) — use
+    :func:`repro.traces.trace_events` with a cursor for resumable
+    cross-format streaming.
     """
+    if _is_columnar(path):
+        if start_offset > 0:
+            raise TraceFormatError(
+                "byte-offset resume does not apply to columnar "
+                "traces; resume by record index via "
+                "repro.traces.trace_events")
+        from repro.traces.columnar import ColumnarTrace
+
+        with ColumnarTrace(path) as trace:
+            for kind in kinds:
+                if kind in DATA_KINDS:
+                    yield from trace.iter_kind(kind)
+        return
     for line in _lines(path, start_offset, start_line):
         entry = _parse(line, on_error)
         if entry is None or entry.get("kind") not in kinds:
@@ -254,7 +302,22 @@ def merged_events(path: Union[str, Path],
     restarts there; because both runs are individually time-sorted the
     merge order of the remaining events is identical to the order an
     uninterrupted run would have produced.
+
+    Columnar files replay their precomputed merge permutation — same
+    order, no heap, no JSON.  ``resume`` byte offsets are meaningless
+    there (raises); resume columnar replays by record counts via
+    :func:`repro.traces.trace_events`.
     """
+    if _is_columnar(path):
+        if resume:
+            raise TraceFormatError(
+                "byte-offset resume does not apply to columnar "
+                "traces; resume by record index via "
+                "repro.traces.trace_events")
+        from repro.traces.columnar import columnar_events
+
+        yield from columnar_events(path, on_error=on_error)
+        return
     rank = {"step_record": 0, "switch_report": 1}
     # both per-kind streams parse every line; report each bad line once
     if on_error is not None:
@@ -285,7 +348,19 @@ def scan_resume_offset(path: Union[str, Path]) -> int:
     A tailing reader that hits :class:`TraceTruncated` (writer still
     mid-line, or crashed mid-write) can poll this to learn where the
     intact prefix ends and resume from there.
+
+    This is explicitly a **JSONL byte offset** — the one place the
+    format still leaks bytes into the cursor contract, because only
+    JSONL files are appended to by a live writer.  Columnar files are
+    written whole and atomically, so a truncated columnar file is
+    corrupt, not resumable: this raises :class:`TraceFormatError` for
+    them.  Checkpoint cursors proper are format-portable; see
+    :class:`repro.live.checkpoint.ReplayCursor`.
     """
+    if _is_columnar(path):
+        raise TraceFormatError(
+            f"{path} is columnar: written atomically, never tailed; "
+            f"byte-offset resume does not apply")
     last_end = 0
     for line in _lines(path):
         if line.complete:

@@ -1,0 +1,34 @@
+"""RPR027 fixture: raw json over trace records outside the trace
+store — hand-rolled line parsing and hand-built records must route
+through :mod:`repro.traces` instead."""
+
+import json
+from json import dumps, loads
+
+
+def tail_trace(trace_lines):
+    """Hand-rolled trace reader: every parsed line drifts from the
+    store's quarantine and resume semantics."""
+    out = []
+    for trace_line in trace_lines:
+        out.append(json.loads(trace_line))  # expect: RPR027
+    return out
+
+
+def reparse(record_json: str) -> dict:
+    return loads(record_json)  # expect: RPR027
+
+
+def forge_step(node: str, flow: list) -> str:
+    """Hand-built step_record bypasses the serialize encoders."""
+    return json.dumps({"kind": "step_record",  # expect: RPR027
+                       "node": node, "flow": flow})
+
+
+def forge_report(handle, switch: str) -> None:
+    json.dump({"kind": "switch_report",  # expect: RPR027
+               "switch": switch, "ports": []}, handle)
+
+
+def rewrite(trace_record: dict) -> str:
+    return dumps(trace_record)  # expect: RPR027

@@ -1,0 +1,29 @@
+"""Near-misses for RPR027: json over non-trace payloads, dynamic
+record kinds, and computed arguments must all stay silent."""
+
+import json
+
+
+def snapshot_line(snapshot: dict) -> str:
+    """Snapshots/reports/bench docs are not trace records."""
+    return json.dumps(snapshot)
+
+
+def read_status(line: str) -> dict:
+    """A generic line name carries no trace evidence."""
+    return json.loads(line)
+
+
+def emit(handle, kind: str, payload: dict) -> None:
+    """Dynamic kind: cannot be proven to be a trace record."""
+    handle.write(json.dumps({"kind": kind, **payload}) + "\n")
+
+
+def event_doc() -> str:
+    """A 'kind' key with a non-trace value stays silent."""
+    return json.dumps({"kind": "snapshot", "final": True})
+
+
+def canonical(report) -> str:
+    """Computed first arguments degrade to silence, never a guess."""
+    return json.dumps(report.to_dict(), sort_keys=True)

@@ -20,7 +20,8 @@ FIXTURES = Path(__file__).parent / "fixtures"
 REPO_ROOT = Path(__file__).resolve().parents[2]
 _EXPECT = re.compile(r"#\s*expect:\s*(RPR\d{3})")
 
-FIXTURE_NAMES = ["rpr001", "rpr002", "rpr003", "rpr004", "rpr005"]
+FIXTURE_NAMES = ["rpr001", "rpr002", "rpr003", "rpr004", "rpr005",
+                 "rpr027"]
 
 
 def expected_findings(path: Path) -> set:
@@ -126,7 +127,49 @@ def test_syntax_error_reports_rpr000():
 
 
 def test_rules_catalog_covers_reported_ids():
-    assert set(RULES) == {f"RPR00{i}" for i in range(1, 7)}
+    assert set(RULES) == ({f"RPR00{i}" for i in range(1, 7)}
+                          | {"RPR027"})
+
+
+# ----------------------------------------------------------------------
+# RPR027: raw json over trace records
+# ----------------------------------------------------------------------
+RAW_TRACE_SNIPPET = ("import json\n\n\n"
+                     "def reader(trace_line):\n"
+                     "    return json.loads(trace_line)\n")
+
+
+def test_rpr027_near_twin_is_silent():
+    path = FIXTURES / "rpr027_near.py"
+    findings = check_source(path.read_text(), path, strict=True)
+    assert findings == [], render_findings(findings)
+
+
+def test_rpr027_exempts_trace_store_directory():
+    findings = check_source(RAW_TRACE_SNIPPET,
+                            "src/repro/traces/columnar.py")
+    assert findings == []
+    outside = check_source(RAW_TRACE_SNIPPET, "src/repro/live/tail.py")
+    assert [f.rule for f in outside] == ["RPR027"]
+
+
+def test_rpr027_scope_pragma_opts_a_file_out():
+    pragma = ("# repro: check-scope trace-store\n"
+              + RAW_TRACE_SNIPPET)
+    assert check_source(pragma, "src/repro/live/tail.py") == []
+
+
+def test_rpr027_import_alias_and_from_import():
+    aliased = ("import json as j\n\n\n"
+               "def f(trace_record):\n"
+               "    return j.dumps(trace_record)\n")
+    assert [f.rule for f in check_source(aliased, "x.py")] \
+        == ["RPR027"]
+    from_import = ("from json import loads\n\n\n"
+                   "def f(record_line):\n"
+                   "    return loads(record_line)\n")
+    assert [f.rule for f in check_source(from_import, "x.py")] \
+        == ["RPR027"]
 
 
 def test_finding_to_dict_roundtrip():

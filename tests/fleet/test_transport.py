@@ -197,10 +197,14 @@ def test_garbled_stream_resets_connection_and_publisher_recovers():
 
 
 def test_publisher_falls_back_when_listener_is_gone():
-    listener = ReportListener(on_report=lambda _r: None)
-    listener.start()
-    endpoint = listener.endpoint()
-    listener.stop()
+    # A start/stop listener frees its port back to the ephemeral pool,
+    # where a concurrent server from another test can occasionally
+    # rebind it and accept our connects.  A bound-but-never-listening
+    # socket gives the same refused connection deterministically and
+    # holds the port for the whole test.
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    endpoint = ["127.0.0.1", blocker.getsockname()[1]]
     publisher = ReportPublisher(
         endpoint, 4,
         retry=RetryPolicy(max_attempts=2, base_delay_s=0.0,
@@ -221,6 +225,7 @@ def test_publisher_falls_back_when_listener_is_gone():
     assert stamped.publish_failures == 2
     assert stamped.breaker_state == 2
     assert stamped.transport_retries == publisher.retries
+    blocker.close()
 
 
 # ----------------------------------------------------------------------

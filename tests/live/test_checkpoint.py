@@ -256,3 +256,80 @@ def test_checkpoint_policy_max_unflushed_forces_save(trace_path,
     # every 16 events the unflushed bound forces a checkpoint even
     # though the normal cadence would never fire
     assert manager.written >= 3
+
+
+# ----------------------------------------------------------------------
+# cross-format resume (the (format, kind, record-index) contract)
+# ----------------------------------------------------------------------
+def test_cursor_counts_round_trip():
+    cursor = ReplayCursor()
+    cursor.advance(TraceEvent("step_record", 1.0, None, 10, 100, 150))
+    cursor.advance(TraceEvent("switch_report", 2.0, None, 11, 150, 260))
+    cursor.advance(TraceEvent("step_record", 3.0, None, 12, 260, 300))
+    assert cursor.resume_counts() == {"step_record": 2,
+                                      "switch_report": 1}
+    clone = ReplayCursor.from_dict(cursor.to_dict())
+    assert clone.counts == cursor.counts
+    # a pre-counts checkpoint document still loads (counts default {})
+    legacy = dict(cursor.to_dict())
+    legacy.pop("counts")
+    assert ReplayCursor.from_dict(legacy).counts == {}
+
+
+def test_columnar_events_advance_counts_not_positions(trace_path,
+                                                      tmp_path):
+    from repro.traces import trace_events
+    from repro.traces.columnar import write_columnar
+
+    columnar = write_columnar(trace_path, tmp_path / "run.vcol")
+    cursor = ReplayCursor()
+    for event in itertools.islice(trace_events(columnar), 5):
+        cursor.advance(event)
+    assert cursor.published == 5
+    assert cursor.resume_map() is None        # no byte offsets
+    assert sum(cursor.resume_counts().values()) == 5
+
+
+@pytest.mark.parametrize("resume_format", ["jsonl", "columnar"])
+def test_cross_format_resume(trace_path, tmp_path, resume_format):
+    """A checkpoint taken against one format resumes against the
+    other: the cursor's per-kind record counts are the portable
+    coordinate, and the diagnosis is bit-equal to an uninterrupted
+    replay either way."""
+    from repro.traces import trace_events
+    from repro.traces.columnar import write_columnar
+
+    columnar = write_columnar(trace_path, tmp_path / "run.vcol")
+    resume_path = trace_path if resume_format == "jsonl" else columnar
+    header = read_header(trace_path)
+    config = PipelineConfig(snapshot_every=16)
+
+    baseline = LivePipeline.from_header(header, config)
+    expected = TraceReplayer(
+        baseline, trace_events(trace_path)).run()
+
+    manager = CheckpointManager(
+        tmp_path / f"ckpt-{resume_format}",
+        CheckpointPolicy(interval_events=32))
+    pipeline = LivePipeline.from_header(header, config)
+    total = sum(1 for _ in trace_events(trace_path))
+    stop_at = total // 2
+    # the interrupted half replays from the OTHER format than the
+    # resume, so the checkpoint itself crosses formats
+    first_half_path = columnar if resume_format == "jsonl" \
+        else trace_path
+    partial = TraceReplayer(
+        pipeline,
+        itertools.islice(trace_events(first_half_path), stop_at),
+        manager)
+    partial.run(finish=False)
+    partial.checkpoint()
+
+    resumed, cursor, was_resumed = resume_or_create(header, manager,
+                                                    config=config)
+    assert was_resumed
+    assert cursor.published == stop_at
+    rest = trace_events(resume_path, cursor=cursor)
+    final = TraceReplayer(resumed, rest, manager, cursor).run()
+    assert final_json(final) == final_json(expected)
+    assert cursor.published == total

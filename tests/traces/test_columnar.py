@@ -1,0 +1,455 @@
+"""Columnar trace store: round-trip losslessness, stream/format
+equivalence, zero-copy queries, and cross-format cursor resume.
+
+The seeded generator below synthesizes traces covering all six record
+kinds plus the hostile shapes the store must preserve byte-exactly:
+blank lines, unknown-kind lines and (under an error sink) malformed
+lines.  Property tests drive it through random seeds and assert the
+JSONL -> columnar -> JSONL identity and query/scan agreement.
+"""
+
+import hashlib
+import itertools
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collective.ring import ring_allgather
+from repro.collective.runtime import CollectiveRuntime, StepRecord
+from repro.core.system import VedrfolnirSystem
+from repro.simnet.network import Network
+from repro.simnet.packet import FlowKey
+from repro.simnet.pfc import PauseEvent, PortRef
+from repro.simnet.telemetry import PortTelemetryEntry, SwitchReport
+from repro.simnet.topology import build_fat_tree
+from repro.simnet.units import ms
+from repro.traces import TraceRecorder, load_trace, serialize
+from repro.traces.columnar import (
+    ColumnarTrace,
+    columnar_events,
+    content_address,
+    jsonl_digest,
+    load_columnar_trace,
+    sniff_format,
+    write_columnar,
+    write_jsonl,
+)
+from repro.traces.store import TraceFormatError
+from repro.traces.stream import (
+    merged_events,
+    read_header,
+    scan_resume_offset,
+    stream_events,
+)
+
+NODES = ["h0", "h4", "h8", "h12"]
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    """A real recorder-written trace (the equivalence ground truth)."""
+    net = Network(build_fat_tree(4))
+    runtime = CollectiveRuntime(net, ring_allgather(NODES, 150_000))
+    VedrfolnirSystem(net, runtime)
+    recorder = TraceRecorder.attach(net, runtime)
+    runtime.start()
+    net.create_flow("h1", "h4", 1_000_000, tag="background").start()
+    net.run_until_quiet(max_time=ms(100))
+    assert runtime.completed
+    path = tmp_path_factory.mktemp("columnar") / "run.jsonl"
+    recorder.write(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def columnar_path(trace_path, tmp_path_factory):
+    out = tmp_path_factory.mktemp("columnar-conv") / "run.vcol"
+    return write_columnar(trace_path, out)
+
+
+# ----------------------------------------------------------------------
+# seeded synthetic traces (all six kinds + hostile lines)
+# ----------------------------------------------------------------------
+def _flow(rng: random.Random) -> FlowKey:
+    return FlowKey(f"h{rng.randrange(8)}", f"h{rng.randrange(8)}",
+                   rng.randrange(1024, 65536), 4791, "RoCEv2")
+
+
+def _pause(rng: random.Random, time: float) -> PauseEvent:
+    return PauseEvent(
+        time=time, sender=PortRef(f"sw{rng.randrange(4)}",
+                                  rng.randrange(8)),
+        victim=PortRef(f"sw{rng.randrange(4)}", rng.randrange(8)),
+        buffer_bytes_at_send=rng.randrange(1 << 20),
+        genuine=rng.random() < 0.5)
+
+
+def _port_entry(rng: random.Random) -> PortTelemetryEntry:
+    flows = [_flow(rng) for _ in range(rng.randrange(3))]
+    return PortTelemetryEntry(
+        port=rng.randrange(16),
+        qdepth_pkts=rng.randrange(512),
+        qdepth_bytes=rng.randrange(1 << 22),
+        paused=rng.random() < 0.2,
+        flow_pkts={f: float(rng.randrange(64)) for f in flows},
+        inqueue_flow_pkts={f: rng.randrange(64) for f in flows},
+        wait_weights={(fi, fj): rng.random() * 10
+                      for fi, fj in itertools.permutations(flows, 2)})
+
+
+def synthesize_trace(path, seed: int, records: int = 40,
+                     unknown: bool = True, blank: bool = True) -> None:
+    """A schedule-bearing JSONL trace with per-kind sorted times (the
+    recorder invariant the merge order depends on)."""
+    rng = random.Random(seed)
+    schedule = ring_allgather(NODES, 100_000 + seed % 7)
+    lines = [
+        json.dumps({"kind": "meta", "version": 1,
+                    "pfc_xoff_bytes": 65536, "topology": "synthetic",
+                    "sim_time_ns": 1.0e6 + seed}) + "\n",
+        json.dumps({"kind": "schedule", "schedule":
+                    serialize.encode_schedule(schedule)}) + "\n",
+    ]
+    for idx, node in enumerate(NODES):
+        lines.append(json.dumps({
+            "kind": "flow_key", "node": node, "step": idx % 3,
+            "flow": serialize.encode_flow_key(_flow(rng))}) + "\n")
+        lines.append(json.dumps({
+            "kind": "expected", "node": node, "step": idx % 3,
+            "time_ns": rng.random() * 1e5}) + "\n")
+    step_t, report_t = 0.0, 0.0
+    for i in range(records):
+        if rng.random() < 0.5:
+            step_t += rng.random() * 1e4
+            record = StepRecord(
+                node=rng.choice(NODES), step_index=rng.randrange(4),
+                flow_key=_flow(rng),
+                size_bytes=rng.randrange(1, 1 << 20),
+                start_time=step_t - rng.random() * 1e3,
+                end_time=step_t,
+                recv_source=rng.choice([None, rng.randrange(4)]),
+                binding_dependency=rng.choice(
+                    [None, rng.randrange(4)]))
+            payload = serialize.encode_step_record(record)
+            kind = "step_record"
+        else:
+            report_t += rng.random() * 1e4
+            report = SwitchReport(
+                switch_id=f"sw{rng.randrange(4)}", time=report_t,
+                poll_id=rng.choice([None, i]),
+                ports=[_port_entry(rng)
+                       for _ in range(rng.randrange(3))],
+                port_meters={(rng.randrange(8), rng.randrange(8)):
+                             rng.random() * 100
+                             for _ in range(rng.randrange(3))},
+                pause_received=[_pause(rng, report_t - 1.0)
+                                for _ in range(rng.randrange(2))],
+                pause_sent=[_pause(rng, report_t - 0.5)
+                            for _ in range(rng.randrange(2))],
+                ttl_drops={_flow(rng): rng.randrange(1, 9)
+                           for _ in range(rng.randrange(2))},
+                size_bytes=rng.randrange(1 << 12))
+            payload = serialize.encode_switch_report(report)
+            kind = "switch_report"
+        lines.append(json.dumps({"kind": kind, **payload}) + "\n")
+        if unknown and rng.random() < 0.1:
+            lines.append(json.dumps({
+                "kind": f"custom_{rng.randrange(3)}",
+                "blob": [rng.randrange(100)]}) + "\n")
+        if blank and rng.random() < 0.08:
+            lines.append(rng.choice(["\n", "  \n"]))
+    path.write_text("".join(lines))
+
+
+def _event_tuples(events):
+    return [(e.kind, e.time, e.line_no, e.payload) for e in events]
+
+
+# ----------------------------------------------------------------------
+# round-trip losslessness
+# ----------------------------------------------------------------------
+def test_recorder_trace_round_trips_byte_exact(trace_path,
+                                               columnar_path,
+                                               tmp_path):
+    back = write_jsonl(columnar_path, tmp_path / "back.jsonl")
+    assert back.read_bytes() == trace_path.read_bytes()
+    assert jsonl_digest(columnar_path) == jsonl_digest(trace_path)
+    assert content_address(columnar_path) == content_address(trace_path)
+
+
+def test_sniff_format(trace_path, columnar_path):
+    assert sniff_format(trace_path) == "jsonl"
+    assert sniff_format(columnar_path) == "columnar"
+
+
+def test_columnar_writer_is_deterministic(trace_path, tmp_path):
+    a = write_columnar(trace_path, tmp_path / "a.vcol")
+    b = write_columnar(trace_path, tmp_path / "b.vcol")
+    assert a.read_bytes() == b.read_bytes()
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_round_trip_lossless(tmp_path_factory, seed):
+    """All six kinds + quarantined unknown-kind + blank lines survive
+    JSONL -> columnar -> JSONL bit-for-bit."""
+    tmp = tmp_path_factory.mktemp("prop")
+    src = tmp / "t.jsonl"
+    synthesize_trace(src, seed)
+    col = write_columnar(src, tmp / "t.vcol")
+    back = write_jsonl(col, tmp / "t.back.jsonl")
+    assert back.read_bytes() == src.read_bytes()
+    assert jsonl_digest(col) == hashlib.sha256(
+        src.read_bytes()).hexdigest()
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_event_streams_equivalent(tmp_path_factory, seed):
+    """Both formats yield identical merged event streams, including
+    identical quarantine callbacks for unknown-kind lines."""
+    tmp = tmp_path_factory.mktemp("prop-ev")
+    src = tmp / "t.jsonl"
+    synthesize_trace(src, seed)
+    col = write_columnar(src, tmp / "t.vcol")
+    jl_err, col_err = [], []
+    jl = _event_tuples(merged_events(
+        src, on_error=lambda *a: jl_err.append(a)))
+    cl = _event_tuples(columnar_events(
+        col, on_error=lambda *a: col_err.append(a)))
+    assert jl == cl
+    assert jl_err == col_err
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_queries_match_full_scan(tmp_path_factory, seed):
+    tmp = tmp_path_factory.mktemp("prop-q")
+    src = tmp / "t.jsonl"
+    synthesize_trace(src, seed, unknown=False, blank=False)
+    col = write_columnar(src, tmp / "t.vcol")
+    with ColumnarTrace(col) as trace:
+        steps = [trace.step_record(i)
+                 for i in range(trace.counts["step_record"])]
+        reports = [trace.switch_report(i)
+                   for i in range(trace.counts["switch_report"])]
+        times = [r.time for r in reports]
+        if times:
+            lo = times[len(times) // 4]
+            hi = times[(3 * len(times)) // 4]
+            got = trace.time_range("switch_report", lo, hi)
+            want = [i for i, t in enumerate(times) if lo <= t <= hi]
+            assert list(got) == want
+        flows = {s.flow_key for s in steps}
+        for flow in flows:
+            want = [i for i, s in enumerate(steps)
+                    if s.flow_key == flow]
+            assert trace.steps_for_flow(flow) == want
+            want_r = [
+                i for i, r in enumerate(reports)
+                if flow in r.ttl_drops
+                or any(flow in p.flow_pkts
+                       or flow in p.inqueue_flow_pkts
+                       or any(flow in pair
+                              for pair in p.wait_weights)
+                       for p in r.ports)]
+            assert trace.reports_for_flow(flow) == want_r
+        seen_ports = {(r.switch_id, p.port)
+                      for r in reports for p in r.ports}
+        for switch_id, port in sorted(seen_ports):
+            want = [i for i, r in enumerate(reports)
+                    if r.switch_id == switch_id
+                    and any(p.port == port for p in r.ports)]
+            assert trace.reports_for_port(switch_id, port) == want
+
+
+# ----------------------------------------------------------------------
+# hostile inputs
+# ----------------------------------------------------------------------
+def test_malformed_line_raises_without_sink(trace_path, tmp_path):
+    src = tmp_path / "bad.jsonl"
+    lines = trace_path.read_text().splitlines(keepends=True)
+    lines.insert(len(lines) - 2, "{not json}\n")
+    src.write_text("".join(lines))
+    with pytest.raises(TraceFormatError, match="line"):
+        write_columnar(src, tmp_path / "bad.vcol")
+
+
+def test_malformed_line_preserved_with_sink(trace_path, tmp_path):
+    src = tmp_path / "bad.jsonl"
+    lines = trace_path.read_text().splitlines(keepends=True)
+    lines.insert(len(lines) - 2, "{not json}\n")
+    src.write_text("".join(lines))
+    errors = []
+    col = write_columnar(src, tmp_path / "bad.vcol",
+                         on_error=lambda *a: errors.append(a))
+    assert len(errors) == 1
+    back = write_jsonl(col, tmp_path / "bad.back.jsonl")
+    assert back.read_bytes() == src.read_bytes()
+    # replaying the columnar file reports the preserved line again
+    replay_errors = []
+    list(columnar_events(col,
+                         on_error=lambda *a: replay_errors.append(a)))
+    assert [e[0] for e in replay_errors] == [errors[0][0]]
+    # and raises without a sink, like the strict JSONL reader
+    with pytest.raises(TraceFormatError):
+        list(columnar_events(col))
+
+
+def test_cli_convert_preserves_malformed_lines(trace_path, tmp_path,
+                                               capsys):
+    """``repro trace convert`` must not die on a quarantinable line:
+    it preserves it byte-exact, warns, and still verifies the digest."""
+    from repro.cli import main
+
+    src = tmp_path / "bad.jsonl"
+    lines = trace_path.read_text().splitlines(keepends=True)
+    lines.insert(len(lines) - 2, "{not json}\n")
+    src.write_text("".join(lines))
+    col = tmp_path / "bad.vcol"
+    assert main(["trace", "convert", str(src), str(col)]) == 0
+    captured = capsys.readouterr()
+    assert "1 malformed line(s) preserved byte-exact" in captured.err
+    assert "digest verified" in captured.out
+    back = tmp_path / "bad.back.jsonl"
+    assert main(["trace", "convert", str(col), str(back)]) == 0
+    assert back.read_bytes() == src.read_bytes()
+
+
+def test_unknown_kinds_quarantined_like_jsonl(tmp_path):
+    src = tmp_path / "t.jsonl"
+    synthesize_trace(src, seed=7)
+    col = write_columnar(src, tmp_path / "t.vcol")
+    with pytest.warns(UserWarning, match="unknown trace record kind"):
+        jsonl_trace = load_trace(src)
+    with pytest.warns(UserWarning, match="unknown trace record kind"):
+        columnar_trace = load_trace(col)  # load_trace sniffs format
+    jq = [(e.line_no, e.reason)
+          for e in jsonl_trace.quarantine.entries]
+    cq = [(e.line_no, e.reason)
+          for e in columnar_trace.quarantine.entries]
+    assert jq == cq and jq
+
+
+# ----------------------------------------------------------------------
+# batch / header parity
+# ----------------------------------------------------------------------
+def test_load_trace_parity_across_formats(trace_path, columnar_path):
+    jl = load_trace(trace_path)
+    cl = load_trace(columnar_path)
+    assert jl.meta == cl.meta
+    assert jl.schedule.nodes == cl.schedule.nodes
+    assert jl.flow_keys == cl.flow_keys
+    assert jl.expected_step_times == cl.expected_step_times
+    assert jl.step_records == cl.step_records
+    assert jl.reports == cl.reports
+    assert load_columnar_trace(columnar_path).step_records \
+        == jl.step_records
+
+
+def test_read_header_dispatches(trace_path, columnar_path):
+    jh = read_header(trace_path)
+    ch = read_header(columnar_path)
+    assert jh.schedule.nodes == ch.schedule.nodes
+    assert jh.flow_keys == ch.flow_keys
+    assert jh.expected_step_times == ch.expected_step_times
+    assert jh.meta["topology"] == ch.meta["topology"]
+
+
+def test_stream_events_dispatches(trace_path, columnar_path):
+    jl = [(e.kind, e.payload) for e in stream_events(trace_path)]
+    cl = [(e.kind, e.payload) for e in stream_events(columnar_path)]
+    assert jl == cl
+
+
+def test_byte_offset_contract_stays_jsonl_only(columnar_path):
+    with pytest.raises(TraceFormatError, match="byte-offset"):
+        scan_resume_offset(columnar_path)
+    with pytest.raises(TraceFormatError):
+        list(stream_events(columnar_path, start_offset=100))
+
+
+# ----------------------------------------------------------------------
+# mmap lifetime
+# ----------------------------------------------------------------------
+def test_closed_trace_refuses_decodes(columnar_path):
+    trace = ColumnarTrace(columnar_path)
+    record = trace.step_record(0)
+    trace.close()
+    with pytest.raises(ValueError, match="closed"):
+        trace.step_record(0)
+    # decoded records are owning objects and survive the close
+    assert record.node
+
+
+def test_decoded_records_intern_flow_keys(columnar_path):
+    with ColumnarTrace(columnar_path) as trace:
+        first = trace.step_record(0)
+        again = trace.step_record(0)
+        assert first.flow_key is again.flow_key
+
+
+# ----------------------------------------------------------------------
+# bit-equal diagnosis across formats (batch / live / fleet)
+# ----------------------------------------------------------------------
+def _diagnosis_json(trace) -> str:
+    from repro.core.reports import render_json
+    from repro.traces import analyze_trace
+
+    return json.dumps(render_json(analyze_trace(trace)),
+                      sort_keys=True)
+
+
+def test_batch_diagnosis_bit_equal(trace_path, columnar_path):
+    jl = _diagnosis_json(load_trace(trace_path))
+    cl = _diagnosis_json(load_trace(columnar_path))
+    assert jl == cl
+
+
+def test_live_replay_bit_equal(trace_path, columnar_path):
+    from repro.live import LivePipeline, PipelineConfig
+    from repro.live.checkpoint import TraceReplayer
+    from repro.traces import trace_events
+
+    finals = []
+    for path in (trace_path, columnar_path):
+        header = read_header(path)
+        pipeline = LivePipeline.from_header(
+            header, PipelineConfig(snapshot_every=16))
+        final = TraceReplayer(pipeline, trace_events(path)).run()
+        finals.append(json.dumps(final.to_dict(), sort_keys=True))
+    assert finals[0] == finals[1]
+
+
+def test_fleet_tenant_bit_equal(trace_path, columnar_path, tmp_path):
+    from repro.fleet.tenancy import TenantPolicy, TenantRuntime
+
+    digests = []
+    for name, path in (("jl", trace_path), ("cl", columnar_path)):
+        tenant = TenantRuntime(
+            f"tenant-{name}", shard_id=0,
+            policy=TenantPolicy(snapshot_every=32, checkpoint_every=0),
+            trace=str(path))
+        while not tenant.done:
+            tenant.step(64)
+        snapshot = tenant.finalize()
+        digests.append(json.dumps(snapshot.to_dict(),
+                                  sort_keys=True))
+    assert digests[0] == digests[1]
+
+
+def test_golden_gate_digest_survives_convert(tmp_path):
+    """The golden trace_sha256 pin is reachable from the columnar
+    form: convert the gate capture and reconstruct the digest."""
+    from repro.perf.golden import golden_ring_allgather
+
+    golden = golden_ring_allgather(tmp_path)
+    src = tmp_path / "ring_allgather_k4.jsonl"
+    col = write_columnar(src, tmp_path / "gate.vcol")
+    assert jsonl_digest(col) == golden["trace_sha256"]
+    back = write_jsonl(col, tmp_path / "gate.back.jsonl")
+    assert hashlib.sha256(back.read_bytes()).hexdigest() \
+        == golden["trace_sha256"]
